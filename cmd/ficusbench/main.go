@@ -1,0 +1,257 @@
+// Command ficusbench regenerates every table of the reproduction's
+// experiment suite (DESIGN.md §4, E1–E9) and prints them in a form directly
+// comparable to the claims of the 1990 paper.  Timing numbers are
+// wall-clock on the current machine; counting numbers (I/Os, RPCs, pulls,
+// availability) are deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/avail"
+	"repro/internal/baseline"
+	"repro/internal/exp"
+	"repro/internal/logical"
+	"repro/internal/vnode"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (e1..e9)")
+	trials := flag.Int("trials", 20000, "Monte-Carlo trials for E4")
+	flag.Parse()
+
+	experiments := []struct {
+		id   string
+		name string
+		run  func(w *tabwriter.Writer) error
+	}{
+		{"e1", "E1: stack composition (Figures 1-2)", runE1},
+		{"e2", "E2: layer crossing cost (§6)", runE2},
+		{"e3", "E3: open I/O counts (§6)", runE3},
+		{"e4", "E4: availability comparison (§1, §3)", func(w *tabwriter.Writer) error { return runE4(w, *trials) }},
+		{"e5", "E5: propagation policy (§3.2)", runE5},
+		{"e6", "E6: reconciliation convergence (§3.3)", runE6},
+		{"e7", "E7: name budget / open-over-lookup (§2.3)", runE7},
+		{"e8", "E8: shadow commit cost (§3.2 fn5)", runE8},
+		{"e9", "E9: autografting (§4.4)", runE9},
+	}
+	for _, e := range experiments {
+		if *only != "" && *only != e.id {
+			continue
+		}
+		fmt.Printf("=== %s ===\n", e.name)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		if err := e.run(w); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		w.Flush()
+		fmt.Println()
+	}
+}
+
+// timeOp measures the median-ish cost of op over n runs.
+func timeOp(n int, op func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
+
+func runE1(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "stack\tns/op\tvs UFS")
+	var base time.Duration
+	for _, kind := range []exp.StackKind{exp.StackUFS, exp.StackFicusLocal, exp.StackFicusLocalCached, exp.StackFicusNFS, exp.StackFicusTwoRepl} {
+		root, err := exp.BuildStack(kind)
+		if err != nil {
+			return err
+		}
+		if err := exp.PrepareFile(root); err != nil {
+			return err
+		}
+		d, err := timeOp(2000, func() error { return exp.TouchOp(root) })
+		if err != nil {
+			return err
+		}
+		if kind == exp.StackUFS {
+			base = d
+		}
+		fmt.Fprintf(w, "%v\t%d\t%.2fx\n", kind, d.Nanoseconds(), float64(d)/float64(base))
+	}
+	return nil
+}
+
+func runE2(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "interposed null layers\tns/op\tdelta vs 0")
+	var base time.Duration
+	for _, depth := range []int{0, 1, 2, 4, 8} {
+		root, err := exp.BuildNullStack(depth)
+		if err != nil {
+			return err
+		}
+		if err := exp.PrepareFile(root); err != nil {
+			return err
+		}
+		d, err := timeOp(5000, func() error { return exp.TouchOp(root) })
+		if err != nil {
+			return err
+		}
+		if depth == 0 {
+			base = d
+		}
+		fmt.Fprintf(w, "%d\t%d\t%+d\n", depth, d.Nanoseconds(), (d - base).Nanoseconds())
+	}
+	return nil
+}
+
+func runE3(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "caches\tUFS cold\tFicus cold\textra (paper: 4)\tUFS warm\tFicus warm\textra (paper: 0)")
+	for _, caches := range []bool{true, false} {
+		r, err := exp.OpenIOCounts(caches)
+		if err != nil {
+			return err
+		}
+		label := "on"
+		if !caches {
+			label = "off (ablation)"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			label, r.UFSColdReads, r.FicusColdReads, r.ColdDelta(),
+			r.UFSWarmReads, r.FicusWarmReads, r.WarmDelta())
+	}
+	return nil
+}
+
+func runE4(w *tabwriter.Writer, trials int) error {
+	for _, model := range []avail.Model{avail.HostFailures, avail.Partitions} {
+		fmt.Fprintf(w, "model=%v\t\t\t\n", model)
+		fmt.Fprintln(w, "policy\tn=2\tn=3\tn=5\tn=7")
+		ns := []int{2, 3, 5, 7}
+		rows := map[string][]float64{}
+		var order []string
+		for _, n := range ns {
+			s := avail.Scenario{
+				Replicas: n, Model: model, FailProb: 0.2, Segments: 3,
+				Trials: trials, Seed: 42,
+			}
+			for _, r := range avail.Evaluate(s, baseline.StandardSet(n)) {
+				name := normalizePolicy(r.Policy)
+				if _, ok := rows[name]; !ok {
+					order = append(order, name)
+				}
+				rows[name] = append(rows[name], r.UpdateAvail)
+			}
+		}
+		for _, name := range order {
+			fmt.Fprintf(w, "%s", name)
+			for _, v := range rows[name] {
+				fmt.Fprintf(w, "\t%.3f", v)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, "(update availability; one-copy must dominate every row)\t\t\t")
+	}
+	return nil
+}
+
+// normalizePolicy strips per-n parameters so sweeps line up in one row.
+func normalizePolicy(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '(' && i > 0 && name[i-1] == ' ' {
+			switch name[:i-1] {
+			case "weighted voting", "quorum consensus":
+				return name[:i-1]
+			}
+		}
+	}
+	return name
+}
+
+func runE5(w *tabwriter.Writer) error {
+	imm, del, err := exp.PropagationComparison(exp.DefaultPropagationConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "daemon schedule\tpulls\tRPC bytes\tstaleness (step-units)")
+	for _, r := range []exp.PropagationRow{imm, del} {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\n", r.Policy, r.Pulls, r.RPCBytes, r.Staleness)
+	}
+	fmt.Fprintln(w, "(delayed propagation coalesces bursts: fewer pulls, more staleness)\t\t\t")
+	return nil
+}
+
+func runE6(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "hosts\trounds\tentries adopted\tfiles pulled\tfile conflicts\tname repairs\tconverged")
+	for _, hosts := range []int{2, 4, 6} {
+		res, err := exp.RunReconcileChurn(hosts, 9, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			res.Hosts, res.Rounds, res.EntriesAdopted, res.FilesPulled,
+			res.FileConflicts, res.NameRepairs, res.Converged)
+	}
+	return nil
+}
+
+func runE7(w *tabwriter.Writer) error {
+	root, err := exp.BuildStack(exp.StackFicusNFS)
+	if err != nil {
+		return err
+	}
+	if err := exp.PrepareFile(root); err != nil {
+		return err
+	}
+	f, err := vnode.Walk(root, "dir/file")
+	if err != nil {
+		return err
+	}
+	openClose, err := timeOp(500, func() error {
+		if err := f.Open(vnode.OpenRead); err != nil {
+			return err
+		}
+		return f.Close(vnode.OpenRead)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "quantity\tvalue")
+	fmt.Fprintf(w, "substrate max name\t255 bytes\n")
+	fmt.Fprintf(w, "encoding overhead\t%d bytes\n", 255-logical.MaxName)
+	fmt.Fprintf(w, "client name budget (paper: ~200)\t%d bytes\n", logical.MaxName)
+	fmt.Fprintf(w, "open+close via lookup over NFS\t%d ns\n", openClose.Nanoseconds())
+	return nil
+}
+
+func runE8(w *tabwriter.Writer) error {
+	rows, err := exp.ShadowCommitCost([]int{1, 4, 16, 64})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "file size (blocks)\tin-place writes\tshadow-commit writes\tamplification")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.1fx\n",
+			r.FileBlocks, r.InPlaceWrites, r.ShadowWrites,
+			float64(r.ShadowWrites)/float64(r.InPlaceWrites))
+	}
+	return nil
+}
+
+func runE9(w *tabwriter.Writer) error {
+	res, err := exp.RunAutograft()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "walk through graft point\tRPCs")
+	fmt.Fprintf(w, "first (locate + graft)\t%d\n", res.FirstWalkRPCs)
+	fmt.Fprintf(w, "warm (graft table hit)\t%d\n", res.WarmWalkRPCs)
+	fmt.Fprintf(w, "after pruning (regraft)\t%d\n", res.RegraftRPCs)
+	return nil
+}

@@ -1,0 +1,397 @@
+// Command ficusctl drives a simulated Ficus cluster from a command script,
+// for poking at replication, partitions, reconciliation and grafting by
+// hand.  Commands are read from stdin (or a file via -f), one per line:
+//
+//	write <host> <path> <contents...>    create/overwrite a file
+//	read <host> <path>                   print a file
+//	ls <host> <path>                     list a directory
+//	mkdir <host> <path>                  create a directory
+//	rm <host> <path>                     remove a file
+//	mv <host> <old> <new>                rename
+//	partition <group>;<group>            e.g. "partition 0,1;2"
+//	heal                                 reconnect everything
+//	propagate                            one propagation-daemon pass
+//	reconcile                            one reconciliation pass
+//	settle                               reconcile until quiescent
+//	conflicts                            list file conflicts
+//	resolve <n> <contents...>            resolve conflict #n
+//	newvol <host>                        create a volume, prints its id
+//	replicate <vol> <host>               add a replica of a volume
+//	graft <host> <dir> <name> <vol>      create a graft point
+//	volread <host> <vol> <path>          read from a named volume
+//	volwrite <host> <vol> <path> <c...>  write into a named volume
+//	evict <host> <path>                  drop the local copy, keep the name (§4.1)
+//	gc                                   collect tombstones (all replicas reachable)
+//	fsck                                 run UFS + Ficus consistency checks
+//	stats                                network traffic counters
+//	# comment                            ignored
+//
+// Example:
+//
+//	echo 'write 0 /hello world
+//	partition 0;1,2
+//	write 0 /hello from-zero
+//	write 1 /hello from-one
+//	heal
+//	settle
+//	conflicts' | ficusctl -hosts 3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	ficus "repro"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 3, "number of hosts in the cluster")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	file := flag.String("f", "", "command script (default stdin)")
+	flag.Parse()
+
+	cluster, err := ficus.NewCluster(*hosts, ficus.WithSeed(*seed))
+	if err != nil {
+		fatal("create cluster: %v", err)
+	}
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	ctl := &controller{cluster: cluster, vols: map[string]ficus.Volume{}}
+	scanner := bufio.NewScanner(in)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if err := ctl.exec(text); err != nil {
+			fmt.Printf("line %d (%s): error: %v\n", line, text, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		fatal("read script: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ficusctl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+type controller struct {
+	cluster *ficus.Cluster
+	vols    map[string]ficus.Volume
+}
+
+func (c *controller) mount(hostArg string) (*ficus.Mount, int, error) {
+	h, err := strconv.Atoi(hostArg)
+	if err != nil || h < 0 || h >= c.cluster.NumHosts() {
+		return nil, 0, fmt.Errorf("bad host %q", hostArg)
+	}
+	m, err := c.cluster.Mount(h)
+	return m, h, err
+}
+
+func (c *controller) volume(name string) (ficus.Volume, error) {
+	if v, ok := c.vols[name]; ok {
+		return v, nil
+	}
+	return ficus.Volume{}, fmt.Errorf("unknown volume %q (create with newvol)", name)
+}
+
+func (c *controller) exec(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d arguments", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "write":
+		if err := need(3); err != nil {
+			return err
+		}
+		m, _, err := c.mount(args[0])
+		if err != nil {
+			return err
+		}
+		return m.WriteFile(args[1], []byte(strings.Join(args[2:], " ")))
+	case "read":
+		if err := need(2); err != nil {
+			return err
+		}
+		m, h, err := c.mount(args[0])
+		if err != nil {
+			return err
+		}
+		data, err := m.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("host %d %s: %q\n", h, args[1], data)
+		return nil
+	case "ls":
+		if err := need(2); err != nil {
+			return err
+		}
+		m, h, err := c.mount(args[0])
+		if err != nil {
+			return err
+		}
+		ents, err := m.ReadDir(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("host %d %s:", h, args[1])
+		for _, e := range ents {
+			suffix := ""
+			if e.IsDir {
+				suffix = "/"
+			}
+			fmt.Printf(" %s%s", e.Name, suffix)
+		}
+		fmt.Println()
+		return nil
+	case "mkdir":
+		if err := need(2); err != nil {
+			return err
+		}
+		m, _, err := c.mount(args[0])
+		if err != nil {
+			return err
+		}
+		return m.MkdirAll(args[1])
+	case "rm":
+		if err := need(2); err != nil {
+			return err
+		}
+		m, _, err := c.mount(args[0])
+		if err != nil {
+			return err
+		}
+		return m.Remove(args[1])
+	case "mv":
+		if err := need(3); err != nil {
+			return err
+		}
+		m, _, err := c.mount(args[0])
+		if err != nil {
+			return err
+		}
+		return m.Rename(args[1], args[2])
+	case "partition":
+		if err := need(1); err != nil {
+			return err
+		}
+		var groups [][]int
+		for _, g := range strings.Split(args[0], ";") {
+			var group []int
+			for _, s := range strings.Split(g, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil {
+					return fmt.Errorf("bad partition spec %q", args[0])
+				}
+				group = append(group, n)
+			}
+			groups = append(groups, group)
+		}
+		c.cluster.Partition(groups...)
+		fmt.Printf("partitioned: %s\n", args[0])
+		return nil
+	case "heal":
+		c.cluster.Heal()
+		fmt.Println("healed")
+		return nil
+	case "propagate":
+		s, err := c.cluster.Propagate()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("propagated: pulled %d file versions\n", s.FilesPulled)
+		return nil
+	case "reconcile":
+		s, err := c.cluster.Reconcile()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reconciled: adopted %d entries, pulled %d files, %d conflicts\n",
+			s.EntriesAdopted, s.FilesPulled, s.Conflicts)
+		return nil
+	case "settle":
+		if err := c.cluster.Settle(20); err != nil {
+			return err
+		}
+		fmt.Println("settled (quiescent)")
+		return nil
+	case "conflicts":
+		confs := c.cluster.Conflicts()
+		if len(confs) == 0 {
+			fmt.Println("no conflicts")
+			return nil
+		}
+		for i, conf := range confs {
+			fmt.Printf("#%d host=%d file=%s local=%s remote=%s: %s\n",
+				i, conf.Host, conf.FileID, conf.LocalVV, conf.RemoteVV, conf.Note)
+		}
+		return nil
+	case "resolve":
+		if err := need(2); err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		confs := c.cluster.Conflicts()
+		if n < 0 || n >= len(confs) {
+			return fmt.Errorf("no conflict #%d", n)
+		}
+		if err := c.cluster.Resolve(confs[n], []byte(strings.Join(args[1:], " "))); err != nil {
+			return err
+		}
+		fmt.Printf("resolved #%d\n", n)
+		return nil
+	case "newvol":
+		if err := need(1); err != nil {
+			return err
+		}
+		h, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := c.cluster.NewVolume(h)
+		if err != nil {
+			return err
+		}
+		c.vols[v.String()] = v
+		fmt.Printf("volume %s created on host %d\n", v, h)
+		return nil
+	case "replicate":
+		if err := need(2); err != nil {
+			return err
+		}
+		v, err := c.volume(args[0])
+		if err != nil {
+			return err
+		}
+		h, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		if err := c.cluster.ReplicateVolume(v, h); err != nil {
+			return err
+		}
+		fmt.Printf("volume %s replicated to host %d\n", v, h)
+		return nil
+	case "graft":
+		if err := need(4); err != nil {
+			return err
+		}
+		h, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := c.volume(args[3])
+		if err != nil {
+			return err
+		}
+		if err := c.cluster.Graft(h, args[1], args[2], v); err != nil {
+			return err
+		}
+		fmt.Printf("grafted %s at %s/%s\n", v, args[1], args[2])
+		return nil
+	case "volread":
+		if err := need(3); err != nil {
+			return err
+		}
+		h, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := c.volume(args[1])
+		if err != nil {
+			return err
+		}
+		m, err := c.cluster.MountVolume(h, v)
+		if err != nil {
+			return err
+		}
+		data, err := m.ReadFile(args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("host %d %s:%s: %q\n", h, v, args[2], data)
+		return nil
+	case "volwrite":
+		if err := need(4); err != nil {
+			return err
+		}
+		h, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := c.volume(args[1])
+		if err != nil {
+			return err
+		}
+		m, err := c.cluster.MountVolume(h, v)
+		if err != nil {
+			return err
+		}
+		return m.WriteFile(args[2], []byte(strings.Join(args[3:], " ")))
+	case "evict":
+		if err := need(2); err != nil {
+			return err
+		}
+		h, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		if err := c.cluster.Evict(h, args[1]); err != nil {
+			return err
+		}
+		fmt.Printf("host %d no longer stores %s locally (name kept)\n", h, args[1])
+		return nil
+	case "gc":
+		n, err := c.cluster.CollectGarbage()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collected %d tombstones\n", n)
+		return nil
+	case "fsck":
+		probs, err := c.cluster.Fsck()
+		if err != nil {
+			return err
+		}
+		if len(probs) == 0 {
+			fmt.Println("all replicas clean")
+			return nil
+		}
+		for _, p := range probs {
+			fmt.Println(p)
+		}
+		return nil
+	case "stats":
+		s := c.cluster.NetworkStats()
+		fmt.Printf("rpcs=%d (failed %d, %d bytes) datagrams=%d (delivered %d, dropped %d)\n",
+			s.RPCs, s.RPCFailures, s.RPCBytes, s.Datagrams, s.DatagramsDelivered, s.DatagramsDropped)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,79 @@
+package ficus
+
+import "testing"
+
+// TestDirectoryGainsMultipleNames pins paper §2.5 fn3: "When
+// non-communicating directory replicas are concurrently given new names, it
+// is often later necessary to retain multiple names" — Ficus directories
+// form a DAG and one directory may be reachable under several names.
+func TestDirectoryGainsMultipleNames(t *testing.T) {
+	c := newTestCluster(t, 2)
+	m0, _ := c.Mount(0)
+	m1, _ := c.Mount(1)
+	if err := m0.MkdirAll("/project"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m0.WriteFile("/project/notes", []byte("shared contents")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partitioned: both sides rename the same directory (within the same
+	// parent) to different names.
+	c.Partition([]int{0}, []int{1})
+	if err := m0.Rename("/project", "/project-v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Rename("/project", "/project-final"); err != nil {
+		t.Fatal(err)
+	}
+	c.Heal()
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both names survive on both hosts, and they denote the SAME directory:
+	// the file is reachable through either name, and an update through one
+	// name is visible through the other.
+	for host, m := range map[int]*Mount{0: m0, 1: m1} {
+		for _, name := range []string{"/project-v2", "/project-final"} {
+			data, err := m.ReadFile(name + "/notes")
+			if err != nil || string(data) != "shared contents" {
+				t.Fatalf("host %d %s: %q %v", host, name, data, err)
+			}
+		}
+		stA, err := m.Stat("/project-v2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stB, err := m.Stat("/project-final")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stA.FileID != stB.FileID {
+			t.Fatalf("host %d: the two names denote different directories: %s vs %s", host, stA.FileID, stB.FileID)
+		}
+		// The old name is gone.
+		if _, err := m.Stat("/project"); err == nil {
+			t.Fatalf("host %d: old name survived", host)
+		}
+	}
+
+	// An update through one name appears through the other (same host —
+	// they share one replica container).
+	if err := m0.WriteFile("/project-v2/new-file", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m0.ReadFile("/project-final/new-file"); err != nil {
+		t.Fatalf("update through one name invisible through the other: %v", err)
+	}
+	// And structural consistency holds everywhere.
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+	if probs, err := c.Fsck(); err != nil || len(probs) != 0 {
+		t.Fatalf("fsck: %v %v", probs, err)
+	}
+}

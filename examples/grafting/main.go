@@ -1,0 +1,93 @@
+// Grafting: volumes and autografting (paper §4).  The name space is a
+// graph of volumes; a graft point is a special directory naming a volume
+// plus a table of (replica, storage site) rows — kept as ordinary directory
+// entries so the replicated graft table is maintained by the same
+// reconciliation machinery as everything else (§4.3).  Pathname translation
+// grafts volumes on demand and prunes idle grafts (§4.4).
+//
+// Run with: go run ./examples/grafting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ficus "repro"
+)
+
+func main() {
+	cluster, err := ficus.NewCluster(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A project volume is born on host 2 with a couple of files.
+	proj, err := cluster.NewVolume(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created volume %s on host 2\n", proj)
+	pm, err := cluster.MountVolume(2, proj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(pm.MkdirAll("/src"))
+	must(pm.WriteFile("/src/main.go", []byte("package main")))
+	must(pm.WriteFile("/README", []byte("the project volume")))
+
+	// Give it a second replica on host 1 for availability.
+	must(cluster.ReplicateVolume(proj, 1))
+	fmt.Println("replicated the volume to host 1")
+
+	// Graft it into the shared root namespace at /proj.  The graft point
+	// is created at host 0; its table rows list both volume replicas.
+	must(cluster.Graft(0, "/", "proj", proj))
+	fmt.Println("graft point /proj created in the root volume (host 0)")
+
+	// Reconciliation carries the graft point (and its table) to the other
+	// root-volume replicas like any directory contents.
+	must(cluster.Settle(10))
+
+	// Every host now walks into the project volume transparently; the
+	// first walk autografts (locates a reachable volume replica from the
+	// graft table), later walks hit the graft table.
+	for i := 0; i < 3; i++ {
+		m, err := cluster.Mount(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := m.ReadFile("/proj/src/main.go")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("host %d: /proj/src/main.go = %q (autografted)\n", i, data)
+	}
+
+	// Host 2 (holding a replica of proj) goes down; the graft table's
+	// second row still locates the replica on host 1.
+	cluster.SetHostDown(2, true)
+	m0, _ := cluster.Mount(0)
+	data, err := m0.ReadFile("/proj/README")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host 2 down: /proj/README still readable via host 1's replica = %q\n", data)
+	cluster.SetHostDown(2, false)
+
+	// Idle grafts are quietly pruned, and the next walk regrafts.
+	for i := 0; i < 30; i++ {
+		cluster.Tick()
+	}
+	pruned := cluster.PruneGrafts(10)
+	fmt.Printf("pruned %d idle grafts\n", pruned)
+	if _, err := m0.ReadFile("/proj/README"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("walk after pruning regrafted transparently — ok")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

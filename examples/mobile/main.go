@@ -1,0 +1,94 @@
+// Mobile: disconnected operation — the scenario the paper's large-scale
+// motivation implies (§1: "partial operation is the normal, not
+// exceptional, status of this environment").  A laptop carries a replica of
+// the shared volume, leaves the network, keeps reading AND writing its
+// local copy (one-copy availability), and reconciles on return; the
+// concurrent edit made back at the office surfaces as a conflict for the
+// owner to resolve.
+//
+// Run with: go run ./examples/mobile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ficus "repro"
+)
+
+const (
+	office = 0 // the well-connected workstation
+	server = 1 // the department server
+	laptop = 2 // the machine that travels
+)
+
+func main() {
+	cluster, err := ficus.NewCluster(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	officeM, _ := cluster.Mount(office)
+	laptopM, _ := cluster.Mount(laptop)
+
+	// Shared state before the trip.
+	must(officeM.MkdirAll("/talk"))
+	must(officeM.WriteFile("/talk/slides.tex", []byte("\\section{Intro}")))
+	must(officeM.WriteFile("/talk/notes", []byte("remember the demo")))
+	must(cluster.Settle(10))
+	fmt.Println("before the trip: /talk replicated on office, server, laptop")
+
+	// The laptop leaves the network.
+	cluster.Partition([]int{office, server}, []int{laptop})
+	fmt.Println("\n-- laptop disconnected --")
+
+	// On the road: full read AND write access against the local replica.
+	data, err := laptopM.ReadFile("/talk/slides.tex")
+	must(err)
+	fmt.Printf("laptop reads its local copy: %q\n", data)
+	must(laptopM.WriteFile("/talk/slides.tex", []byte("\\section{Intro} % polished on the plane")))
+	must(laptopM.WriteFile("/talk/new-ideas", []byte("scribbled offline")))
+	fmt.Println("laptop edits slides.tex and creates new-ideas (one-copy availability)")
+
+	// Meanwhile at the office, a colleague edits the same file.
+	must(officeM.WriteFile("/talk/slides.tex", []byte("\\section{Intro} % edited at the office")))
+	fmt.Println("office edits slides.tex concurrently")
+
+	// Home again: reconnect and let the reconciliation daemons converge.
+	cluster.Heal()
+	fmt.Println("\n-- laptop reconnected; reconciling --")
+	must(cluster.Settle(10))
+
+	// The independent creation merged silently...
+	data, err = officeM.ReadFile("/talk/new-ideas")
+	must(err)
+	fmt.Printf("office now sees the road work: /talk/new-ideas = %q\n", data)
+
+	// ... and the concurrent edit was detected, not clobbered.
+	conflicts := cluster.Conflicts()
+	if len(conflicts) == 0 {
+		log.Fatal("expected a conflict on slides.tex")
+	}
+	fmt.Printf("conflict reported on slides.tex: local history %s vs remote %s\n",
+		conflicts[0].LocalVV, conflicts[0].RemoteVV)
+	must(cluster.Resolve(conflicts[0], []byte("\\section{Intro} % merged plane+office edits")))
+	must(cluster.Settle(10))
+	for name, m := range map[string]*ficus.Mount{"office": officeM, "laptop": laptopM} {
+		data, err := m.ReadFile("/talk/slides.tex")
+		must(err)
+		fmt.Printf("%s after resolution: %q\n", name, data)
+	}
+
+	// With everyone reachable again, completed deletes can be collected.
+	must(laptopM.Remove("/talk/notes"))
+	must(cluster.Settle(10))
+	n, err := cluster.CollectGarbage()
+	must(err)
+	fmt.Printf("removed /talk/notes everywhere; %d tombstones collected\n", n)
+	fmt.Println("ok")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

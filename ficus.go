@@ -1,0 +1,434 @@
+// Package ficus is the public face of this reproduction of the Ficus
+// replicated file system (Guy, Heidemann, Mak, Page, Popek, Rothmeier —
+// "Implementation of the Ficus Replicated File System", Summer USENIX 1990).
+//
+// Ficus is an optimistically replicated file system built as a stack of
+// vnode layers: a logical layer presenting a one-copy abstraction over a
+// set of physical replica layers, with NFS as the transport between layers
+// on different hosts and UFS as the storage substrate.  Any accessible
+// replica may be read *and updated* (one-copy availability); updates
+// propagate via asynchronous notification and a propagation daemon, and a
+// periodic reconciliation protocol merges divergent replicas — repairing
+// directory conflicts automatically and reporting file conflicts to the
+// owner.
+//
+// The package wraps a deterministic multi-host simulation: hosts with their
+// own disks and UFS instances, a partitionable network, and explicit daemon
+// steps, so the paper's behaviours are scriptable:
+//
+//	c, _ := ficus.NewCluster(3)
+//	m0, _ := c.Mount(0)
+//	_ = m0.WriteFile("/doc", []byte("v1"))
+//	c.Partition([]int{0}, []int{1, 2})   // network splits
+//	_ = m0.WriteFile("/doc", []byte("v2")) // still updatable: one-copy availability
+//	c.Heal()
+//	c.Settle(10)                          // reconciliation daemons converge
+//	for _, conf := range c.Conflicts() {  // concurrent updates reported
+//		_ = c.Resolve(conf, []byte("merged"))
+//	}
+package ficus
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/recon"
+	"repro/internal/sim"
+)
+
+// Policy selects how the logical layer picks among accessible replicas.
+type Policy = logical.Policy
+
+// Replica-selection policies.
+const (
+	// MostRecent is the paper's default: select the most recent copy
+	// available.
+	MostRecent = logical.MostRecent
+	// FirstAvailable uses the closest (first configured) accessible copy.
+	FirstAvailable = logical.FirstAvailable
+)
+
+// MaxName is the longest file name component Ficus accepts: the open/close
+// encoding must fit the substrate's 255-byte name field (paper §2.3 fn2).
+const MaxName = logical.MaxName
+
+// Option tunes cluster construction.
+type Option func(*clusterConfig)
+
+type clusterConfig struct {
+	seed    int64
+	policy  Policy
+	storage *core.StorageOptions
+}
+
+// WithSeed fixes the simulation's random seed (default 1).
+func WithSeed(seed int64) Option { return func(c *clusterConfig) { c.seed = seed } }
+
+// WithPolicy sets the default replica-selection policy for Mount.
+func WithPolicy(p Policy) Option { return func(c *clusterConfig) { c.policy = p } }
+
+// WithStorage sizes each host's disk.
+func WithStorage(diskBlocks, inodes int) Option {
+	return func(c *clusterConfig) {
+		c.storage = &core.StorageOptions{DiskBlocks: diskBlocks, Inodes: inodes}
+	}
+}
+
+// Cluster is a set of Ficus hosts on one simulated network, sharing a root
+// volume replicated on every host.
+type Cluster struct {
+	sim    *sim.Cluster
+	policy Policy
+
+	volumes map[Volume][]core.ReplicaLoc
+	nextRep map[Volume]ids.ReplicaID
+}
+
+// NewCluster builds a cluster of n hosts with the root volume replicated on
+// all of them.
+func NewCluster(n int, opts ...Option) (*Cluster, error) {
+	cfg := clusterConfig{seed: 1, policy: MostRecent}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s, err := sim.New(sim.Config{Hosts: n, Seed: cfg.seed, Storage: cfg.storage})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		sim:     s,
+		policy:  cfg.policy,
+		volumes: make(map[Volume][]core.ReplicaLoc),
+		nextRep: make(map[Volume]ids.ReplicaID),
+	}
+	rootVol := Volume{h: s.Vol}
+	c.volumes[rootVol] = s.Locs
+	c.nextRep[rootVol] = ids.ReplicaID(n + 1)
+	return c, nil
+}
+
+// NumHosts returns the cluster size.
+func (c *Cluster) NumHosts() int { return len(c.sim.Hosts) }
+
+// RootVolume returns the shared root volume.
+func (c *Cluster) RootVolume() Volume { return Volume{h: c.sim.Vol} }
+
+// Partition splits the network into groups of host indices; unlisted hosts
+// end up isolated.
+func (c *Cluster) Partition(groups ...[]int) { c.sim.Partition(groups...) }
+
+// Heal reconnects every host.
+func (c *Cluster) Heal() { c.sim.Heal() }
+
+// SetHostDown crashes or revives host i.
+func (c *Cluster) SetHostDown(i int, down bool) {
+	c.sim.Hosts[i].SimHost().SetDown(down)
+}
+
+// SyncStats summarizes propagation/reconciliation work.
+type SyncStats struct {
+	DirsVisited    int
+	DirsCreated    int
+	EntriesAdopted int
+	EntriesDeleted int
+	FilesPulled    int
+	Conflicts      int
+	NameRepairs    int
+}
+
+func fromRecon(s recon.Stats) SyncStats {
+	return SyncStats{
+		DirsVisited:    s.DirsVisited,
+		DirsCreated:    s.DirsCreated,
+		EntriesAdopted: s.EntriesAdopted,
+		EntriesDeleted: s.EntriesDeleted,
+		FilesPulled:    s.FilesPulled,
+		Conflicts:      s.Conflicts,
+		NameRepairs:    s.NameRepairs,
+	}
+}
+
+// Propagate runs one update-propagation daemon pass on every host (paper
+// §3.2).
+func (c *Cluster) Propagate() (SyncStats, error) {
+	s, err := c.sim.PropagateAll()
+	return fromRecon(s), err
+}
+
+// Reconcile runs one reconciliation pass on every host (paper §3.3).
+func (c *Cluster) Reconcile() (SyncStats, error) {
+	s, err := c.sim.ReconcileAll()
+	return fromRecon(s), err
+}
+
+// Settle reconciles until quiescent, up to maxRounds passes.
+func (c *Cluster) Settle(maxRounds int) error {
+	_, err := c.sim.Settle(maxRounds)
+	return err
+}
+
+// CollectGarbage runs tombstone garbage collection on every host.  A
+// volume's tombstones are collected only while all of its replicas are
+// reachable — the safety condition for completing an optimistic delete.
+// Returns the number of tombstones collected.
+func (c *Cluster) CollectGarbage() (int, error) {
+	total := 0
+	for _, h := range c.sim.Hosts {
+		n, err := h.CollectGarbage()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Evict discards host i's local copy of the file at path in the root
+// volume while keeping the name: selective storage (paper §4.1).  Reads
+// from that host transparently fail over to another replica; a later
+// reconciliation or propagation pass may re-materialize the local copy.
+func (c *Cluster) Evict(host int, path string) error {
+	return c.sim.Hosts[host].EvictFile(c.sim.Vol, path)
+}
+
+// Fsck runs the UFS and Ficus consistency checkers over every replica on
+// every host; an empty result means the whole cluster is structurally
+// clean.
+func (c *Cluster) Fsck() ([]string, error) {
+	var out []string
+	for i, h := range c.sim.Hosts {
+		probs, err := h.Fsck()
+		if err != nil {
+			return out, err
+		}
+		for _, p := range probs {
+			out = append(out, fmt.Sprintf("host %d: %s", i, p))
+		}
+	}
+	return out, nil
+}
+
+// Tick advances every host's graft-pruning idle clock.
+func (c *Cluster) Tick() {
+	for _, h := range c.sim.Hosts {
+		h.Tick()
+	}
+}
+
+// PruneGrafts prunes idle grafts on every host, returning the total pruned.
+func (c *Cluster) PruneGrafts(maxIdle uint64) int {
+	n := 0
+	for _, h := range c.sim.Hosts {
+		n += h.PruneGrafts(maxIdle)
+	}
+	return n
+}
+
+// Conflict is one detected concurrent-update conflict on a regular file,
+// reported to the owner.
+type Conflict struct {
+	Host     int    // host whose replica logged it
+	FileID   string // the logical file's id
+	LocalVV  string // the two divergent update histories
+	RemoteVV string
+	Note     string
+
+	inner physical.Conflict
+	layer *physical.Layer
+}
+
+// Conflicts gathers every host's conflict log for the root volume.
+func (c *Cluster) Conflicts() []Conflict {
+	var out []Conflict
+	for i, h := range c.sim.Hosts {
+		l := h.LocalReplica(c.sim.Vol)
+		if l == nil {
+			continue
+		}
+		for _, pc := range l.Conflicts() {
+			out = append(out, Conflict{
+				Host:     i,
+				FileID:   pc.File.String(),
+				LocalVV:  pc.LocalVV.String(),
+				RemoteVV: pc.RemoteVV.String(),
+				Note:     pc.Note,
+				inner:    pc,
+				layer:    l,
+			})
+		}
+	}
+	return out
+}
+
+// Resolve installs newData as the resolution of a conflict, under a version
+// vector dominating both histories so the resolution propagates like any
+// other update; the conflict log entry is cleared.  Several hosts may
+// report the same logical conflict: resolve each file ONCE and let the
+// resolution propagate (Settle) — issuing independent resolutions from two
+// hosts is itself a pair of concurrent updates and will re-conflict.
+func (c *Cluster) Resolve(conf Conflict, newData []byte) error {
+	if conf.layer == nil {
+		return errors.New("ficus: conflict not obtained from Conflicts()")
+	}
+	if err := recon.Resolve(conf.layer, conf.inner, newData); err != nil {
+		return err
+	}
+	conf.layer.ClearConflictsFor(conf.inner.File)
+	return nil
+}
+
+// Host returns low-level access to host i (for experiments).
+func (c *Cluster) Host(i int) *core.Host { return c.sim.Hosts[i] }
+
+// NetStats summarizes network traffic.
+type NetStats struct {
+	RPCs               uint64
+	RPCFailures        uint64
+	RPCBytes           uint64
+	Datagrams          uint64
+	DatagramsDropped   uint64
+	DatagramsDelivered uint64
+}
+
+// NetworkStats returns the simulated network's counters.
+func (c *Cluster) NetworkStats() NetStats {
+	s := c.sim.Net.Stats()
+	return NetStats{
+		RPCs:               s.RPCs,
+		RPCFailures:        s.RPCFailures,
+		RPCBytes:           s.RPCBytes,
+		Datagrams:          s.Datagrams,
+		DatagramsDropped:   s.DatagramsDropped,
+		DatagramsDelivered: s.DatagramsDelivered,
+	}
+}
+
+// ResetNetworkStats zeroes the counters.
+func (c *Cluster) ResetNetworkStats() { c.sim.Net.ResetStats() }
+
+// Volume names a Ficus volume.
+type Volume struct {
+	h ids.VolumeHandle
+}
+
+// String renders the volume handle.
+func (v Volume) String() string { return v.h.String() }
+
+// NewVolume creates a fresh volume with its first replica on host i.
+func (c *Cluster) NewVolume(host int) (Volume, error) {
+	vol, rid, err := c.sim.Hosts[host].CreateVolume(nil)
+	if err != nil {
+		return Volume{}, err
+	}
+	v := Volume{h: vol}
+	c.volumes[v] = []core.ReplicaLoc{{ID: rid, Addr: sim.HostName(host)}}
+	c.nextRep[v] = rid + 1
+	return v, nil
+}
+
+// ReplicateVolume adds a replica of vol on host i, seeded from an existing
+// replica (which must be reachable — §3.1 allows changing the replica set
+// "whenever a file replica is available").
+func (c *Cluster) ReplicateVolume(vol Volume, host int) error {
+	locs := c.volumes[vol]
+	if len(locs) == 0 {
+		return fmt.Errorf("ficus: unknown volume %v", vol)
+	}
+	rid := c.nextRep[vol]
+	if err := c.sim.Hosts[host].AddReplica(vol.h, rid, locs[0], nil); err != nil {
+		return err
+	}
+	c.nextRep[vol] = rid + 1
+	c.volumes[vol] = append(locs, core.ReplicaLoc{ID: rid, Addr: sim.HostName(host)})
+	for i := range c.sim.Hosts {
+		c.sim.Hosts[i].SetLocations(vol.h, c.volumes[vol])
+	}
+	return nil
+}
+
+// DropReplica removes host i's replica of vol and updates every host's
+// location table.  At least one replica must remain ("a client may change
+// the location and quantity of file replicas whenever a file replica is
+// available", §3.1).
+func (c *Cluster) DropReplica(vol Volume, host int) error {
+	locs := c.volumes[vol]
+	if len(locs) == 0 {
+		return fmt.Errorf("ficus: unknown volume %v", vol)
+	}
+	if len(locs) == 1 {
+		return fmt.Errorf("ficus: refusing to drop the last replica of %v", vol)
+	}
+	addr := sim.HostName(host)
+	idx := -1
+	for i, l := range locs {
+		if l.Addr == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("ficus: host %d stores no replica of %v", host, vol)
+	}
+	rid := locs[idx].ID
+	vr := volumeReplicaHandle(vol, rid)
+	if err := c.sim.Hosts[host].RemoveReplica(vr); err != nil {
+		return err
+	}
+	c.volumes[vol] = append(locs[:idx:idx], locs[idx+1:]...)
+	for i := range c.sim.Hosts {
+		c.sim.Hosts[i].ForgetLocation(vol.h, rid)
+		c.sim.Hosts[i].SetLocations(vol.h, c.volumes[vol])
+	}
+	return nil
+}
+
+func volumeReplicaHandle(vol Volume, rid ids.ReplicaID) ids.VolumeReplicaHandle {
+	return ids.VolumeReplicaHandle{Vol: vol.h, Replica: rid}
+}
+
+// Graft creates a graft point named name in directory dirPath of the root
+// volume (on host i's replica), targeting vol.  Other hosts learn of it
+// through normal directory reconciliation, and autograft the volume the
+// first time a pathname walks through it (§4.4).
+func (c *Cluster) Graft(host int, dirPath, name string, vol Volume) error {
+	locs := c.volumes[vol]
+	if len(locs) == 0 {
+		return fmt.Errorf("ficus: unknown volume %v", vol)
+	}
+	return c.sim.Hosts[host].CreateGraftPoint(c.sim.Vol, dirPath, name, vol.h, locs)
+}
+
+// Mount returns a path-based view of the root volume from host i, using the
+// cluster's default policy.
+func (c *Cluster) Mount(host int) (*Mount, error) {
+	return c.MountVolume(host, c.RootVolume())
+}
+
+// MountPolicy is Mount with an explicit replica-selection policy.
+func (c *Cluster) MountPolicy(host int, p Policy) (*Mount, error) {
+	return c.mountVol(host, c.RootVolume(), p)
+}
+
+// MountVolume mounts an arbitrary volume from host i.
+func (c *Cluster) MountVolume(host int, vol Volume) (*Mount, error) {
+	return c.mountVol(host, vol, c.policy)
+}
+
+func (c *Cluster) mountVol(host int, vol Volume, p Policy) (*Mount, error) {
+	if locs, ok := c.volumes[vol]; ok {
+		c.sim.Hosts[host].SetLocations(vol.h, locs)
+	}
+	lay, err := c.sim.Hosts[host].Mount(vol.h, p)
+	if err != nil {
+		return nil, err
+	}
+	root, err := lay.Root()
+	if err != nil {
+		return nil, err
+	}
+	return &Mount{root: root}, nil
+}

@@ -1,0 +1,306 @@
+// Package authfs is a stackable user-authentication layer — the third of
+// the services the paper expects to slip into a vnode stack ("we expect to
+// use it for performance monitoring, user authentication and encryption",
+// §1).  A mount carries a credential; an access-control list maps
+// (principal, path prefix) to read/write rights; every operation that
+// crosses the layer is checked before it is forwarded.  Like the other
+// layers it is purely interposed: nothing below it changes.
+package authfs
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/vnode"
+)
+
+// Perm is a set of access rights.
+type Perm int
+
+// Rights.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+)
+
+// PermAll grants everything.
+const PermAll = PermRead | PermWrite
+
+// Credential identifies a principal for one mount of the layer.
+type Credential struct {
+	User string
+}
+
+// Anyone matches every principal in a rule.
+const Anyone = "*"
+
+// Rule grants rights to a principal under a path prefix ("" or "/" = the
+// whole tree).  Later rules override earlier ones.
+type Rule struct {
+	User   string
+	Prefix string
+	Perm   Perm
+}
+
+// ACL is an ordered rule list with a default.  Safe for concurrent use;
+// one ACL is typically shared by many mounts.
+type ACL struct {
+	mu    sync.RWMutex
+	def   Perm
+	rules []Rule
+}
+
+// NewACL builds an ACL whose unmatched default is def.
+func NewACL(def Perm, rules ...Rule) *ACL {
+	return &ACL{def: def, rules: rules}
+}
+
+// Append adds a rule (later rules win).
+func (a *ACL) Append(r Rule) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rules = append(a.rules, r)
+}
+
+// Allowed reports whether user holds all rights in want on path.
+func (a *ACL) Allowed(user, path string, want Perm) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	perm := a.def
+	for _, r := range a.rules {
+		if r.User != Anyone && r.User != user {
+			continue
+		}
+		if !prefixMatch(r.Prefix, path) {
+			continue
+		}
+		perm = r.Perm
+	}
+	return perm&want == want
+}
+
+func prefixMatch(prefix, path string) bool {
+	prefix = strings.Trim(prefix, "/")
+	path = strings.Trim(path, "/")
+	if prefix == "" {
+		return true
+	}
+	if path == prefix {
+		return true
+	}
+	return strings.HasPrefix(path, prefix+"/")
+}
+
+// VFS is one credentialed view of the lower file system.
+type VFS struct {
+	lower vnode.VFS
+	acl   *ACL
+	cred  Credential
+}
+
+// New wraps lower with access control under cred.
+func New(lower vnode.VFS, acl *ACL, cred Credential) *VFS {
+	return &VFS{lower: lower, acl: acl, cred: cred}
+}
+
+// Root returns the guarded root.
+func (a *VFS) Root() (vnode.Vnode, error) {
+	v, err := a.lower.Root()
+	if err != nil {
+		return nil, err
+	}
+	return &anode{fs: a, lower: v}, nil
+}
+
+// Sync forwards (no rights needed to flush).
+func (a *VFS) Sync() error { return a.lower.Sync() }
+
+func (a *VFS) check(path string, want Perm) error {
+	if a.acl.Allowed(a.cred.User, path, want) {
+		return nil
+	}
+	return vnode.EPERM
+}
+
+type anode struct {
+	fs    *VFS
+	lower vnode.Vnode
+	path  string
+}
+
+func (v *anode) childPath(name string) string {
+	if v.path == "" {
+		return name
+	}
+	return v.path + "/" + name
+}
+
+func (v *anode) wrap(lower vnode.Vnode, path string) vnode.Vnode {
+	return &anode{fs: v.fs, lower: lower, path: path}
+}
+
+func (v *anode) Handle() string { return v.lower.Handle() }
+
+func (v *anode) Lookup(name string) (vnode.Vnode, error) {
+	p := v.childPath(name)
+	if err := v.fs.check(p, PermRead); err != nil {
+		return nil, err
+	}
+	c, err := v.lower.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c, p), nil
+}
+
+func (v *anode) Create(name string, excl bool) (vnode.Vnode, error) {
+	p := v.childPath(name)
+	if err := v.fs.check(p, PermWrite); err != nil {
+		return nil, err
+	}
+	c, err := v.lower.Create(name, excl)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c, p), nil
+}
+
+func (v *anode) Mkdir(name string) (vnode.Vnode, error) {
+	p := v.childPath(name)
+	if err := v.fs.check(p, PermWrite); err != nil {
+		return nil, err
+	}
+	c, err := v.lower.Mkdir(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c, p), nil
+}
+
+func (v *anode) Symlink(name, target string) error {
+	if err := v.fs.check(v.childPath(name), PermWrite); err != nil {
+		return err
+	}
+	return v.lower.Symlink(name, target)
+}
+
+func (v *anode) Readlink() (string, error) {
+	if err := v.fs.check(v.path, PermRead); err != nil {
+		return "", err
+	}
+	return v.lower.Readlink()
+}
+
+func (v *anode) Open(f vnode.OpenFlags) error {
+	want := PermRead
+	if f&vnode.OpenWrite != 0 {
+		want |= PermWrite
+	}
+	if err := v.fs.check(v.path, want); err != nil {
+		return err
+	}
+	return v.lower.Open(f)
+}
+
+func (v *anode) Close(f vnode.OpenFlags) error { return v.lower.Close(f) }
+
+func (v *anode) ReadAt(p []byte, off int64) (int, error) {
+	if err := v.fs.check(v.path, PermRead); err != nil {
+		return 0, err
+	}
+	return v.lower.ReadAt(p, off)
+}
+
+func (v *anode) WriteAt(p []byte, off int64) (int, error) {
+	if err := v.fs.check(v.path, PermWrite); err != nil {
+		return 0, err
+	}
+	return v.lower.WriteAt(p, off)
+}
+
+func (v *anode) Truncate(size uint64) error {
+	if err := v.fs.check(v.path, PermWrite); err != nil {
+		return err
+	}
+	return v.lower.Truncate(size)
+}
+
+func (v *anode) Fsync() error { return v.lower.Fsync() }
+
+func (v *anode) Getattr() (vnode.Attr, error) {
+	if err := v.fs.check(v.path, PermRead); err != nil {
+		return vnode.Attr{}, err
+	}
+	return v.lower.Getattr()
+}
+
+func (v *anode) Setattr(sa vnode.SetAttr) error {
+	if err := v.fs.check(v.path, PermWrite); err != nil {
+		return err
+	}
+	return v.lower.Setattr(sa)
+}
+
+// Access answers the rights question directly from the ACL.
+func (v *anode) Access(mode uint16) error {
+	var want Perm
+	if mode&0o4 != 0 {
+		want |= PermRead
+	}
+	if mode&0o2 != 0 {
+		want |= PermWrite
+	}
+	if want == 0 {
+		want = PermRead
+	}
+	return v.fs.check(v.path, want)
+}
+
+func (v *anode) Remove(name string) error {
+	if err := v.fs.check(v.childPath(name), PermWrite); err != nil {
+		return err
+	}
+	return v.lower.Remove(name)
+}
+
+func (v *anode) Rmdir(name string) error {
+	if err := v.fs.check(v.childPath(name), PermWrite); err != nil {
+		return err
+	}
+	return v.lower.Rmdir(name)
+}
+
+func (v *anode) Link(name string, target vnode.Vnode) error {
+	t, ok := target.(*anode)
+	if !ok || t.fs != v.fs {
+		return vnode.EXDEV
+	}
+	if err := v.fs.check(v.childPath(name), PermWrite); err != nil {
+		return err
+	}
+	if err := v.fs.check(t.path, PermRead); err != nil {
+		return err
+	}
+	return v.lower.Link(name, t.lower)
+}
+
+func (v *anode) Rename(oldName string, dstDir vnode.Vnode, newName string) error {
+	d, ok := dstDir.(*anode)
+	if !ok || d.fs != v.fs {
+		return vnode.EXDEV
+	}
+	if err := v.fs.check(v.childPath(oldName), PermWrite); err != nil {
+		return err
+	}
+	if err := v.fs.check(d.childPath(newName), PermWrite); err != nil {
+		return err
+	}
+	return v.lower.Rename(oldName, d.lower, newName)
+}
+
+func (v *anode) Readdir() ([]vnode.Dirent, error) {
+	if err := v.fs.check(v.path, PermRead); err != nil {
+		return nil, err
+	}
+	return v.lower.Readdir()
+}

@@ -1,0 +1,189 @@
+// Package avail measures operation availability under failures — the
+// quantitative form of the paper's §1/§3 claim that one-copy availability
+// "provides strictly greater availability than primary copy, voting,
+// weighted voting, and quorum consensus."
+//
+// The simulator replays identical randomized outage scenarios through every
+// policy, so the comparison is paired: in each trial the same set of
+// replicas is accessible, and each policy merely votes on whether a read
+// and an update could proceed.  Two outage models cover the environments
+// the paper describes:
+//
+//   - HostFailures: every replica's host is independently down with
+//     probability p (component failures).
+//   - Partitions: hosts are scattered uniformly across k network segments
+//     and only replicas in the client's segment are accessible
+//     (communications outages — the case §1 calls the normal status of a
+//     large-scale network).
+package avail
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/ids"
+)
+
+// Model selects the outage generator.
+type Model int
+
+// Outage models.
+const (
+	HostFailures Model = iota
+	Partitions
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case HostFailures:
+		return "host-failures"
+	case Partitions:
+		return "partitions"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Scenario parameterizes one availability measurement.
+type Scenario struct {
+	Replicas int
+	Model    Model
+	// FailProb is the independent per-host down probability (HostFailures).
+	FailProb float64
+	// Segments is the number of network segments (Partitions).
+	Segments int
+	// ClientColocated places the client on replica 1's host; otherwise the
+	// client is an independent host (its own failure/segment is sampled).
+	ClientColocated bool
+	Trials          int
+	Seed            int64
+}
+
+// Result is the measured availability of one policy under one scenario.
+type Result struct {
+	Policy      string
+	ReadAvail   float64
+	UpdateAvail float64
+}
+
+// Evaluate runs the scenario against each policy with paired trials.
+func Evaluate(s Scenario, policies []baseline.Policy) []Result {
+	if s.Trials <= 0 {
+		s.Trials = 10000
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	reads := make([]int, len(policies))
+	updates := make([]int, len(policies))
+	acc := make([]ids.ReplicaID, 0, s.Replicas)
+	for t := 0; t < s.Trials; t++ {
+		acc = s.sample(rng, acc[:0])
+		for i, p := range policies {
+			if p.CanRead(acc, s.Replicas) {
+				reads[i]++
+			}
+			if p.CanUpdate(acc, s.Replicas) {
+				updates[i]++
+			}
+		}
+	}
+	out := make([]Result, len(policies))
+	for i, p := range policies {
+		out[i] = Result{
+			Policy:      p.Name(),
+			ReadAvail:   float64(reads[i]) / float64(s.Trials),
+			UpdateAvail: float64(updates[i]) / float64(s.Trials),
+		}
+	}
+	return out
+}
+
+// sample draws one outage and returns the replicas the client can reach.
+func (s Scenario) sample(rng *rand.Rand, acc []ids.ReplicaID) []ids.ReplicaID {
+	switch s.Model {
+	case Partitions:
+		k := s.Segments
+		if k < 1 {
+			k = 2
+		}
+		segs := make([]int, s.Replicas)
+		for i := range segs {
+			segs[i] = rng.Intn(k)
+		}
+		clientSeg := rng.Intn(k)
+		if s.ClientColocated {
+			clientSeg = segs[0]
+		}
+		for i, seg := range segs {
+			if seg == clientSeg {
+				acc = append(acc, ids.ReplicaID(i+1))
+			}
+		}
+	default: // HostFailures
+		clientUp := true
+		if !s.ClientColocated {
+			clientUp = rng.Float64() >= s.FailProb
+		}
+		for i := 0; i < s.Replicas; i++ {
+			up := rng.Float64() >= s.FailProb
+			if i == 0 && s.ClientColocated {
+				// The client rides replica 1's host: if that host is up the
+				// replica is reachable by definition.
+				if up {
+					acc = append(acc, 1)
+				}
+				clientUp = up
+				continue
+			}
+			if up {
+				acc = append(acc, ids.ReplicaID(i+1))
+			}
+		}
+		if !clientUp {
+			acc = acc[:0] // a down client reaches nothing
+		}
+	}
+	return acc
+}
+
+// ClosedFormOneCopyRead returns the analytic one-copy read availability
+// under independent host failures with an always-up client:
+// 1 - p^n.  Used to validate the Monte-Carlo machinery.
+func ClosedFormOneCopyRead(n int, p float64) float64 {
+	q := 1.0
+	for i := 0; i < n; i++ {
+		q *= p
+	}
+	return 1 - q
+}
+
+// ClosedFormMajority returns the analytic majority-quorum availability
+// under independent host failures with an always-up client.
+func ClosedFormMajority(n int, p float64) float64 {
+	need := n/2 + 1
+	sum := 0.0
+	for k := need; k <= n; k++ {
+		sum += binom(n, k) * pow(1-p, k) * pow(p, n-k)
+	}
+	return sum
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+func pow(x float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= x
+	}
+	return r
+}

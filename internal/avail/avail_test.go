@@ -1,0 +1,131 @@
+package avail
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	for _, n := range []int{1, 3, 5} {
+		for _, p := range []float64{0.05, 0.2, 0.5} {
+			s := Scenario{Replicas: n, Model: HostFailures, FailProb: p, Trials: 60000, Seed: 7}
+			res := Evaluate(s, []baseline.Policy{baseline.OneCopy{}, baseline.MajorityVoting{}})
+			// Client not colocated: multiply closed forms by client-up prob.
+			cUp := 1 - p
+			wantOne := ClosedFormOneCopyRead(n, p) * cUp
+			wantMaj := ClosedFormMajority(n, p) * cUp
+			if d := math.Abs(res[0].ReadAvail - wantOne); d > 0.01 {
+				t.Errorf("n=%d p=%.2f one-copy: got %.4f want %.4f", n, p, res[0].ReadAvail, wantOne)
+			}
+			if d := math.Abs(res[1].UpdateAvail - wantMaj); d > 0.01 {
+				t.Errorf("n=%d p=%.2f majority: got %.4f want %.4f", n, p, res[1].UpdateAvail, wantMaj)
+			}
+		}
+	}
+}
+
+func TestOneCopyDominatesInBothModels(t *testing.T) {
+	for _, model := range []Model{HostFailures, Partitions} {
+		for _, n := range []int{2, 3, 5, 7} {
+			s := Scenario{
+				Replicas: n, Model: model, FailProb: 0.2, Segments: 3,
+				Trials: 20000, Seed: int64(n),
+			}
+			res := Evaluate(s, baseline.StandardSet(n))
+			one := res[0]
+			for _, r := range res[1:] {
+				if r.ReadAvail > one.ReadAvail+1e-9 {
+					t.Errorf("%v n=%d: %s read %.4f > one-copy %.4f", model, n, r.Policy, r.ReadAvail, one.ReadAvail)
+				}
+				if r.UpdateAvail > one.UpdateAvail+1e-9 {
+					t.Errorf("%v n=%d: %s update %.4f > one-copy %.4f", model, n, r.Policy, r.UpdateAvail, one.UpdateAvail)
+				}
+			}
+			// Strictly greater update availability than every quorum-based
+			// baseline whenever failures actually occur.
+			for _, r := range res[3:] { // majority, weighted, quorum
+				if one.UpdateAvail <= r.UpdateAvail {
+					t.Errorf("%v n=%d: one-copy %.4f not strictly above %s %.4f",
+						model, n, one.UpdateAvail, r.Policy, r.UpdateAvail)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	s := Scenario{Replicas: 3, Model: Partitions, Segments: 2, Trials: 5000, Seed: 99}
+	a := Evaluate(s, baseline.StandardSet(3))
+	b := Evaluate(s, baseline.StandardSet(3))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestColocatedClientImprovesAvailability(t *testing.T) {
+	base := Scenario{Replicas: 3, Model: HostFailures, FailProb: 0.3, Trials: 40000, Seed: 3}
+	co := base
+	co.ClientColocated = true
+	resBase := Evaluate(base, []baseline.Policy{baseline.OneCopy{}})
+	resCo := Evaluate(co, []baseline.Policy{baseline.OneCopy{}})
+	// Colocated: client up implies replica 1 reachable, so availability is
+	// exactly the client-host up probability (0.7) — higher than the
+	// independent-client case times 1-p^n... compare directionally.
+	if resCo[0].ReadAvail <= resBase[0].ReadAvail-0.02 {
+		t.Fatalf("colocated %.4f vs independent %.4f", resCo[0].ReadAvail, resBase[0].ReadAvail)
+	}
+	if math.Abs(resCo[0].ReadAvail-0.7) > 0.02 {
+		t.Fatalf("colocated availability %.4f, want ~0.70", resCo[0].ReadAvail)
+	}
+}
+
+func TestPartitionModelBounds(t *testing.T) {
+	// With one segment there is no outage at all.
+	s := Scenario{Replicas: 4, Model: Partitions, Segments: 1, Trials: 2000, Seed: 1}
+	res := Evaluate(s, []baseline.Policy{baseline.OneCopy{}, baseline.MajorityVoting{}})
+	if res[0].ReadAvail != 1 || res[1].UpdateAvail != 1 {
+		t.Fatalf("single segment should be fully available: %+v", res)
+	}
+	// Defaulting Segments=0 must not panic and must behave like 2.
+	s2 := Scenario{Replicas: 4, Model: Partitions, Trials: 2000, Seed: 1}
+	if r := Evaluate(s2, []baseline.Policy{baseline.OneCopy{}}); r[0].ReadAvail <= 0 || r[0].ReadAvail >= 1 {
+		t.Fatalf("default segments: %+v", r)
+	}
+}
+
+func TestTrialsDefault(t *testing.T) {
+	s := Scenario{Replicas: 2, Model: HostFailures, FailProb: 0.5, Seed: 1}
+	res := Evaluate(s, []baseline.Policy{baseline.OneCopy{}})
+	if res[0].ReadAvail <= 0 || res[0].ReadAvail >= 1 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if HostFailures.String() != "host-failures" || Partitions.String() != "partitions" {
+		t.Fatal("model names")
+	}
+	if Model(9).String() == "" {
+		t.Fatal("unknown model string")
+	}
+}
+
+func TestClosedForms(t *testing.T) {
+	if got := ClosedFormOneCopyRead(1, 0.25); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("1-copy n=1: %v", got)
+	}
+	if got := ClosedFormMajority(3, 0.0); got != 1 {
+		t.Fatalf("majority no failures: %v", got)
+	}
+	if got := ClosedFormMajority(3, 1.0); got != 0 {
+		t.Fatalf("majority all failed: %v", got)
+	}
+	// n=3, p=0.5: majority needs >=2 up: C(3,2)*0.125 + C(3,3)*0.125 = 0.5.
+	if got := ClosedFormMajority(3, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("majority n=3 p=0.5: %v", got)
+	}
+}

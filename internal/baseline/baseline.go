@@ -1,0 +1,194 @@
+// Package baseline implements the replica-control disciplines Ficus
+// compares against (paper §1): primary copy (Alsberg & Day 1976), majority
+// voting (Thomas 1979), weighted voting (Gifford 1979), and quorum
+// consensus (Herlihy 1986) — plus Ficus's own one-copy availability.
+//
+// Each discipline is an executable predicate over the set of replicas a
+// client can currently reach, so the availability experiment (E4) can
+// replay identical failure/partition scenarios through every policy and
+// compare.  The paper's claim is strict dominance: "one-copy availability
+// provides strictly greater availability than primary copy, voting,
+// weighted voting, and quorum consensus."
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// Policy decides whether a read or an update may proceed given which
+// replicas the client can reach.  total is the full replica count.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// CanRead reports whether a read may be served.
+	CanRead(accessible []ids.ReplicaID, total int) bool
+	// CanUpdate reports whether an update may be performed.
+	CanUpdate(accessible []ids.ReplicaID, total int) bool
+}
+
+// OneCopy is the Ficus discipline: any accessible replica suffices for both
+// reads and updates; divergence is repaired later by reconciliation (§1).
+type OneCopy struct{}
+
+// Name implements Policy.
+func (OneCopy) Name() string { return "one-copy (Ficus)" }
+
+// CanRead implements Policy.
+func (OneCopy) CanRead(acc []ids.ReplicaID, _ int) bool { return len(acc) > 0 }
+
+// CanUpdate implements Policy.
+func (OneCopy) CanUpdate(acc []ids.ReplicaID, _ int) bool { return len(acc) > 0 }
+
+// PrimaryCopy requires the designated primary for updates.  ReadsAnywhere
+// selects the common relaxation that lets any replica serve (possibly
+// stale) reads; with it false, reads too must reach the primary.
+type PrimaryCopy struct {
+	Primary       ids.ReplicaID
+	ReadsAnywhere bool
+}
+
+// Name implements Policy.
+func (p PrimaryCopy) Name() string {
+	if p.ReadsAnywhere {
+		return "primary copy (reads anywhere)"
+	}
+	return "primary copy (strict)"
+}
+
+func (p PrimaryCopy) primaryIn(acc []ids.ReplicaID) bool {
+	for _, r := range acc {
+		if r == p.Primary {
+			return true
+		}
+	}
+	return false
+}
+
+// CanRead implements Policy.
+func (p PrimaryCopy) CanRead(acc []ids.ReplicaID, total int) bool {
+	if p.ReadsAnywhere {
+		return len(acc) > 0
+	}
+	return p.primaryIn(acc)
+}
+
+// CanUpdate implements Policy.
+func (p PrimaryCopy) CanUpdate(acc []ids.ReplicaID, _ int) bool { return p.primaryIn(acc) }
+
+// MajorityVoting requires a strict majority of all replicas for both reads
+// and updates (Thomas's solution to multi-copy concurrency control).
+type MajorityVoting struct{}
+
+// Name implements Policy.
+func (MajorityVoting) Name() string { return "majority voting" }
+
+// CanRead implements Policy.
+func (MajorityVoting) CanRead(acc []ids.ReplicaID, total int) bool {
+	return 2*len(acc) > total
+}
+
+// CanUpdate implements Policy.
+func (MajorityVoting) CanUpdate(acc []ids.ReplicaID, total int) bool {
+	return 2*len(acc) > total
+}
+
+// WeightedVoting assigns each replica a vote weight; reads need R votes and
+// writes W votes with R+W exceeding the total and W more than half of it
+// (Gifford's conditions, which the constructor enforces).
+type WeightedVoting struct {
+	Weights map[ids.ReplicaID]int
+	R, W    int
+	total   int
+}
+
+// NewWeightedVoting validates Gifford's quorum conditions.
+func NewWeightedVoting(weights map[ids.ReplicaID]int, r, w int) (*WeightedVoting, error) {
+	total := 0
+	for _, wt := range weights {
+		if wt < 0 {
+			return nil, fmt.Errorf("baseline: negative weight")
+		}
+		total += wt
+	}
+	if r+w <= total {
+		return nil, fmt.Errorf("baseline: r+w=%d must exceed total weight %d", r+w, total)
+	}
+	if 2*w <= total {
+		return nil, fmt.Errorf("baseline: w=%d must exceed half the total weight %d", w, total)
+	}
+	return &WeightedVoting{Weights: weights, R: r, W: w, total: total}, nil
+}
+
+// Name implements Policy.
+func (v *WeightedVoting) Name() string { return fmt.Sprintf("weighted voting (r=%d,w=%d)", v.R, v.W) }
+
+func (v *WeightedVoting) votes(acc []ids.ReplicaID) int {
+	n := 0
+	for _, r := range acc {
+		n += v.Weights[r]
+	}
+	return n
+}
+
+// CanRead implements Policy.
+func (v *WeightedVoting) CanRead(acc []ids.ReplicaID, _ int) bool { return v.votes(acc) >= v.R }
+
+// CanUpdate implements Policy.
+func (v *WeightedVoting) CanUpdate(acc []ids.ReplicaID, _ int) bool { return v.votes(acc) >= v.W }
+
+// QuorumConsensus requires fixed read/write quorum sizes with intersecting
+// quorums (Herlihy's construction specialized to replica counts).
+type QuorumConsensus struct {
+	ReadQ, WriteQ int
+}
+
+// NewQuorumConsensus validates the intersection conditions for n replicas.
+func NewQuorumConsensus(n, readQ, writeQ int) (*QuorumConsensus, error) {
+	if readQ+writeQ <= n {
+		return nil, fmt.Errorf("baseline: readQ+writeQ=%d must exceed n=%d", readQ+writeQ, n)
+	}
+	if 2*writeQ <= n {
+		return nil, fmt.Errorf("baseline: writeQ=%d must exceed n/2 (n=%d)", writeQ, n)
+	}
+	return &QuorumConsensus{ReadQ: readQ, WriteQ: writeQ}, nil
+}
+
+// Name implements Policy.
+func (q *QuorumConsensus) Name() string {
+	return fmt.Sprintf("quorum consensus (qr=%d,qw=%d)", q.ReadQ, q.WriteQ)
+}
+
+// CanRead implements Policy.
+func (q *QuorumConsensus) CanRead(acc []ids.ReplicaID, _ int) bool { return len(acc) >= q.ReadQ }
+
+// CanUpdate implements Policy.
+func (q *QuorumConsensus) CanUpdate(acc []ids.ReplicaID, _ int) bool { return len(acc) >= q.WriteQ }
+
+// StandardSet builds the comparison set the E4 experiment sweeps: every
+// baseline configured sensibly for n equally weighted replicas, plus
+// one-copy availability.
+func StandardSet(n int) []Policy {
+	weights := make(map[ids.ReplicaID]int, n)
+	for i := 1; i <= n; i++ {
+		weights[ids.ReplicaID(i)] = 1
+	}
+	maj := n/2 + 1
+	wv, err := NewWeightedVoting(weights, n-maj+1, maj) // r+w = n+1
+	if err != nil {
+		panic(err) // construction above always satisfies the conditions
+	}
+	qc, err := NewQuorumConsensus(n, 1, n) // read-one/write-all
+	if err != nil {
+		panic(err)
+	}
+	return []Policy{
+		OneCopy{},
+		PrimaryCopy{Primary: 1, ReadsAnywhere: true},
+		PrimaryCopy{Primary: 1},
+		MajorityVoting{},
+		wv,
+		qc,
+	}
+}

@@ -1,0 +1,223 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func accSet(members ...int) []ids.ReplicaID {
+	out := make([]ids.ReplicaID, len(members))
+	for i, m := range members {
+		out[i] = ids.ReplicaID(m)
+	}
+	return out
+}
+
+func TestOneCopy(t *testing.T) {
+	p := OneCopy{}
+	if p.CanRead(nil, 3) || p.CanUpdate(nil, 3) {
+		t.Fatal("empty set allowed")
+	}
+	if !p.CanRead(accSet(2), 3) || !p.CanUpdate(accSet(3), 3) {
+		t.Fatal("single replica refused")
+	}
+}
+
+func TestPrimaryCopy(t *testing.T) {
+	strict := PrimaryCopy{Primary: 1}
+	relaxed := PrimaryCopy{Primary: 1, ReadsAnywhere: true}
+	if strict.CanRead(accSet(2, 3), 3) {
+		t.Fatal("strict read without primary")
+	}
+	if !relaxed.CanRead(accSet(2, 3), 3) {
+		t.Fatal("relaxed read refused")
+	}
+	for _, p := range []Policy{strict, relaxed} {
+		if p.CanUpdate(accSet(2, 3), 3) {
+			t.Fatalf("%s: update without primary", p.Name())
+		}
+		if !p.CanUpdate(accSet(1), 3) {
+			t.Fatalf("%s: update with primary refused", p.Name())
+		}
+	}
+}
+
+func TestMajorityVoting(t *testing.T) {
+	p := MajorityVoting{}
+	cases := []struct {
+		acc   []ids.ReplicaID
+		total int
+		want  bool
+	}{
+		{accSet(1), 3, false},
+		{accSet(1, 2), 3, true},
+		{accSet(1, 2), 4, false},
+		{accSet(1, 2, 3), 4, true},
+		{accSet(1), 1, true},
+	}
+	for _, c := range cases {
+		if got := p.CanUpdate(c.acc, c.total); got != c.want {
+			t.Errorf("majority(%v of %d) = %v, want %v", c.acc, c.total, got, c.want)
+		}
+		if p.CanRead(c.acc, c.total) != p.CanUpdate(c.acc, c.total) {
+			t.Error("majority read/update should coincide")
+		}
+	}
+}
+
+func TestWeightedVotingValidation(t *testing.T) {
+	w := map[ids.ReplicaID]int{1: 2, 2: 1, 3: 1} // total 4
+	if _, err := NewWeightedVoting(w, 1, 2); err == nil {
+		t.Fatal("r+w <= total accepted")
+	}
+	if _, err := NewWeightedVoting(w, 3, 2); err == nil {
+		t.Fatal("w <= total/2 accepted")
+	}
+	if _, err := NewWeightedVoting(map[ids.ReplicaID]int{1: -1}, 1, 1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	v, err := NewWeightedVoting(w, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replica 1 alone has 2 votes: enough to read, not to write.
+	if !v.CanRead(accSet(1), 3) || v.CanUpdate(accSet(1), 3) {
+		t.Fatal("weighted votes miscounted")
+	}
+	if !v.CanUpdate(accSet(1, 2), 3) {
+		t.Fatal("3 votes should write")
+	}
+	if v.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestQuorumConsensusValidation(t *testing.T) {
+	if _, err := NewQuorumConsensus(3, 1, 2); err == nil {
+		t.Fatal("non-intersecting quorums accepted")
+	}
+	if _, err := NewQuorumConsensus(4, 3, 2); err == nil {
+		t.Fatal("write quorum <= n/2 accepted")
+	}
+	q, err := NewQuorumConsensus(3, 1, 3) // read-one/write-all
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.CanRead(accSet(2), 3) {
+		t.Fatal("read-one refused")
+	}
+	if q.CanUpdate(accSet(1, 2), 3) {
+		t.Fatal("write-all satisfied by 2 of 3")
+	}
+	if !q.CanUpdate(accSet(1, 2, 3), 3) {
+		t.Fatal("write-all refused full set")
+	}
+}
+
+// TestOneCopyDominatesPointwise is the paper's §1 claim in its strongest
+// form: for EVERY possible accessibility set, if any baseline allows an
+// operation then one-copy allows it too (and one-copy allows strictly more:
+// any single accessible replica).
+func TestOneCopyDominatesPointwise(t *testing.T) {
+	one := OneCopy{}
+	const n = 5
+	f := func(mask uint8) bool {
+		var acc []ids.ReplicaID
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				acc = append(acc, ids.ReplicaID(i+1))
+			}
+		}
+		for _, p := range StandardSet(n) {
+			if p.CanRead(acc, n) && !one.CanRead(acc, n) {
+				return false
+			}
+			if p.CanUpdate(acc, n) && !one.CanUpdate(acc, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Strictness: some accessible set allows one-copy updates but no
+	// quorum/primary baseline (any single non-primary replica).
+	acc := accSet(2)
+	if !one.CanUpdate(acc, n) {
+		t.Fatal("one-copy refused a single replica")
+	}
+	for _, p := range StandardSet(n)[1:] {
+		if p.CanUpdate(acc, n) {
+			t.Fatalf("%s allows update with one non-primary replica; dominance not strict", p.Name())
+		}
+	}
+}
+
+func TestQuorumIntersectionSafety(t *testing.T) {
+	// Any read quorum must intersect any write quorum for every policy
+	// built by StandardSet — the property that makes the baselines provide
+	// serializable behaviour (which is what they buy for their lower
+	// availability).
+	rng := rand.New(rand.NewSource(5))
+	for n := 1; n <= 7; n++ {
+		for _, p := range StandardSet(n) {
+			if _, ok := p.(OneCopy); ok {
+				continue // one-copy deliberately gives this up
+			}
+			for trial := 0; trial < 200; trial++ {
+				a := randSubset(rng, n)
+				b := randSubset(rng, n)
+				if p.CanRead(a, n) && p.CanUpdate(b, n) && !intersects(a, b) {
+					// Primary copy with reads-anywhere serves stale reads by
+					// design; exclude it from the strict check.
+					if pc, ok := p.(PrimaryCopy); ok && pc.ReadsAnywhere {
+						continue
+					}
+					t.Fatalf("n=%d %s: read quorum %v and write quorum %v disjoint", n, p.Name(), a, b)
+				}
+			}
+		}
+	}
+}
+
+func randSubset(rng *rand.Rand, n int) []ids.ReplicaID {
+	var out []ids.ReplicaID
+	for i := 1; i <= n; i++ {
+		if rng.Intn(2) == 0 {
+			out = append(out, ids.ReplicaID(i))
+		}
+	}
+	return out
+}
+
+func intersects(a, b []ids.ReplicaID) bool {
+	set := map[ids.ReplicaID]bool{}
+	for _, r := range a {
+		set[r] = true
+	}
+	for _, r := range b {
+		if set[r] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStandardSetShape(t *testing.T) {
+	ps := StandardSet(3)
+	if len(ps) != 6 {
+		t.Fatalf("%d policies", len(ps))
+	}
+	if _, ok := ps[0].(OneCopy); !ok {
+		t.Fatal("one-copy must come first")
+	}
+	for _, p := range ps {
+		if p.Name() == "" {
+			t.Fatal("unnamed policy")
+		}
+	}
+}

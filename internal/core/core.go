@@ -1,0 +1,583 @@
+// Package core assembles a Ficus host: the composition glue that stands in
+// for the SunOS kernel configuration of the paper.  A Host owns
+//
+//   - local volume replicas (each a UFS on its own simulated disk with a
+//     physical layer on top),
+//   - the NFS servers exporting each replica to remote logical layers
+//     (Fig. 2),
+//   - the repl server answering reconciliation pulls,
+//   - the datagram handler feeding update notifications into the local
+//     new-version caches (§3.2),
+//   - the volume location table and graft table used by autografting (§4),
+//   - the periodic daemons, run here as explicit steps (PropagateOnce,
+//     ReconcileOnce) so experiments are deterministic, with optional
+//     background goroutines for the daemon-style examples.
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/disk"
+	"repro/internal/ids"
+	"repro/internal/logical"
+	"repro/internal/nfs"
+	"repro/internal/physical"
+	"repro/internal/recon"
+	"repro/internal/repl"
+	"repro/internal/simnet"
+	"repro/internal/ufs"
+	"repro/internal/ufsvn"
+)
+
+// NotifyPort is the datagram port update notifications travel on.
+const NotifyPort = "ficus-notify"
+
+// Errors.
+var (
+	// ErrNoLocalReplica reports an operation that needs a locally stored
+	// volume replica.
+	ErrNoLocalReplica = errors.New("core: no local replica of volume")
+	// ErrUnknownVolume reports a volume with no known locations.
+	ErrUnknownVolume = errors.New("core: volume locations unknown")
+)
+
+// ReplicaLoc places one volume replica at a host.
+type ReplicaLoc struct {
+	ID   ids.ReplicaID
+	Addr simnet.Addr
+}
+
+// StorageOptions sizes a local volume replica's disk.
+type StorageOptions struct {
+	DiskBlocks int // default 16384
+	Inodes     int // default 4096
+	UFS        *ufs.Options
+}
+
+func (o *StorageOptions) withDefaults() StorageOptions {
+	v := StorageOptions{DiskBlocks: 16384, Inodes: 4096}
+	if o == nil {
+		return v
+	}
+	if o.DiskBlocks > 0 {
+		v.DiskBlocks = o.DiskBlocks
+	}
+	if o.Inodes > 0 {
+		v.Inodes = o.Inodes
+	}
+	v.UFS = o.UFS
+	return v
+}
+
+// localReplica bundles one locally stored volume replica with its storage.
+type localReplica struct {
+	layer *physical.Layer
+	dev   *disk.Device
+	fs    *ufs.FS
+}
+
+// graftEntry is one grafted (mounted) volume in the host's graft table.
+type graftEntry struct {
+	layer   *logical.Layer
+	lastUse uint64
+}
+
+// Host is one Ficus machine.
+type Host struct {
+	addr    simnet.Addr
+	net     *simnet.Network
+	snHost  *simnet.Host
+	replSrv *repl.Server
+	alloc   ids.AllocatorID
+
+	mu        sync.Mutex
+	replicas  map[ids.VolumeReplicaHandle]*localReplica
+	locations map[ids.VolumeHandle]map[ids.ReplicaID]simnet.Addr
+	grafts    map[ids.VolumeHandle]*graftEntry
+	nextVol   ids.VolumeID
+	clock     uint64 // graft-pruning idle clock
+
+	// NotificationsSeen counts datagrams accepted into new-version caches.
+	notificationsSeen uint64
+}
+
+// notifyMsg is the update-notification datagram payload (§2.5).
+type notifyMsg struct {
+	Vol    ids.VolumeHandle
+	Dir    []ids.FileID
+	File   ids.FileID
+	Origin ids.ReplicaID
+}
+
+// NewHost attaches a Ficus host to the network.  alloc is the host's
+// pre-installed unique allocator id (§4.2: "prior to system installation,
+// each Ficus host is issued a unique value as its allocator-id").
+func NewHost(net *simnet.Network, addr simnet.Addr, alloc ids.AllocatorID) *Host {
+	h := &Host{
+		addr:      addr,
+		net:       net,
+		snHost:    net.Host(addr),
+		alloc:     alloc,
+		replicas:  make(map[ids.VolumeReplicaHandle]*localReplica),
+		locations: make(map[ids.VolumeHandle]map[ids.ReplicaID]simnet.Addr),
+		grafts:    make(map[ids.VolumeHandle]*graftEntry),
+		nextVol:   1,
+	}
+	h.replSrv = repl.NewServer(h.snHost)
+	h.snHost.HandleDatagram(NotifyPort, h.onNotify)
+	return h
+}
+
+// Addr returns the host's network address.
+func (h *Host) Addr() simnet.Addr { return h.addr }
+
+// Allocator returns the host's allocator id.
+func (h *Host) Allocator() ids.AllocatorID { return h.alloc }
+
+// SimHost exposes the underlying network endpoint.
+func (h *Host) SimHost() *simnet.Host { return h.snHost }
+
+// nfsService names the NFS export of one volume replica.
+func nfsService(vr ids.VolumeReplicaHandle) string { return "nfs:" + vr.String() }
+
+// provision creates storage and a physical layer for a new volume replica
+// and exports it.
+func (h *Host) provision(vol ids.VolumeHandle, rid ids.ReplicaID, opts *StorageOptions) (*localReplica, error) {
+	o := opts.withDefaults()
+	dev := disk.New(o.DiskBlocks)
+	fs, err := ufs.Mkfs(dev, o.Inodes, o.UFS)
+	if err != nil {
+		return nil, err
+	}
+	layer, err := physical.Format(ufsvn.New(fs), vol, rid)
+	if err != nil {
+		return nil, err
+	}
+	lr := &localReplica{layer: layer, dev: dev, fs: fs}
+	h.replSrv.Register(layer)
+	nfs.ServeOn(h.snHost, nfsService(layer.VolumeReplica()), layer, layer)
+	return lr, nil
+}
+
+// CreateVolume allocates a fresh volume (named by this host's allocator id)
+// and stores its first replica here.  The caller learns the volume handle
+// and the replica id; further replicas are added with AddReplica.
+func (h *Host) CreateVolume(opts *StorageOptions) (ids.VolumeHandle, ids.ReplicaID, error) {
+	h.mu.Lock()
+	vol := ids.VolumeHandle{Allocator: h.alloc, Volume: h.nextVol}
+	h.nextVol++
+	h.mu.Unlock()
+
+	const rid = ids.ReplicaID(1)
+	lr, err := h.provision(vol, rid, opts)
+	if err != nil {
+		return ids.VolumeHandle{}, 0, err
+	}
+	h.mu.Lock()
+	h.replicas[lr.layer.VolumeReplica()] = lr
+	h.locations[vol] = map[ids.ReplicaID]simnet.Addr{rid: h.addr}
+	h.mu.Unlock()
+	return vol, rid, nil
+}
+
+// AddReplica creates a new replica of vol on this host with the given id
+// (the id is handed out by whoever can reach an existing replica — the
+// cluster harness in this reproduction) and seeds it by reconciling from a
+// peer replica at seedAddr.  Per §3.1, this requires some replica of the
+// volume to be accessible.
+func (h *Host) AddReplica(vol ids.VolumeHandle, rid ids.ReplicaID, seed ReplicaLoc, opts *StorageOptions) error {
+	lr, err := h.provision(vol, rid, opts)
+	if err != nil {
+		return err
+	}
+	peer := repl.NewClient(h.snHost, seed.Addr, ids.VolumeReplicaHandle{Vol: vol, Replica: seed.ID})
+	if err := peer.Ping(); err != nil {
+		h.replSrv.Unregister(lr.layer.VolumeReplica())
+		return fmt.Errorf("core: cannot seed replica: %w", err)
+	}
+	if _, err := recon.ReconcileVolume(lr.layer, peer); err != nil {
+		h.replSrv.Unregister(lr.layer.VolumeReplica())
+		return err
+	}
+	h.mu.Lock()
+	h.replicas[lr.layer.VolumeReplica()] = lr
+	if h.locations[vol] == nil {
+		h.locations[vol] = make(map[ids.ReplicaID]simnet.Addr)
+	}
+	h.locations[vol][rid] = h.addr
+	h.locations[vol][seed.ID] = seed.Addr
+	h.mu.Unlock()
+	return nil
+}
+
+// RemoveReplica withdraws a locally stored volume replica: its NFS export
+// and repl service stop answering and its storage is released.  Per §3.1 a
+// client "may change the location and quantity of file replicas whenever a
+// file replica is available" — the caller is responsible for ensuring the
+// volume retains at least one replica elsewhere (and for updating other
+// hosts' location tables).
+func (h *Host) RemoveReplica(vr ids.VolumeReplicaHandle) error {
+	h.mu.Lock()
+	lr, ok := h.replicas[vr]
+	if ok {
+		delete(h.replicas, vr)
+		if m := h.locations[vr.Vol]; m != nil {
+			delete(m, vr.Replica)
+		}
+	}
+	h.mu.Unlock()
+	if !ok {
+		return ErrNoLocalReplica
+	}
+	h.replSrv.Unregister(vr)
+	h.snHost.RemoveRPC(nfsService(vr))
+	_ = lr
+	return nil
+}
+
+// ForgetLocation removes a replica from this host's location table (used
+// after another host dropped its replica).
+func (h *Host) ForgetLocation(vol ids.VolumeHandle, rid ids.ReplicaID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if m := h.locations[vol]; m != nil {
+		delete(m, rid)
+	}
+}
+
+// SetLocations installs (or extends) the host's knowledge of where vol's
+// replicas live.  For the root volume this comes from configuration; for
+// grafted volumes autografting fills it from graft-point entries.
+func (h *Host) SetLocations(vol ids.VolumeHandle, locs []ReplicaLoc) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.locations[vol]
+	if m == nil {
+		m = make(map[ids.ReplicaID]simnet.Addr)
+		h.locations[vol] = m
+	}
+	for _, l := range locs {
+		m[l.ID] = l.Addr
+	}
+}
+
+// Locations returns the known replica placement of vol, sorted by id.
+func (h *Host) Locations(vol ids.VolumeHandle) []ReplicaLoc {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.locations[vol]
+	out := make([]ReplicaLoc, 0, len(m))
+	for rid, addr := range m {
+		out = append(out, ReplicaLoc{ID: rid, Addr: addr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LocalReplica returns the physical layer of a locally stored replica of
+// vol (any one), or nil.
+func (h *Host) LocalReplica(vol ids.VolumeHandle) *physical.Layer {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.localReplicaLocked(vol)
+}
+
+func (h *Host) localReplicaLocked(vol ids.VolumeHandle) *physical.Layer {
+	var best *physical.Layer
+	for vr, lr := range h.replicas {
+		if vr.Vol == vol && (best == nil || vr.Replica < best.Replica()) {
+			best = lr.layer
+		}
+	}
+	return best
+}
+
+// LocalReplicas lists all volume replicas stored on this host.
+func (h *Host) LocalReplicas() []*physical.Layer {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*physical.Layer, 0, len(h.replicas))
+	for _, lr := range h.replicas {
+		out = append(out, lr.layer)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].VolumeReplica().String() < out[j].VolumeReplica().String()
+	})
+	return out
+}
+
+// Device returns the disk backing a local replica (for I/O accounting).
+func (h *Host) Device(vr ids.VolumeReplicaHandle) *disk.Device {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if lr, ok := h.replicas[vr]; ok {
+		return lr.dev
+	}
+	return nil
+}
+
+// UFS returns the file system backing a local replica (for cache control).
+func (h *Host) UFS(vr ids.VolumeReplicaHandle) *ufs.FS {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if lr, ok := h.replicas[vr]; ok {
+		return lr.fs
+	}
+	return nil
+}
+
+// Mount builds the logical layer for vol on this host: co-resident replicas
+// are stacked directly, remote ones through NFS clients, exactly as in
+// paper Figures 1 and 2 ("the NFS layer is omitted when both layers are
+// co-resident").
+func (h *Host) Mount(vol ids.VolumeHandle, policy logical.Policy) (*logical.Layer, error) {
+	h.mu.Lock()
+	locs := h.locations[vol]
+	if len(locs) == 0 {
+		h.mu.Unlock()
+		return nil, ErrUnknownVolume
+	}
+	type cand struct {
+		rid   ids.ReplicaID
+		addr  simnet.Addr
+		local *localReplica
+	}
+	var cands []cand
+	for rid, addr := range locs {
+		c := cand{rid: rid, addr: addr}
+		if addr == h.addr {
+			c.local = h.replicas[ids.VolumeReplicaHandle{Vol: vol, Replica: rid}]
+		}
+		cands = append(cands, c)
+	}
+	h.mu.Unlock()
+	// Local replicas first, then by replica id: the FirstAvailable order.
+	sort.Slice(cands, func(i, j int) bool {
+		li, lj := cands[i].local != nil, cands[j].local != nil
+		if li != lj {
+			return li
+		}
+		return cands[i].rid < cands[j].rid
+	})
+	replicas := make([]logical.Replica, 0, len(cands))
+	for _, c := range cands {
+		if c.local != nil {
+			replicas = append(replicas, logical.Replica{ID: c.rid, FS: c.local.layer})
+			continue
+		}
+		vr := ids.VolumeReplicaHandle{Vol: vol, Replica: c.rid}
+		client := nfs.DialService(h.snHost, c.addr, nfsService(vr), nil)
+		replicas = append(replicas, logical.Replica{ID: c.rid, FS: client})
+	}
+	lay := logical.New(vol, replicas, logical.Options{
+		Policy: policy,
+		Notify: h.notifier(vol),
+		Graft:  h.graftHook(policy),
+	})
+	return lay, nil
+}
+
+// notifier multicasts update notifications to every other host storing a
+// replica of vol (§2.5).
+func (h *Host) notifier(vol ids.VolumeHandle) logical.Notifier {
+	return func(dir []ids.FileID, file ids.FileID, origin ids.ReplicaID) {
+		msg := notifyMsg{Vol: vol, Dir: dir, File: file, Origin: origin}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&msg); err != nil {
+			return
+		}
+		h.mu.Lock()
+		seen := map[simnet.Addr]bool{}
+		var dsts []simnet.Addr
+		for _, addr := range h.locations[vol] {
+			if !seen[addr] {
+				seen[addr] = true
+				dsts = append(dsts, addr)
+			}
+		}
+		h.mu.Unlock()
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+		h.snHost.Multicast(NotifyPort, buf.Bytes(), dsts)
+	}
+}
+
+// onNotify feeds an incoming update notification into the new-version cache
+// of every local replica of the volume, except the originating replica
+// itself (it already has the new version).
+func (h *Host) onNotify(from simnet.Addr, payload []byte) {
+	var msg notifyMsg
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for vr, lr := range h.replicas {
+		if vr.Vol == msg.Vol && vr.Replica != msg.Origin {
+			lr.layer.NoteNewVersion(msg.Dir, msg.File, msg.Origin)
+			h.notificationsSeen++
+		}
+	}
+}
+
+// NotificationsSeen counts accepted update notifications.
+func (h *Host) NotificationsSeen() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.notificationsSeen
+}
+
+// peerFinder builds the propagation daemon's pull-source lookup for one
+// local replica.
+func (h *Host) peerFinder(local *physical.Layer) recon.PeerFinder {
+	return func(origin ids.ReplicaID) recon.Peer {
+		h.mu.Lock()
+		addr, ok := h.locations[local.Volume()][origin]
+		var lr *localReplica
+		if ok && addr == h.addr {
+			lr = h.replicas[ids.VolumeReplicaHandle{Vol: local.Volume(), Replica: origin}]
+		}
+		h.mu.Unlock()
+		if !ok {
+			return nil
+		}
+		if lr != nil {
+			return lr.layer
+		}
+		c := repl.NewClient(h.snHost, addr, ids.VolumeReplicaHandle{Vol: local.Volume(), Replica: origin})
+		if c.Ping() != nil {
+			return nil
+		}
+		return c
+	}
+}
+
+// PropagateOnce runs one pass of the update propagation daemon over every
+// local replica, pulling announced versions from their origins (§3.2).
+func (h *Host) PropagateOnce() (recon.Stats, error) {
+	var total recon.Stats
+	for _, layer := range h.LocalReplicas() {
+		stats, err := recon.PropagateOnce(layer, h.peerFinder(layer))
+		total.Add(stats)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Fsck runs both consistency checkers — the UFS fsck and the Ficus
+// physical-layer check — over every local volume replica, returning all
+// problems found (empty means clean).
+func (h *Host) Fsck() ([]string, error) {
+	h.mu.Lock()
+	reps := make([]*localReplica, 0, len(h.replicas))
+	for _, lr := range h.replicas {
+		reps = append(reps, lr)
+	}
+	h.mu.Unlock()
+	var out []string
+	for _, lr := range reps {
+		vr := lr.layer.VolumeReplica()
+		ufsProbs, err := lr.fs.Check()
+		if err != nil {
+			return out, err
+		}
+		for _, p := range ufsProbs {
+			out = append(out, fmt.Sprintf("%s [ufs]: %s", vr, p))
+		}
+		ficusProbs, err := lr.layer.Check()
+		if err != nil {
+			return out, err
+		}
+		for _, p := range ficusProbs {
+			out = append(out, fmt.Sprintf("%s [ficus]: %s", vr, p))
+		}
+	}
+	return out, nil
+}
+
+// CollectGarbage runs tombstone garbage collection on every local replica
+// whose volume has ALL replicas currently reachable (the safety condition:
+// a tombstone may be dropped only once every replica has seen the delete).
+// Volumes with any unreachable replica are skipped.  Returns the number of
+// tombstones collected.
+func (h *Host) CollectGarbage() (int, error) {
+	total := 0
+	for _, layer := range h.LocalReplicas() {
+		h.mu.Lock()
+		locs := make(map[ids.ReplicaID]simnet.Addr, len(h.locations[layer.Volume()]))
+		for rid, addr := range h.locations[layer.Volume()] {
+			locs[rid] = addr
+		}
+		h.mu.Unlock()
+		peers := make([]recon.Peer, 0, len(locs))
+		complete := true
+		rids := make([]ids.ReplicaID, 0, len(locs))
+		for rid := range locs {
+			rids = append(rids, rid)
+		}
+		sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+		for _, rid := range rids {
+			if rid == layer.Replica() {
+				continue
+			}
+			peer := h.peerFinder(layer)(rid)
+			if peer == nil {
+				complete = false
+				break
+			}
+			peers = append(peers, peer)
+		}
+		if !complete {
+			continue
+		}
+		n, err := recon.TombstoneGC(layer, peers)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReconcileOnce runs the periodic reconciliation protocol: every local
+// replica pulls from every known remote replica of its volume that is
+// currently reachable (§3.3).
+func (h *Host) ReconcileOnce() (recon.Stats, error) {
+	var total recon.Stats
+	for _, layer := range h.LocalReplicas() {
+		h.mu.Lock()
+		locs := make(map[ids.ReplicaID]simnet.Addr, len(h.locations[layer.Volume()]))
+		for rid, addr := range h.locations[layer.Volume()] {
+			locs[rid] = addr
+		}
+		h.mu.Unlock()
+		rids := make([]ids.ReplicaID, 0, len(locs))
+		for rid := range locs {
+			rids = append(rids, rid)
+		}
+		sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+		for _, rid := range rids {
+			if rid == layer.Replica() {
+				continue
+			}
+			peer := h.peerFinder(layer)(rid)
+			if peer == nil {
+				continue
+			}
+			stats, err := recon.ReconcileVolume(layer, peer)
+			total.Add(stats)
+			if err != nil {
+				// A peer failing mid-reconciliation (e.g. partition cut in)
+				// is normal life; move on to the next peer.
+				continue
+			}
+		}
+	}
+	return total, nil
+}

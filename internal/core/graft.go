@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/repl"
+	"repro/internal/simnet"
+	"repro/internal/vnode"
+)
+
+// Volumes and autografting (paper §4).  A graft point is a special
+// directory naming a volume; its entries form the graft table — one row per
+// volume replica, mapping the replica id to the storage site's address.
+// Because the rows are ordinary directory entries, "implicit use of the
+// Ficus directory reconciliation mechanism" keeps the replicated graft
+// table consistent with no special code (§4.3, §7).
+//
+// When pathname translation hits a graft point, the logical layer calls the
+// host's graft hook: if the volume is already grafted the existing mount is
+// used; otherwise the graft table rows locate a reachable volume replica
+// and the volume is grafted on the fly — no global tables, no broadcast
+// (§4.4).  Idle grafts are "quietly pruned at a later time".
+
+// ErrNoReplicaReachable reports an autograft attempt that found no
+// accessible replica of the target volume.
+var ErrNoReplicaReachable = errors.New("core: autograft: no volume replica reachable")
+
+// graftEntryName renders a graft-table row name for a replica.
+func graftEntryName(rid ids.ReplicaID) string { return fmt.Sprintf("r%08x", uint32(rid)) }
+
+func parseGraftEntryName(name string) (ids.ReplicaID, bool) {
+	var v uint32
+	if _, err := fmt.Sscanf(name, "r%08x", &v); err != nil {
+		return 0, false
+	}
+	return ids.ReplicaID(v), true
+}
+
+// CreateGraftPoint creates, in the local replica of parentVol at slash path
+// dirPath, a graft point named name targeting volume target, and populates
+// its graft table with the given replica locations.  Like any directory
+// update it propagates to the other replicas of parentVol through normal
+// reconciliation.
+func (h *Host) CreateGraftPoint(parentVol ids.VolumeHandle, dirPath, name string, target ids.VolumeHandle, locs []ReplicaLoc) error {
+	layer := h.LocalReplica(parentVol)
+	if layer == nil {
+		return ErrNoLocalReplica
+	}
+	root, err := layer.Root()
+	if err != nil {
+		return err
+	}
+	dir, err := vnode.Walk(root, dirPath)
+	if err != nil {
+		return err
+	}
+	type grafter interface {
+		MkGraft(name string, target ids.VolumeHandle) (vnode.Vnode, error)
+	}
+	g, ok := dir.(grafter)
+	if !ok {
+		return vnode.ENOTSUP
+	}
+	gp, err := g.MkGraft(name, target)
+	if err != nil {
+		return err
+	}
+	// The graft point's fid path = its directory path: recover from handle.
+	_, gpDir, gpFid, err := physical.ParseHandle(gp.Handle())
+	if err != nil {
+		return err
+	}
+	gpPath := append(append([]ids.FileID(nil), gpDir...), gpFid)
+	for _, loc := range locs {
+		child, err := layer.NextID()
+		if err != nil {
+			return err
+		}
+		e := physical.Entry{
+			Name:  graftEntryName(loc.ID),
+			Child: child,
+			Kind:  physical.KFile,
+			Value: string(loc.Addr),
+		}
+		if err := layer.AppendEntry(gpPath, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EvictFile discards the local replica's copy of the file at slash path
+// within vol, keeping the name (selective storage, §4.1).  The host must
+// store a replica of vol, and the file must have another stored copy to
+// remain readable.
+func (h *Host) EvictFile(vol ids.VolumeHandle, path string) error {
+	layer := h.LocalReplica(vol)
+	if layer == nil {
+		return ErrNoLocalReplica
+	}
+	root, err := layer.Root()
+	if err != nil {
+		return err
+	}
+	v, err := vnode.Walk(root, path)
+	if err != nil {
+		return err
+	}
+	kind, dirPath, fid, err := physical.ParseHandle(v.Handle())
+	if err != nil {
+		return err
+	}
+	if kind.IsDir() {
+		return vnode.EISDIR
+	}
+	return layer.EvictFileStorage(dirPath, fid)
+}
+
+// graftHook returns the logical layer's graft interception callback.
+func (h *Host) graftHook(policy logical.Policy) logical.GraftHook {
+	return func(target ids.VolumeHandle, gp vnode.Vnode) (vnode.Vnode, error) {
+		// Already grafted?
+		h.mu.Lock()
+		if ge, ok := h.grafts[target]; ok {
+			ge.lastUse = h.clock
+			lay := ge.layer
+			h.mu.Unlock()
+			return lay.Root()
+		}
+		h.mu.Unlock()
+
+		// Read the graft table rows out of the graft point itself.
+		ents, err := gp.Readdir()
+		if err != nil {
+			return nil, err
+		}
+		var locs []ReplicaLoc
+		for _, e := range ents {
+			rid, ok := parseGraftEntryName(e.Name)
+			if !ok || e.Value == "" {
+				continue
+			}
+			locs = append(locs, ReplicaLoc{ID: rid, Addr: simnet.Addr(e.Value)})
+		}
+		if len(locs) == 0 {
+			return nil, ErrNoReplicaReachable
+		}
+		// Probe for a reachable replica before grafting.
+		reachable := false
+		for _, loc := range locs {
+			if loc.Addr == h.addr {
+				if h.LocalReplica(target) != nil {
+					reachable = true
+					break
+				}
+				continue
+			}
+			c := repl.NewClient(h.snHost, loc.Addr, ids.VolumeReplicaHandle{Vol: target, Replica: loc.ID})
+			if c.Ping() == nil {
+				reachable = true
+				break
+			}
+		}
+		if !reachable {
+			return nil, ErrNoReplicaReachable
+		}
+		h.SetLocations(target, locs)
+		lay, err := h.Mount(target, policy)
+		if err != nil {
+			return nil, err
+		}
+		h.mu.Lock()
+		// Another walker may have grafted concurrently; keep the first.
+		if ge, ok := h.grafts[target]; ok {
+			ge.lastUse = h.clock
+			lay = ge.layer
+		} else {
+			h.grafts[target] = &graftEntry{layer: lay, lastUse: h.clock}
+		}
+		h.mu.Unlock()
+		return lay.Root()
+	}
+}
+
+// GraftedVolumes lists currently grafted volumes.
+func (h *Host) GraftedVolumes() []ids.VolumeHandle {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]ids.VolumeHandle, 0, len(h.grafts))
+	for v := range h.grafts {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Tick advances the graft idle clock (a stand-in for wall-clock time in the
+// deterministic simulation).
+func (h *Host) Tick() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.clock++
+}
+
+// PruneGrafts removes graft-table mounts idle for more than maxIdle ticks,
+// unless a file in a local replica of the grafted volume is still open ("a
+// graft is implicitly maintained as long as a file within the grafted
+// volume replica is being used", §4.4).  Returns how many were pruned.
+func (h *Host) PruneGrafts(maxIdle uint64) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pruned := 0
+	for vol, ge := range h.grafts {
+		if h.clock-ge.lastUse <= maxIdle {
+			continue
+		}
+		busy := false
+		for vr, lr := range h.replicas {
+			if vr.Vol == vol && lr.layer.OpenFiles() > 0 {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			continue
+		}
+		delete(h.grafts, vol)
+		pruned++
+	}
+	return pruned
+}

@@ -1,0 +1,260 @@
+// Package cryptfs is a stackable encryption layer — one of the services the
+// paper expects to "slip in" to a vnode stack ("we expect to use it for
+// performance monitoring, user authentication and encryption", §1).  It
+// demonstrates the architectural claim: a layer that transforms file data
+// transparently, added above any existing stack without modifying it.
+//
+// Data is encrypted with AES-CTR keyed per file: the counter stream is
+// derived from the file's stable identity and the byte offset, so ReadAt
+// and WriteAt at arbitrary offsets encrypt/decrypt independently — exactly
+// the property a block-granular file system layer needs.  Names, directory
+// structure and attributes pass through in the clear (sizes are preserved);
+// only regular-file contents and symlink targets are protected.
+package cryptfs
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/vnode"
+)
+
+// VFS wraps a lower file system with transparent data encryption.
+type VFS struct {
+	lower vnode.VFS
+	key   [32]byte
+}
+
+// New derives a file-system key from secret and wraps lower.
+func New(lower vnode.VFS, secret []byte) *VFS {
+	return &VFS{lower: lower, key: sha256.Sum256(secret)}
+}
+
+// Root returns the wrapped root.
+func (c *VFS) Root() (vnode.Vnode, error) {
+	v, err := c.lower.Root()
+	if err != nil {
+		return nil, err
+	}
+	return &cnode{fs: c, lower: v}, nil
+}
+
+// Sync forwards to the lower layer.
+func (c *VFS) Sync() error { return c.lower.Sync() }
+
+// fileKey derives the per-file AES key from the layer key and the file's
+// stable identity, so renames do not re-key and distinct files never share
+// a counter stream.
+func (c *VFS) fileKey(fileID string) []byte {
+	h := sha256.New()
+	h.Write(c.key[:])
+	h.Write([]byte(fileID))
+	return h.Sum(nil)[:32]
+}
+
+// xorKeyStreamAt applies the CTR keystream for absolute byte offset off.
+func (c *VFS) xorKeyStreamAt(fileID string, p []byte, off int64) error {
+	if len(p) == 0 {
+		return nil
+	}
+	block, err := aes.NewCipher(c.fileKey(fileID))
+	if err != nil {
+		return err
+	}
+	bs := int64(block.BlockSize())
+	// Initial counter for the AES block containing off.
+	var iv [16]byte
+	ctr := uint64(off / bs)
+	for i := 0; i < 8; i++ {
+		iv[15-i] = byte(ctr >> (8 * i))
+	}
+	stream := cipher.NewCTR(block, iv[:])
+	// Discard the keystream prefix inside the first block.
+	if skip := off % bs; skip != 0 {
+		var sink [16]byte
+		stream.XORKeyStream(sink[:skip], sink[:skip])
+	}
+	stream.XORKeyStream(p, p)
+	return nil
+}
+
+type cnode struct {
+	fs    *VFS
+	lower vnode.Vnode
+	// id caches the file's stable identity used for key derivation.
+	id string
+}
+
+func (v *cnode) wrap(lower vnode.Vnode) vnode.Vnode { return &cnode{fs: v.fs, lower: lower} }
+
+func (v *cnode) fileID() (string, error) {
+	if v.id != "" {
+		return v.id, nil
+	}
+	a, err := v.lower.Getattr()
+	if err != nil {
+		return "", err
+	}
+	v.id = a.FileID
+	return v.id, nil
+}
+
+func (v *cnode) Handle() string { return v.lower.Handle() }
+
+func (v *cnode) Lookup(name string) (vnode.Vnode, error) {
+	c, err := v.lower.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c), nil
+}
+
+func (v *cnode) Create(name string, excl bool) (vnode.Vnode, error) {
+	c, err := v.lower.Create(name, excl)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c), nil
+}
+
+func (v *cnode) Mkdir(name string) (vnode.Vnode, error) {
+	c, err := v.lower.Mkdir(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c), nil
+}
+
+// symlinkKeyID is the stable key-derivation identity for symlink targets.
+// Symlinks are created in one operation, before any file identity exists,
+// so targets are encrypted under a layer-wide stream rather than a per-file
+// one (equal targets therefore produce equal ciphertexts — an accepted
+// leak for this demonstration layer).
+const symlinkKeyID = "\x00symlink-target\x00"
+
+// Symlink stores the target encrypted and hex-armored (so it remains a
+// valid string on any substrate); Readlink reverses it.
+func (v *cnode) Symlink(name, target string) error {
+	buf := []byte(target)
+	if err := v.fs.xorKeyStreamAt(symlinkKeyID, buf, 0); err != nil {
+		return err
+	}
+	return v.lower.Symlink(name, fmt.Sprintf("%x", buf))
+}
+
+func (v *cnode) Readlink() (string, error) {
+	armored, err := v.lower.Readlink()
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(armored)/2)
+	if _, err := fmt.Sscanf(armored, "%x", &buf); err != nil {
+		return "", vnode.EIO
+	}
+	if err := v.fs.xorKeyStreamAt(symlinkKeyID, buf, 0); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (v *cnode) Open(f vnode.OpenFlags) error  { return v.lower.Open(f) }
+func (v *cnode) Close(f vnode.OpenFlags) error { return v.lower.Close(f) }
+
+func (v *cnode) ReadAt(p []byte, off int64) (int, error) {
+	id, err := v.fileID()
+	if err != nil {
+		return 0, err
+	}
+	n, rerr := v.lower.ReadAt(p, off)
+	if n > 0 {
+		if err := v.fs.xorKeyStreamAt(id, p[:n], off); err != nil {
+			return 0, err
+		}
+	}
+	return n, rerr
+}
+
+func (v *cnode) WriteAt(p []byte, off int64) (int, error) {
+	id, err := v.fileID()
+	if err != nil {
+		return 0, err
+	}
+	enc := make([]byte, len(p))
+	copy(enc, p)
+	if err := v.fs.xorKeyStreamAt(id, enc, off); err != nil {
+		return 0, err
+	}
+	return v.lower.WriteAt(enc, off)
+}
+
+// Truncate shrinks directly; growth is performed by writing encrypted
+// zeros over the extension, because a substrate hole reads as plaintext
+// zeros — which would decrypt to keystream garbage.
+func (v *cnode) Truncate(size uint64) error {
+	a, err := v.lower.Getattr()
+	if err != nil {
+		return err
+	}
+	if size <= a.Size {
+		return v.lower.Truncate(size)
+	}
+	const chunk = 64 << 10
+	zeros := make([]byte, chunk)
+	for off := a.Size; off < size; {
+		n := size - off
+		if n > chunk {
+			n = chunk
+		}
+		if _, err := v.WriteAt(zeros[:n], int64(off)); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+func (v *cnode) Fsync() error { return v.lower.Fsync() }
+
+func (v *cnode) Getattr() (vnode.Attr, error) {
+	a, err := v.lower.Getattr()
+	if err == nil && v.id == "" {
+		v.id = a.FileID
+	}
+	return a, err
+}
+
+func (v *cnode) Setattr(sa vnode.SetAttr) error {
+	if sa.Size != nil {
+		if err := v.Truncate(*sa.Size); err != nil {
+			return err
+		}
+		sa.Size = nil
+		if sa.Mode == nil {
+			return nil
+		}
+	}
+	return v.lower.Setattr(sa)
+}
+func (v *cnode) Access(mode uint16) error { return v.lower.Access(mode) }
+func (v *cnode) Remove(name string) error { return v.lower.Remove(name) }
+func (v *cnode) Rmdir(name string) error  { return v.lower.Rmdir(name) }
+
+func (v *cnode) Link(name string, target vnode.Vnode) error {
+	t, ok := target.(*cnode)
+	if !ok || t.fs != v.fs {
+		return vnode.EXDEV
+	}
+	return v.lower.Link(name, t.lower)
+}
+
+func (v *cnode) Rename(oldName string, dstDir vnode.Vnode, newName string) error {
+	d, ok := dstDir.(*cnode)
+	if !ok || d.fs != v.fs {
+		return vnode.EXDEV
+	}
+	return v.lower.Rename(oldName, d.lower, newName)
+}
+
+func (v *cnode) Readdir() ([]vnode.Dirent, error) { return v.lower.Readdir() }

@@ -1,0 +1,186 @@
+// Package disk provides the simulated block device underneath the UFS
+// substrate.  The 1990 Ficus evaluation (paper §6) is expressed in disk
+// I/O counts — "four I/Os beyond the normal Unix overhead occur" on a cold
+// open — so the device keeps exact per-operation counters that the E3
+// experiment reads back.  It also supports fault injection: a device can be
+// made to fail after a chosen number of writes, which the physical layer's
+// shadow-file atomic commit tests use to prove that a crash before the
+// shadow substitution retains the original replica (paper §3.2 fn5).
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// BlockSize is the size of every device block in bytes.  4 KiB matches the
+// page-sized I/O granularity the paper's I/O accounting assumes.
+const BlockSize = 4096
+
+// Errors returned by devices.
+var (
+	// ErrOutOfRange reports a block number beyond the device.
+	ErrOutOfRange = errors.New("disk: block number out of range")
+	// ErrFaulted reports that the device has hit its injected fault and
+	// refuses all further I/O, emulating a crash.
+	ErrFaulted = errors.New("disk: injected fault: device crashed")
+	// ErrBadSize reports a buffer whose length is not exactly one block.
+	ErrBadSize = errors.New("disk: buffer must be exactly one block")
+)
+
+// Stats counts device operations.  Reads and writes are block-granularity:
+// one call, one block, one I/O.
+type Stats struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Total returns Reads + Writes.
+func (s Stats) Total() uint64 { return s.Reads + s.Writes }
+
+// Sub returns s - t componentwise; used to measure the I/O cost of a single
+// operation by snapshotting stats before and after.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes}
+}
+
+// String renders the counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("%dR+%dW", s.Reads, s.Writes)
+}
+
+// Device is a fixed-size array of blocks with I/O accounting and fault
+// injection.  All methods are safe for concurrent use.
+type Device struct {
+	mu     sync.Mutex
+	blocks [][]byte
+	stats  Stats
+
+	// Fault injection: when writesUntilFault reaches zero the device
+	// "crashes": every subsequent operation fails with ErrFaulted until
+	// ClearFault.  -1 means no fault armed.
+	writesUntilFault int64
+	faulted          bool
+}
+
+// New creates a device with n blocks, all zero.
+func New(n int) *Device {
+	d := &Device{blocks: make([][]byte, n), writesUntilFault: -1}
+	return d
+}
+
+// Blocks returns the device capacity in blocks.
+func (d *Device) Blocks() int { return len(d.blocks) }
+
+// Read copies block bn into p (which must be exactly BlockSize bytes).
+// A block never written reads as zeros.
+func (d *Device) Read(bn int, p []byte) error {
+	if len(p) != BlockSize {
+		return ErrBadSize
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.faulted {
+		return ErrFaulted
+	}
+	if bn < 0 || bn >= len(d.blocks) {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, bn, len(d.blocks))
+	}
+	d.stats.Reads++
+	if b := d.blocks[bn]; b != nil {
+		copy(p, b)
+	} else {
+		for i := range p {
+			p[i] = 0
+		}
+	}
+	return nil
+}
+
+// Write stores p (exactly BlockSize bytes) as block bn.  If a fault is
+// armed, the write that exhausts the budget is LOST (the crash happened
+// before it reached the platter) and the device enters the faulted state.
+func (d *Device) Write(bn int, p []byte) error {
+	if len(p) != BlockSize {
+		return ErrBadSize
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.faulted {
+		return ErrFaulted
+	}
+	if bn < 0 || bn >= len(d.blocks) {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, bn, len(d.blocks))
+	}
+	if d.writesUntilFault == 0 {
+		d.faulted = true
+		return ErrFaulted
+	}
+	if d.writesUntilFault > 0 {
+		d.writesUntilFault--
+	}
+	d.stats.Writes++
+	b := d.blocks[bn]
+	if b == nil {
+		b = make([]byte, BlockSize)
+		d.blocks[bn] = b
+	}
+	copy(b, p)
+	return nil
+}
+
+// Stats returns a snapshot of the operation counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters (the capacity and contents are untouched).
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// FaultAfterWrites arms a crash fault: the next n writes succeed, the one
+// after is lost and the device refuses all further I/O.  n < 0 disarms.
+func (d *Device) FaultAfterWrites(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writesUntilFault = int64(n)
+	d.faulted = false
+}
+
+// ClearFault returns a crashed device to service ("reboot"): contents
+// written before the crash survive, the lost write does not reappear.
+func (d *Device) ClearFault() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faulted = false
+	d.writesUntilFault = -1
+}
+
+// Faulted reports whether the device is currently refusing I/O.
+func (d *Device) Faulted() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faulted
+}
+
+// Snapshot returns a deep copy of the device contents, preserving stats at
+// zero and no fault.  Tests use it to diff on-disk state across a crash.
+func (d *Device) Snapshot() *Device {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := New(len(d.blocks))
+	for i, b := range d.blocks {
+		if b != nil {
+			nb := make([]byte, BlockSize)
+			copy(nb, b)
+			c.blocks[i] = nb
+		}
+	}
+	return c
+}

@@ -1,0 +1,212 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func blockOf(b byte) []byte {
+	p := make([]byte, BlockSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := New(8)
+	want := blockOf(0x5a)
+	if err := d.Write(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, BlockSize)
+	if err := d.Read(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read back different data")
+	}
+}
+
+func TestUnwrittenBlockReadsZero(t *testing.T) {
+	d := New(2)
+	p := blockOf(0xff) // pre-dirty the buffer
+	if err := d.Read(1, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, make([]byte, BlockSize)) {
+		t.Fatal("unwritten block not zero")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := New(4)
+	p := make([]byte, BlockSize)
+	for _, bn := range []int{-1, 4, 100} {
+		if err := d.Read(bn, p); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("Read(%d): err = %v, want ErrOutOfRange", bn, err)
+		}
+		if err := d.Write(bn, p); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("Write(%d): err = %v, want ErrOutOfRange", bn, err)
+		}
+	}
+}
+
+func TestBadBufferSize(t *testing.T) {
+	d := New(1)
+	for _, n := range []int{0, 1, BlockSize - 1, BlockSize + 1} {
+		if err := d.Read(0, make([]byte, n)); !errors.Is(err, ErrBadSize) {
+			t.Errorf("Read with %d-byte buffer: %v", n, err)
+		}
+		if err := d.Write(0, make([]byte, n)); !errors.Is(err, ErrBadSize) {
+			t.Errorf("Write with %d-byte buffer: %v", n, err)
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	d := New(4)
+	p := make([]byte, BlockSize)
+	for i := 0; i < 3; i++ {
+		if err := d.Write(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.Read(0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.Writes != 3 || s.Reads != 5 {
+		t.Fatalf("stats %+v, want 5R+3W", s)
+	}
+	if s.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", s.Total())
+	}
+	if got := s.Sub(Stats{Reads: 2, Writes: 1}); got.Reads != 3 || got.Writes != 2 {
+		t.Fatalf("Sub = %+v", got)
+	}
+	if s.String() != "5R+3W" {
+		t.Fatalf("String = %q", s.String())
+	}
+	d.ResetStats()
+	if d.Stats().Total() != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestFailedOpsNotCounted(t *testing.T) {
+	d := New(1)
+	p := make([]byte, BlockSize)
+	_ = d.Read(5, p)
+	_ = d.Write(5, p)
+	_ = d.Read(0, p[:1])
+	if d.Stats().Total() != 0 {
+		t.Fatalf("failed ops counted: %+v", d.Stats())
+	}
+}
+
+func TestFaultAfterWrites(t *testing.T) {
+	d := New(8)
+	d.FaultAfterWrites(2)
+	p := blockOf(1)
+	if err := d.Write(0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(1, p); err != nil {
+		t.Fatal(err)
+	}
+	// Third write is lost.
+	if err := d.Write(2, blockOf(9)); !errors.Is(err, ErrFaulted) {
+		t.Fatalf("third write: %v, want ErrFaulted", err)
+	}
+	// Device now refuses everything.
+	if err := d.Read(0, make([]byte, BlockSize)); !errors.Is(err, ErrFaulted) {
+		t.Fatalf("read after crash: %v, want ErrFaulted", err)
+	}
+	if !d.Faulted() {
+		t.Fatal("Faulted() = false after crash")
+	}
+	// Reboot: pre-crash data survives, lost write did not land.
+	d.ClearFault()
+	got := make([]byte, BlockSize)
+	if err := d.Read(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("pre-crash write lost after reboot")
+	}
+	if err := d.Read(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, BlockSize)) {
+		t.Fatal("lost write reappeared after reboot")
+	}
+}
+
+func TestFaultDisarm(t *testing.T) {
+	d := New(2)
+	d.FaultAfterWrites(0)
+	if err := d.Write(0, blockOf(1)); !errors.Is(err, ErrFaulted) {
+		t.Fatalf("write with zero budget: %v", err)
+	}
+	d.FaultAfterWrites(-1) // disarm also clears the crash
+	if err := d.Write(0, blockOf(1)); err != nil {
+		t.Fatalf("write after disarm: %v", err)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	d := New(4)
+	if err := d.Write(0, blockOf(7)); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Snapshot()
+	if err := d.Write(0, blockOf(8)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, BlockSize)
+	if err := s.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatal("snapshot shares storage with original")
+	}
+	if s.Blocks() != 4 {
+		t.Fatalf("snapshot capacity %d", s.Blocks())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := blockOf(byte(g))
+			q := make([]byte, BlockSize)
+			for i := 0; i < 200; i++ {
+				if err := d.Write(g, p); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := d.Read(g, q); err != nil {
+					t.Error(err)
+					return
+				}
+				if q[0] != byte(g) {
+					t.Errorf("goroutine %d read %d", g, q[0])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := d.Stats().Total(); got != 8*200*2 {
+		t.Fatalf("stats %d, want %d", got, 8*200*2)
+	}
+}

@@ -1,0 +1,224 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/ufs"
+	"repro/internal/ufsvn"
+	"repro/internal/vnode"
+)
+
+// E3 — paper §6: "The Ficus physical layer design and implementation
+// accrues additional I/O overhead when opening a file in a non-recently
+// accessed directory.  Four I/Os beyond the normal Unix overhead occur: an
+// inode and data page for the underlying Unix directory and an auxiliary
+// replication data file must be loaded from disk, as well as the Ficus
+// directory inode and data page.  (The last two correspond to normal Unix
+// overhead.)  Opening a recently accessed file or directory involves no
+// overhead not already incurred by the normal Unix file system."
+//
+// The experiment reproduces the scenario exactly: the path prefix is warm
+// (the root directory was just listed) but the target directory has not
+// been accessed recently (its blocks were evicted).  An "open" is what
+// open(2) does — resolve the final component, announce the open, and fetch
+// the attributes.
+
+// OpenIOResult is one row of the E3 table.
+type OpenIOResult struct {
+	CachesOn       bool
+	UFSColdReads   uint64 // plain UFS, cold target directory
+	FicusColdReads uint64 // Ficus stack, cold target directory
+	UFSWarmReads   uint64 // plain UFS, directory recently accessed
+	FicusWarmReads uint64 // Ficus stack, directory recently accessed
+}
+
+// ColdDelta is the headline number: extra I/Os Ficus pays on a cold-dir
+// open (paper: 4).
+func (r OpenIOResult) ColdDelta() int64 {
+	return int64(r.FicusColdReads) - int64(r.UFSColdReads)
+}
+
+// WarmDelta is the warm-path overhead (paper: 0).
+func (r OpenIOResult) WarmDelta() int64 {
+	return int64(r.FicusWarmReads) - int64(r.UFSWarmReads)
+}
+
+// spacerInodes allocates throwaway files so that the interesting inodes do
+// not share inode-table blocks (which would let one fetch warm another and
+// distort the count).
+func spacerInodes(root vnode.Vnode, n int, tag string) error {
+	for i := 0; i < n; i++ {
+		if _, err := root.Create(fmt.Sprintf("spacer-%s-%03d", tag, i), true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openPath performs one open(2)-shaped access: resolve dir/name, announce
+// the open, fetch attributes, close.
+func openPath(root vnode.Vnode, dir, name string) error {
+	d, err := root.Lookup(dir)
+	if err != nil {
+		return err
+	}
+	g, err := d.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := g.Open(vnode.OpenRead); err != nil {
+		return err
+	}
+	if _, err := g.Getattr(); err != nil {
+		return err
+	}
+	return g.Close(vnode.OpenRead)
+}
+
+// ufsOpenIOs measures the plain-UFS side.
+func ufsOpenIOs(cachesOn bool) (cold, warm uint64, err error) {
+	dev := disk.New(16384)
+	opts := &ufs.Options{DisableCaches: !cachesOn}
+	fs, err := ufs.Mkfs(dev, 4096, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	root, err := ufsvn.New(fs).Root()
+	if err != nil {
+		return 0, 0, err
+	}
+	// Sibling directory whose open warms the path prefix; spacer inodes
+	// keep the interesting inodes out of the warmed inode-table blocks.
+	sib, err := root.Mkdir("sibling")
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := sib.Create("file2", true); err != nil {
+		return 0, 0, err
+	}
+	if err := spacerInodes(root, ufs.InodesPerBlock, "a"); err != nil {
+		return 0, 0, err
+	}
+	dir, err := root.Mkdir("dir")
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := spacerInodes(root, ufs.InodesPerBlock, "b"); err != nil {
+		return 0, 0, err
+	}
+	f, err := dir.Create("file", true)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := vnode.WriteFile(f, []byte("payload")); err != nil {
+		return 0, 0, err
+	}
+
+	open := func() error { return openPath(root, "dir", "file") }
+
+	// "Non-recently accessed directory": flush everything, then open a
+	// file in the SIBLING directory, which warms the path prefix (and the
+	// sibling) but leaves the target directory cold.
+	fs.FlushCaches()
+	if err := openPath(root, "sibling", "file2"); err != nil {
+		return 0, 0, err
+	}
+	dev.ResetStats()
+	if err := open(); err != nil {
+		return 0, 0, err
+	}
+	cold = dev.Stats().Reads
+
+	// Recently accessed: repeat immediately.
+	dev.ResetStats()
+	if err := open(); err != nil {
+		return 0, 0, err
+	}
+	warm = dev.Stats().Reads
+	return cold, warm, nil
+}
+
+// ficusOpenIOs measures the Ficus stack (logical over a co-resident
+// physical layer; the disk I/O count is the same with NFS interposed, which
+// adds messages, not disk traffic).
+func ficusOpenIOs(cachesOn bool) (cold, warm uint64, err error) {
+	dev := disk.New(16384)
+	opts := &ufs.Options{DisableCaches: !cachesOn}
+	fs, err := ufs.Mkfs(dev, 4096, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	phys, err := physical.Format(ufsvn.New(fs), ExpVol, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	lay := logical.New(ExpVol, []logical.Replica{{ID: 1, FS: phys}}, logical.Options{})
+	root, err := lay.Root()
+	if err != nil {
+		return 0, 0, err
+	}
+	// Sibling directory whose open warms the path prefix; spacer inodes
+	// keep the interesting inodes out of the warmed inode-table blocks.
+	sib, err := root.Mkdir("sibling")
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := sib.Create("file2", true); err != nil {
+		return 0, 0, err
+	}
+	if err := spacerInodes(root, ufs.InodesPerBlock, "a"); err != nil {
+		return 0, 0, err
+	}
+	dir, err := root.Mkdir("dir")
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := spacerInodes(root, ufs.InodesPerBlock, "b"); err != nil {
+		return 0, 0, err
+	}
+	f, err := dir.Create("file", true)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := vnode.WriteFile(f, []byte("payload")); err != nil {
+		return 0, 0, err
+	}
+
+	open := func() error { return openPath(root, "dir", "file") }
+
+	// "Non-recently accessed directory": flush everything, then open a
+	// file in the SIBLING directory, which warms the path prefix (and the
+	// sibling) but leaves the target directory cold.
+	fs.FlushCaches()
+	if err := openPath(root, "sibling", "file2"); err != nil {
+		return 0, 0, err
+	}
+	dev.ResetStats()
+	if err := open(); err != nil {
+		return 0, 0, err
+	}
+	cold = dev.Stats().Reads
+
+	dev.ResetStats()
+	if err := open(); err != nil {
+		return 0, 0, err
+	}
+	warm = dev.Stats().Reads
+	return cold, warm, nil
+}
+
+// OpenIOCounts runs the E3 measurement.
+func OpenIOCounts(cachesOn bool) (OpenIOResult, error) {
+	r := OpenIOResult{CachesOn: cachesOn}
+	var err error
+	if r.UFSColdReads, r.UFSWarmReads, err = ufsOpenIOs(cachesOn); err != nil {
+		return r, err
+	}
+	if r.FicusColdReads, r.FicusWarmReads, err = ficusOpenIOs(cachesOn); err != nil {
+		return r, err
+	}
+	return r, nil
+}

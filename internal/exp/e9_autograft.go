@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/logical"
+	"repro/internal/simnet"
+	"repro/internal/vnode"
+)
+
+// E9 — paper §4.4: autografting locates and grafts volume replicas on
+// demand during pathname translation, with no global tables or broadcast;
+// idle grafts are quietly pruned and transparently re-established.
+//
+// The harness measures the RPC cost of the first walk through a graft point
+// (locating + grafting), of warm walks (graft table hit), and of the first
+// walk after pruning (regraft).
+
+// AutograftResult is the E9 table.
+type AutograftResult struct {
+	FirstWalkRPCs    uint64 // includes probe + graft + file access
+	WarmWalkRPCs     uint64 // graft table hit
+	RegraftRPCs      uint64 // after pruning
+	GraftsAfterPrune int
+}
+
+// RunAutograft builds a two-host world (root volume on host a, project
+// volume on host b), grafts, and measures.
+func RunAutograft() (AutograftResult, error) {
+	var res AutograftResult
+	net := simnet.New(1)
+	ha := core.NewHost(net, "a", 1)
+	hb := core.NewHost(net, "b", 2)
+
+	rootVol, rrid, err := ha.CreateVolume(nil)
+	if err != nil {
+		return res, err
+	}
+	ha.SetLocations(rootVol, []core.ReplicaLoc{{ID: rrid, Addr: "a"}})
+	projVol, prid, err := hb.CreateVolume(nil)
+	if err != nil {
+		return res, err
+	}
+	hb.SetLocations(projVol, []core.ReplicaLoc{{ID: prid, Addr: "b"}})
+
+	// Content inside the project volume.
+	projLay, err := hb.Mount(projVol, logical.FirstAvailable)
+	if err != nil {
+		return res, err
+	}
+	projRoot, err := projLay.Root()
+	if err != nil {
+		return res, err
+	}
+	f, err := projRoot.Create("data", true)
+	if err != nil {
+		return res, err
+	}
+	if err := vnode.WriteFile(f, []byte("grafted bytes")); err != nil {
+		return res, err
+	}
+
+	// Graft point in the root volume.
+	if err := ha.CreateGraftPoint(rootVol, "/", "proj", projVol,
+		[]core.ReplicaLoc{{ID: prid, Addr: "b"}}); err != nil {
+		return res, err
+	}
+
+	lay, err := ha.Mount(rootVol, logical.FirstAvailable)
+	if err != nil {
+		return res, err
+	}
+	root, err := lay.Root()
+	if err != nil {
+		return res, err
+	}
+	walk := func() error {
+		v, err := vnode.Walk(root, "proj/data")
+		if err != nil {
+			return err
+		}
+		_, err = vnode.ReadFile(v)
+		return err
+	}
+
+	net.ResetStats()
+	if err := walk(); err != nil {
+		return res, err
+	}
+	res.FirstWalkRPCs = net.Stats().RPCs
+
+	net.ResetStats()
+	if err := walk(); err != nil {
+		return res, err
+	}
+	res.WarmWalkRPCs = net.Stats().RPCs
+
+	// Idle out the graft, prune, and regraft on the next walk.
+	for i := 0; i < 10; i++ {
+		ha.Tick()
+	}
+	ha.PruneGrafts(3)
+	res.GraftsAfterPrune = len(ha.GraftedVolumes())
+	net.ResetStats()
+	if err := walk(); err != nil {
+		return res, err
+	}
+	res.RegraftRPCs = net.Stats().RPCs
+	return res, nil
+}

@@ -1,0 +1,499 @@
+package logical
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/vnode"
+)
+
+// lvnode is the logical layer's vnode: one logical file identified by its
+// rendered name path from the volume root.  Every operation selects a
+// physical replica under the active policy and forwards through the vnode
+// stack; retriable failures (replica unreachable, file not stored there,
+// stale handle) fall over to the next replica — one-copy availability.
+type lvnode struct {
+	l    *Layer
+	path []string
+}
+
+// candidate is one resolved replica copy of this logical file.
+type candidate struct {
+	rep Replica
+	vn  vnode.Vnode
+}
+
+// resolveOn walks this vnode's path on one replica, consulting the layer's
+// resolution cache first (the vnodes the 1990 kernel would simply have kept
+// referenced).
+func (v *lvnode) resolveOn(r Replica) (vnode.Vnode, error) {
+	if vn, ok := v.l.cacheGet(v.key(), r.ID); ok {
+		return vn, nil
+	}
+	root, err := r.FS.Root()
+	if err != nil {
+		return nil, err
+	}
+	cur := root
+	for _, name := range v.path {
+		next, err := cur.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	v.l.cachePut(v.key(), r.ID, cur)
+	return cur, nil
+}
+
+// candidates resolves this file on every accessible replica, ordered by the
+// selection policy: MostRecent polls each copy's update count (exposed as
+// Mtime, the version vector total) and puts the newest first — "the default
+// policy of one-copy availability is to select the most recent copy
+// available" (§2.5) — while FirstAvailable keeps configuration order.  The
+// returned error summarizes why replicas were skipped; a definite answer
+// (e.g. ENOENT from a reachable replica) outranks EUNAVAIL.
+func (v *lvnode) candidates() ([]candidate, error) {
+	var out []candidate
+	bestErr := error(vnode.EUNAVAIL)
+	for _, r := range v.l.replicas {
+		vn, err := v.resolveOn(r)
+		if err != nil {
+			if vnode.AsErrno(err) != vnode.EUNAVAIL && vnode.AsErrno(bestErr) == vnode.EUNAVAIL {
+				bestErr = err
+			}
+			continue
+		}
+		out = append(out, candidate{rep: r, vn: vn})
+	}
+	if len(out) == 0 {
+		return nil, bestErr
+	}
+	if v.l.policy == MostRecent && len(out) > 1 {
+		best := 0
+		var bestM uint64
+		for i, c := range out {
+			a, err := c.vn.Getattr()
+			if err != nil {
+				continue
+			}
+			if i == 0 || a.Mtime > bestM {
+				best, bestM = i, a.Mtime
+			}
+		}
+		out[0], out[best] = out[best], out[0]
+	}
+	return out, nil
+}
+
+// retryFresh drops the (possibly stale) cached resolution of v on replica
+// rep, resolves afresh, and hands the new vnode back for one retry.
+func (v *lvnode) retryFresh(rep Replica) (vnode.Vnode, bool) {
+	v.l.cacheDrop(v.key(), rep.ID)
+	vn, err := v.resolveOn(rep)
+	if err != nil {
+		return nil, false
+	}
+	return vn, true
+}
+
+// readOp runs fn against candidates until one succeeds; retriable failures
+// (unreachable, not stored here, stale) are retried once on a fresh
+// resolution — the cached vnode may simply be stale — and then fall over
+// to the next replica.
+func (v *lvnode) readOp(fn func(c candidate) error) error {
+	v.l.tick()
+	cands, err := v.candidates()
+	if err != nil {
+		return err
+	}
+	var last error
+	for _, c := range cands {
+		err := fn(c)
+		if err == nil || !retriable(err) {
+			return err
+		}
+		last = err
+		if vn, ok := v.retryFresh(c.rep); ok {
+			err = fn(candidate{rep: c.rep, vn: vn})
+			if err == nil || !retriable(err) {
+				return err
+			}
+			last = err
+		}
+	}
+	return last
+}
+
+// writeOp runs fn against candidates until one succeeds, then notifies the
+// other replicas that the chosen copy advanced (§3.2: updates are applied
+// to a single replica and announced).
+func (v *lvnode) writeOp(fn func(c candidate) (notifyHandle string, err error)) error {
+	v.l.tick()
+	cands, err := v.candidates()
+	if err != nil {
+		return err
+	}
+	var last error
+	for _, c := range cands {
+		h, err := fn(c)
+		if err == nil {
+			v.l.sendNotify(h, c.rep.ID)
+			return nil
+		}
+		if !retriable(err) {
+			return err
+		}
+		last = err
+		if vn, ok := v.retryFresh(c.rep); ok {
+			h, err = fn(candidate{rep: c.rep, vn: vn})
+			if err == nil {
+				v.l.sendNotify(h, c.rep.ID)
+				return nil
+			}
+			if !retriable(err) {
+				return err
+			}
+			last = err
+		}
+	}
+	return last
+}
+
+func (v *lvnode) key() string { return strings.Join(v.path, "/") }
+
+// childKey is the cache key of a child of this directory.
+func (v *lvnode) childKey(name string) string {
+	if len(v.path) == 0 {
+		return name
+	}
+	return v.key() + "/" + name
+}
+
+func (v *lvnode) child(name string) *lvnode {
+	p := make([]string, 0, len(v.path)+1)
+	p = append(p, v.path...)
+	return &lvnode{l: v.l, path: append(p, name)}
+}
+
+// Handle identifies the logical file by volume and path.
+func (v *lvnode) Handle() string {
+	return "ficus:" + v.l.vol.String() + ":/" + strings.Join(v.path, "/")
+}
+
+func checkLogicalName(name string) error {
+	if len(name) > MaxName {
+		return vnode.ENAMETOOLONG
+	}
+	return nil
+}
+
+func (v *lvnode) Lookup(name string) (vnode.Vnode, error) {
+	if err := checkLogicalName(name); err != nil {
+		return nil, err
+	}
+	child := v.child(name)
+	cands, err := child.candidates()
+	if err != nil {
+		return nil, err
+	}
+	// Graft interception (§4.4): if the child is a graft point and a hook
+	// is installed, return the grafted volume's root instead.
+	if v.l.graft != nil {
+		a, aerr := cands[0].vn.Getattr()
+		if aerr == nil && a.GraftVol != "" {
+			target, perr := ids.ParseVolumeHandle(a.GraftVol)
+			if perr == nil {
+				return v.l.graft(target, cands[0].vn)
+			}
+		}
+	}
+	return child, nil
+}
+
+func (v *lvnode) Create(name string, excl bool) (vnode.Vnode, error) {
+	if err := checkLogicalName(name); err != nil {
+		return nil, err
+	}
+	lk := v.l.fileLock(v.key())
+	lk.Lock()
+	defer lk.Unlock()
+	err := v.writeOp(func(c candidate) (string, error) {
+		if _, err := c.vn.Create(name, excl); err != nil {
+			return "", err
+		}
+		return c.vn.Handle(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.child(name), nil
+}
+
+func (v *lvnode) Mkdir(name string) (vnode.Vnode, error) {
+	if err := checkLogicalName(name); err != nil {
+		return nil, err
+	}
+	lk := v.l.fileLock(v.key())
+	lk.Lock()
+	defer lk.Unlock()
+	err := v.writeOp(func(c candidate) (string, error) {
+		if _, err := c.vn.Mkdir(name); err != nil {
+			return "", err
+		}
+		return c.vn.Handle(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.child(name), nil
+}
+
+func (v *lvnode) Symlink(name, target string) error {
+	if err := checkLogicalName(name); err != nil {
+		return err
+	}
+	lk := v.l.fileLock(v.key())
+	lk.Lock()
+	defer lk.Unlock()
+	return v.writeOp(func(c candidate) (string, error) {
+		if err := c.vn.Symlink(name, target); err != nil {
+			return "", err
+		}
+		return c.vn.Handle(), nil
+	})
+}
+
+func (v *lvnode) Readlink() (string, error) {
+	var out string
+	err := v.readOp(func(c candidate) error {
+		s, err := c.vn.Readlink()
+		if err != nil {
+			return err
+		}
+		out = s
+		return nil
+	})
+	return out, err
+}
+
+// Open ships the open through Lookup on the parent directory so it reaches
+// the physical layer even across NFS (§2.3).  The volume root needs no
+// bookkeeping.
+func (v *lvnode) Open(flags vnode.OpenFlags) error {
+	return v.shipOpenClose(true, flags)
+}
+
+// Close likewise.
+func (v *lvnode) Close(flags vnode.OpenFlags) error {
+	return v.shipOpenClose(false, flags)
+}
+
+func (v *lvnode) shipOpenClose(open bool, flags vnode.OpenFlags) error {
+	if len(v.path) == 0 {
+		return nil
+	}
+	parent := &lvnode{l: v.l, path: v.path[:len(v.path)-1]}
+	name := v.path[len(v.path)-1]
+	enc := encodeOpen(open, flags, v.l.vol, name)
+	return parent.readOp(func(c candidate) error {
+		_, err := c.vn.Lookup(enc)
+		return err
+	})
+}
+
+func (v *lvnode) ReadAt(p []byte, off int64) (int, error) {
+	var n int
+	var eof bool
+	err := v.readOp(func(c candidate) error {
+		m, err := c.vn.ReadAt(p, off)
+		if err == io.EOF {
+			n, eof = m, true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		n, eof = m, false
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if eof {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (v *lvnode) WriteAt(p []byte, off int64) (int, error) {
+	lk := v.l.fileLock(v.key())
+	lk.Lock()
+	defer lk.Unlock()
+	var n int
+	err := v.writeOp(func(c candidate) (string, error) {
+		m, err := c.vn.WriteAt(p, off)
+		if err != nil {
+			return "", err
+		}
+		n = m
+		return c.vn.Handle(), nil
+	})
+	return n, err
+}
+
+func (v *lvnode) Truncate(size uint64) error {
+	lk := v.l.fileLock(v.key())
+	lk.Lock()
+	defer lk.Unlock()
+	return v.writeOp(func(c candidate) (string, error) {
+		if err := c.vn.Truncate(size); err != nil {
+			return "", err
+		}
+		return c.vn.Handle(), nil
+	})
+}
+
+func (v *lvnode) Fsync() error {
+	return v.readOp(func(c candidate) error { return c.vn.Fsync() })
+}
+
+func (v *lvnode) Getattr() (vnode.Attr, error) {
+	var out vnode.Attr
+	err := v.readOp(func(c candidate) error {
+		a, err := c.vn.Getattr()
+		if err != nil {
+			return err
+		}
+		out = a
+		return nil
+	})
+	return out, err
+}
+
+func (v *lvnode) Setattr(sa vnode.SetAttr) error {
+	lk := v.l.fileLock(v.key())
+	lk.Lock()
+	defer lk.Unlock()
+	return v.writeOp(func(c candidate) (string, error) {
+		if err := c.vn.Setattr(sa); err != nil {
+			return "", err
+		}
+		return c.vn.Handle(), nil
+	})
+}
+
+func (v *lvnode) Access(mode uint16) error {
+	return v.readOp(func(c candidate) error { return c.vn.Access(mode) })
+}
+
+func (v *lvnode) Remove(name string) error {
+	if err := checkLogicalName(name); err != nil {
+		return err
+	}
+	lk := v.l.fileLock(v.key())
+	lk.Lock()
+	defer lk.Unlock()
+	err := v.writeOp(func(c candidate) (string, error) {
+		if err := c.vn.Remove(name); err != nil {
+			return "", err
+		}
+		return c.vn.Handle(), nil
+	})
+	if err == nil {
+		v.l.cacheDropSubtree(v.childKey(name))
+	}
+	return err
+}
+
+func (v *lvnode) Rmdir(name string) error {
+	if err := checkLogicalName(name); err != nil {
+		return err
+	}
+	lk := v.l.fileLock(v.key())
+	lk.Lock()
+	defer lk.Unlock()
+	err := v.writeOp(func(c candidate) (string, error) {
+		if err := c.vn.Rmdir(name); err != nil {
+			return "", err
+		}
+		return c.vn.Handle(), nil
+	})
+	if err == nil {
+		v.l.cacheDropSubtree(v.childKey(name))
+	}
+	return err
+}
+
+func (v *lvnode) Link(name string, target vnode.Vnode) error {
+	if err := checkLogicalName(name); err != nil {
+		return err
+	}
+	t, ok := target.(*lvnode)
+	if !ok || t.l != v.l {
+		return vnode.EXDEV
+	}
+	lk := v.l.fileLock(v.key())
+	lk.Lock()
+	defer lk.Unlock()
+	return v.writeOp(func(c candidate) (string, error) {
+		tv, err := t.resolveOn(c.rep)
+		if err != nil {
+			return "", err
+		}
+		if err := c.vn.Link(name, tv); err != nil {
+			return "", err
+		}
+		return c.vn.Handle(), nil
+	})
+}
+
+func (v *lvnode) Rename(oldName string, dstDir vnode.Vnode, newName string) error {
+	if err := checkLogicalName(oldName); err != nil {
+		return err
+	}
+	if err := checkLogicalName(newName); err != nil {
+		return err
+	}
+	d, ok := dstDir.(*lvnode)
+	if !ok || d.l != v.l {
+		return vnode.EXDEV
+	}
+	lk := v.l.fileLock(v.key())
+	lk.Lock()
+	defer lk.Unlock()
+	err := v.writeOp(func(c candidate) (string, error) {
+		// Both directories must be reached on the same replica: rename is
+		// a single-replica update like any other.
+		dv, err := d.resolveOn(c.rep)
+		if err != nil {
+			return "", err
+		}
+		if err := c.vn.Rename(oldName, dv, newName); err != nil {
+			return "", err
+		}
+		// Announce the destination directory too: a cross-directory rename
+		// updates both.
+		v.l.sendNotify(dv.Handle(), c.rep.ID)
+		return c.vn.Handle(), nil
+	})
+	if err == nil {
+		v.l.cacheDropSubtree(v.childKey(oldName))
+		v.l.cacheDropSubtree(d.childKey(newName))
+	}
+	return err
+}
+
+func (v *lvnode) Readdir() ([]vnode.Dirent, error) {
+	var out []vnode.Dirent
+	err := v.readOp(func(c candidate) error {
+		ents, err := c.vn.Readdir()
+		if err != nil {
+			return err
+		}
+		out = ents
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,57 @@
+package nfs
+
+import "testing"
+
+func BenchmarkLookupOverWire(b *testing.B) {
+	root, err := newRig(b, &ClientOptions{DisableCaches: true}).client.Root()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := root.Create("f", true); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := root.Lookup("f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupCachedClientSide(b *testing.B) {
+	root, err := newRig(b, &ClientOptions{AttrTTLOps: 1 << 40}).client.Root()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := root.Create("f", true); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := root.Lookup("f"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := root.Lookup("f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWrite4KOverWire(b *testing.B) {
+	root, err := newRig(b, &ClientOptions{DisableCaches: true}).client.Root()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := root.Create("f", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package nfs
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ids"
+	"repro/internal/physical"
+	"repro/internal/simnet"
+	"repro/internal/ufs"
+	"repro/internal/ufsvn"
+	"repro/internal/vnode"
+	"repro/internal/vntest"
+)
+
+// TestConformanceOverPhysicalLayer runs the shared vnode suite through the
+// exact remote stack of paper Figure 2: NFS client -> NFS server -> Ficus
+// physical layer -> UFS.  The physical layer's fid-path handles are
+// re-resolved statelessly per request, so this also exercises
+// physical.Resolve under every operation.
+func TestConformanceOverPhysicalLayer(t *testing.T) {
+	vol := ids.VolumeHandle{Allocator: 5, Volume: 5}
+	vntest.Run(t, vntest.Config{SupportsHardLinks: true, MaxName: physical.SubstrateMaxName - 1},
+		func(t *testing.T) vnode.VFS {
+			fs, err := ufs.Mkfs(disk.New(8192), 2048, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			phys, err := physical.Format(ufsvn.New(fs), vol, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net := simnet.New(1)
+			Serve(net.Host("srv"), phys, phys)
+			return Dial(net.Host("cli"), "srv", &ClientOptions{DisableCaches: true})
+		})
+}

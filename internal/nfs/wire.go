@@ -1,0 +1,131 @@
+// Package nfs implements the stateless NFS-like transport layer that Ficus
+// uses between remotely located layers (paper §2.2): "NFS is essentially a
+// host-to-host transport service with a vnode interface."
+//
+// The reproduction deliberately preserves the quirks the paper fights:
+//
+//   - The protocol has no open or close operations.  A client's Open/Close
+//     return success without forwarding anything, so "a layer intending to
+//     receive an open will never get it if NFS is in between."  The Ficus
+//     logical layer works around this by encoding open/close requests as
+//     specially formatted names passed through Lookup (§2.3); the NFS layer
+//     forwards those strings "without interpretation or interference."
+//
+//   - The client caches attributes and name lookups.  The caches are on by
+//     default and can serve stale results, reproducing the "unexpected
+//     behavior for layers which are not able to adopt the assumptions
+//     inherent in the NFS cache management policies."
+//
+//   - The server is stateless: every request carries a file handle that is
+//     re-resolved per operation, and handles can go stale (ESTALE).
+package nfs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/vnode"
+)
+
+// Op is a wire operation code.  Note the absence of open and close.
+type Op int
+
+// Wire operations.
+const (
+	OpRoot Op = iota
+	OpLookup
+	OpCreate
+	OpMkdir
+	OpSymlink
+	OpReadlink
+	OpRead
+	OpWrite
+	OpTruncate
+	OpFsync
+	OpGetattr
+	OpSetattr
+	OpAccess
+	OpRemove
+	OpRmdir
+	OpLink
+	OpRename
+	OpReaddir
+)
+
+var opNames = map[Op]string{
+	OpRoot: "root", OpLookup: "lookup", OpCreate: "create", OpMkdir: "mkdir",
+	OpSymlink: "symlink", OpReadlink: "readlink", OpRead: "read",
+	OpWrite: "write", OpTruncate: "truncate", OpFsync: "fsync",
+	OpGetattr: "getattr", OpSetattr: "setattr", OpAccess: "access",
+	OpRemove: "remove", OpRmdir: "rmdir", OpLink: "link",
+	OpRename: "rename", OpReaddir: "readdir",
+}
+
+// String names the op.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Request is one wire request.  Fields are used according to Op.
+type Request struct {
+	Op      Op
+	Handle  string // subject vnode
+	Name    string // Lookup/Create/Mkdir/Symlink/Remove/Rmdir/Link/Rename source name
+	Name2   string // Rename destination name
+	Handle2 string // Link target / Rename destination directory
+	Target  string // Symlink target
+	Excl    bool   // Create exclusivity
+	Off     int64  // Read/Write offset
+	Len     int    // Read length
+	Data    []byte // Write payload
+	Size    uint64 // Truncate size
+	HasMode bool   // Setattr
+	Mode    uint16 // Setattr/Access
+	HasSize bool   // Setattr
+}
+
+// Response is one wire response.
+type Response struct {
+	Errno  int // vnode.Errno code; 0 means success
+	Handle string
+	Attr   vnode.Attr
+	N      int
+	EOF    bool
+	Data   []byte
+	Str    string
+	Ents   []vnode.Dirent
+}
+
+// Service is the simnet RPC service name NFS traffic travels on.
+const Service = "nfs"
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(p []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(p)).Decode(v)
+}
+
+// errnoOf converts a response code back into a Go error (nil on success).
+func errnoOf(code int) error {
+	if code == 0 {
+		return nil
+	}
+	return vnode.ErrnoFromCode(code)
+}
+
+// respErr builds an error response from any error, collapsing it to the
+// canonical vocabulary first.  io.EOF on reads is carried in Response.EOF,
+// not here.
+func respErr(err error) Response {
+	return Response{Errno: vnode.AsErrno(err).Code()}
+}

@@ -1,0 +1,148 @@
+package physical
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/vnode"
+	"repro/internal/vv"
+)
+
+// Kind is a Ficus file kind, stored in the auxiliary attribute file.
+type Kind byte
+
+// Ficus file kinds.  KGraft is the special directory type marking a graft
+// point (paper §4.3): "a graft point is a special file type used to
+// indicate that a (specific) volume is to be transparently grafted at this
+// point in the name space."
+const (
+	KFile Kind = iota + 1
+	KDir
+	KSymlink
+	KGraft
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KFile:
+		return "file"
+	case KDir:
+		return "dir"
+	case KSymlink:
+		return "symlink"
+	case KGraft:
+		return "graft"
+	default:
+		return fmt.Sprintf("Kind(%d)", byte(k))
+	}
+}
+
+// IsDir reports whether the kind is stored as a directory container
+// (directories and graft points).
+func (k Kind) IsDir() bool { return k == KDir || k == KGraft }
+
+// Aux is the auxiliary replication attribute block of one file replica —
+// the data the paper would put in the inode "if we were to modify the UFS"
+// (§2.6).
+type Aux struct {
+	Type  Kind
+	Nlink uint32
+	VV    vv.Vector
+	// GraftVol is set for graft points: the volume grafted here.  The
+	// grafted volume is "fixed when the graft point is created" (§4.3).
+	GraftVol ids.VolumeHandle
+}
+
+// encode: kind(1) nlink(4) graftAlloc(4) graftVol(4) vv(...)
+func (a *Aux) encode() []byte {
+	out := make([]byte, 0, 16+12*len(a.VV))
+	out = append(out, byte(a.Type))
+	out = binary.BigEndian.AppendUint32(out, a.Nlink)
+	out = binary.BigEndian.AppendUint32(out, uint32(a.GraftVol.Allocator))
+	out = binary.BigEndian.AppendUint32(out, uint32(a.GraftVol.Volume))
+	return a.VV.AppendBinary(out)
+}
+
+func decodeAux(p []byte) (Aux, error) {
+	if len(p) < 13 {
+		return Aux{}, fmt.Errorf("physical: short aux file: %d bytes", len(p))
+	}
+	a := Aux{
+		Type:  Kind(p[0]),
+		Nlink: binary.BigEndian.Uint32(p[1:]),
+		GraftVol: ids.VolumeHandle{
+			Allocator: ids.AllocatorID(binary.BigEndian.Uint32(p[5:])),
+			Volume:    ids.VolumeID(binary.BigEndian.Uint32(p[9:])),
+		},
+	}
+	vec, _, err := vv.DecodeFrom(p[13:])
+	if err != nil {
+		return Aux{}, err
+	}
+	// Bytes past the vector are padding: aux files are written as one
+	// fixed-size block so an update is a single atomic block overwrite.
+	a.VV = vec
+	return a, nil
+}
+
+// auxFileSize is the fixed on-disk size of an auxiliary attribute file.
+// Keeping the size constant makes every aux update a single-block in-place
+// overwrite — atomic on the device — so crash recovery never sees a torn
+// attribute block.  It bounds the version vector at ~40 replica entries,
+// far beyond the experiments' replication factors.
+const auxFileSize = 512
+
+func auxBytes(a *Aux) ([]byte, error) {
+	enc := a.encode()
+	if len(enc) > auxFileSize {
+		return nil, fmt.Errorf("physical: aux block overflow: %d bytes (version vector too wide)", len(enc))
+	}
+	out := make([]byte, auxFileSize)
+	copy(out, enc)
+	return out, nil
+}
+
+// writeAuxFile stores a into the named UFS file in container dir as one
+// atomic fixed-size overwrite.
+func writeAuxFile(dir vnode.Vnode, name string, a *Aux) error {
+	f, err := dir.Create(name, false)
+	if err != nil {
+		return err
+	}
+	data, err := auxBytes(a)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(data, 0)
+	return err
+}
+
+// writeAuxVnode overwrites an already-resolved aux file vnode.
+func writeAuxVnode(f vnode.Vnode, a *Aux) error {
+	data, err := auxBytes(a)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(data, 0)
+	return err
+}
+
+// readAuxFile loads the named aux file from container dir.  An empty aux
+// file (a crash between creation and the first overwrite) reads as "not
+// stored": the file replica never finished materializing.
+func readAuxFile(dir vnode.Vnode, name string) (Aux, error) {
+	f, err := dir.Lookup(name)
+	if err != nil {
+		return Aux{}, err
+	}
+	data, err := vnode.ReadFile(f)
+	if err != nil {
+		return Aux{}, err
+	}
+	if len(data) == 0 {
+		return Aux{}, ErrNotStored
+	}
+	return decodeAux(data)
+}

@@ -1,0 +1,122 @@
+package physical
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ids"
+	"repro/internal/ufs"
+	"repro/internal/ufsvn"
+	"repro/internal/vnode"
+)
+
+func benchLayer(b *testing.B) *Layer {
+	b.Helper()
+	fs, err := ufs.Mkfs(disk.New(65536), 16384, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := Format(ufsvn.New(fs), testVol, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+func BenchmarkCreate(b *testing.B) {
+	l := benchLayer(b)
+	root, _ := l.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := root.Create(fmt.Sprintf("f%08d", i), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteWithVVBump(b *testing.B) {
+	l := benchLayer(b)
+	root, _ := l.Root()
+	f, _ := root.Create("f", true)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(buf, int64(i%16)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupWarm(b *testing.B) {
+	l := benchLayer(b)
+	root, _ := l.Root()
+	for i := 0; i < 50; i++ {
+		if _, err := root.Create(fmt.Sprintf("f%03d", i), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := root.Lookup("f025"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyDirMerge(b *testing.B) {
+	// Merge a 64-entry remote state into a replica that already has it:
+	// the steady-state (quiescent) reconciliation cost per directory.
+	l := benchLayer(b)
+	root, _ := l.Root()
+	for i := 0; i < 64; i++ {
+		if _, err := root.Create(fmt.Sprintf("f%03d", i), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ds, err := l.DirEntries(RootPath())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.ApplyDirMerge(RootPath(), ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInstallFileVersion(b *testing.B) {
+	l := benchLayer(b)
+	root, _ := l.Root()
+	f, _ := root.Create("f", true)
+	fid := mustFidB(b, f)
+	data := make([]byte, 8*4096)
+	st, err := l.FileInfo(RootPath(), fid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vvv := st.Aux.VV.Clone()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vvv.Bump(2)
+		if err := l.InstallFileVersion(RootPath(), fid, KFile, data, vvv, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustFidB(b *testing.B, v vnode.Vnode) ids.FileID {
+	b.Helper()
+	a, err := v.Getattr()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fid, err := ids.ParseFileID(a.FileID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fid
+}

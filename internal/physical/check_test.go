@@ -1,0 +1,200 @@
+package physical
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/vnode"
+	"repro/internal/vv"
+)
+
+func checkFicusClean(t *testing.T, l *Layer) {
+	t.Helper()
+	probs, err := l.Check()
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(probs) != 0 {
+		t.Fatalf("ficus fsck found problems:\n%s", strings.Join(probs, "\n"))
+	}
+}
+
+func TestCheckCleanAfterNormalOps(t *testing.T) {
+	l, _ := newLayer(t, 1)
+	root, _ := l.Root()
+	d, _ := root.Mkdir("d")
+	f, _ := d.Create("f", true)
+	vnode.WriteFile(f, []byte("x"))
+	root.Symlink("ln", "target")
+	g, _ := root.Create("g", true)
+	root.Link("g2", g)
+	d.Rename("f", d, "f2")
+	root.Remove("ln")
+	checkFicusClean(t, l)
+}
+
+func TestCheckCleanAfterMergeAndInstall(t *testing.T) {
+	a, b := newMergePair(t)
+	ra, _ := a.Root()
+	rb, _ := b.Root()
+	ra.Create("x", true)
+	rb.Create("x", true) // name conflict
+	rb.Create("y", true)
+	mergeBoth(t, a, b)
+	checkFicusClean(t, a)
+	checkFicusClean(t, b)
+}
+
+func TestCheckDetectsOrphanedStorage(t *testing.T) {
+	l, _ := newLayer(t, 1)
+	// Plant an orphan data+aux pair directly in the root container.
+	cont, err := l.containerOf(RootPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost := ids.FileID{Issuer: 9, Seq: 99}
+	df, _ := cont.Create(prefixData+ghost.String(), true)
+	vnode.WriteFile(df, []byte("orphan"))
+	aux := Aux{Type: KFile, Nlink: 1, VV: vv.New()}
+	writeAuxFile(cont, prefixAux+ghost.String(), &aux)
+	probs, err := l.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) < 2 {
+		t.Fatalf("orphans not flagged: %v", probs)
+	}
+}
+
+func TestCheckDetectsMissingAux(t *testing.T) {
+	l, _ := newLayer(t, 1)
+	root, _ := l.Root()
+	f, _ := root.Create("f", true)
+	fid := mustFid(t, f)
+	cont, _ := l.containerOf(RootPath())
+	if err := cont.Remove(prefixAux + fid.String()); err != nil {
+		t.Fatal(err)
+	}
+	probs, err := l.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range probs {
+		if strings.Contains(p, "partial storage") || strings.Contains(p, "no auxiliary") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing aux not flagged: %v", probs)
+	}
+}
+
+func TestCheckDetectsShadowLitter(t *testing.T) {
+	l, _ := newLayer(t, 1)
+	root, _ := l.Root()
+	f, _ := root.Create("f", true)
+	fid := mustFid(t, f)
+	cont, _ := l.containerOf(RootPath())
+	sf, _ := cont.Create(prefixData+fid.String()+suffixShadow, true)
+	vnode.WriteFile(sf, []byte("litter"))
+	probs, err := l.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range probs {
+		if strings.Contains(p, "shadow") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shadow litter not flagged: %v", probs)
+	}
+	// ... and Recover consumes it, returning the replica to clean.
+	if err := l.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	checkFicusClean(t, l)
+}
+
+func TestCheckDetectsBadNlink(t *testing.T) {
+	l, _ := newLayer(t, 1)
+	root, _ := l.Root()
+	f, _ := root.Create("f", true)
+	fid := mustFid(t, f)
+	cont, _ := l.containerOf(RootPath())
+	aux, err := readAuxFileFollow(l.root, cont, prefixAux+fid.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux.Nlink = 7
+	af, _ := cont.Lookup(prefixAux + fid.String())
+	if err := writeAuxVnode(af, &aux); err != nil {
+		t.Fatal(err)
+	}
+	probs, _ := l.Check()
+	found := false
+	for _, p := range probs {
+		if strings.Contains(p, "nlink") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bad nlink not flagged: %v", probs)
+	}
+}
+
+func TestDropTombstones(t *testing.T) {
+	l, _ := newLayer(t, 1)
+	root, _ := l.Root()
+	root.Create("f", true)
+	sub, _ := root.Mkdir("sub")
+	if _, err := sub.Create("inner", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Remove("inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Rmdir("sub"); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := l.DirEntries(RootPath())
+	var eids []ids.FileID
+	for _, e := range ds.Entries {
+		if e.Deleted {
+			eids = append(eids, e.EID)
+		}
+	}
+	if len(eids) != 2 {
+		t.Fatalf("tombstones %d, want 2", len(eids))
+	}
+	n, err := l.DropTombstones(RootPath(), eids)
+	if err != nil || n != 2 {
+		t.Fatalf("dropped %d, %v", n, err)
+	}
+	ds, _ = l.DirEntries(RootPath())
+	if len(ds.Entries) != 0 {
+		t.Fatalf("entries remain: %+v", ds.Entries)
+	}
+	// The tombstoned directory's container (with its own tombstones) was
+	// reclaimed too.
+	checkFicusClean(t, l)
+	// Dropping again is a no-op.
+	n, err = l.DropTombstones(RootPath(), eids)
+	if err != nil || n != 0 {
+		t.Fatalf("second drop: %d, %v", n, err)
+	}
+	// Live entries are never dropped even if their EID is passed.
+	g, _ := root.Create("live", true)
+	_ = g
+	ds, _ = l.DirEntries(RootPath())
+	n, err = l.DropTombstones(RootPath(), []ids.FileID{ds.Entries[0].EID})
+	if err != nil || n != 0 {
+		t.Fatalf("dropped a live entry: %d, %v", n, err)
+	}
+}

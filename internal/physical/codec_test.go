@@ -1,0 +1,110 @@
+package physical
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+// TestEntryCodecRoundTripProperty: any entry list survives the directory
+// contents file encoding.
+func TestEntryCodecRoundTripProperty(t *testing.T) {
+	f := func(seeds []uint32, names [][]byte, deleted []bool) bool {
+		n := len(seeds)
+		if len(names) < n {
+			n = len(names)
+		}
+		if len(deleted) < n {
+			n = len(deleted)
+		}
+		in := make([]Entry, 0, n)
+		for i := 0; i < n; i++ {
+			name := names[i]
+			if len(name) > 200 {
+				name = name[:200]
+			}
+			in = append(in, Entry{
+				EID:     ids.FileID{Issuer: ids.ReplicaID(seeds[i]), Seq: uint64(seeds[i]) * 3},
+				Name:    string(name),
+				Child:   ids.FileID{Issuer: ids.ReplicaID(seeds[i] >> 3), Seq: uint64(i)},
+				Kind:    Kind(1 + seeds[i]%4),
+				Deleted: deleted[i],
+				Value:   string(name),
+			})
+		}
+		enc := encodeEntries(in)
+		out, err := decodeEntries(enc)
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntryCodecRejectsCorruption(t *testing.T) {
+	in := []Entry{{EID: ids.FileID{Issuer: 1, Seq: 2}, Name: "x", Child: ids.FileID{Issuer: 1, Seq: 3}, Kind: KFile}}
+	enc := encodeEntries(in)
+	for _, cut := range []int{1, 4, 10, len(enc) - 1} {
+		if _, err := decodeEntries(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := decodeEntries(append(enc, 0xff)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := decodeEntries(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+// TestAuxCodecRoundTripProperty: any aux block survives the fixed-size
+// encoding.
+func TestAuxCodecRoundTripProperty(t *testing.T) {
+	f := func(kind byte, nlink uint32, counts []uint16, ga, gv uint32) bool {
+		a := Aux{
+			Type:  Kind(1 + kind%4),
+			Nlink: nlink,
+			VV:    make(map[ids.ReplicaID]uint64),
+			GraftVol: ids.VolumeHandle{
+				Allocator: ids.AllocatorID(ga),
+				Volume:    ids.VolumeID(gv),
+			},
+		}
+		for i, c := range counts {
+			if i >= 8 {
+				break
+			}
+			if c > 0 {
+				a.VV[ids.ReplicaID(i)] = uint64(c)
+			}
+		}
+		buf, err := auxBytes(&a)
+		if err != nil {
+			return false
+		}
+		if len(buf) != auxFileSize {
+			return false
+		}
+		out, err := decodeAux(buf)
+		if err != nil {
+			return false
+		}
+		return out.Type == a.Type && out.Nlink == a.Nlink &&
+			out.GraftVol == a.GraftVol && out.VV.Equal(a.VV)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

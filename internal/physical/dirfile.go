@@ -1,0 +1,189 @@
+package physical
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/vnode"
+)
+
+// Entry is one Ficus directory entry.  Beyond the Unix <name, file> pair it
+// carries the metadata the directory reconciliation algorithm needs (paper
+// §3.3): a globally unique entry id identifying this particular insertion
+// (a re-insertion after delete gets a fresh id), and a deletion mark kept
+// as a tombstone so deletes propagate instead of resurrecting.
+type Entry struct {
+	// EID uniquely identifies this insertion; issued by the inserting
+	// replica's sequencer, so concurrent insertions never collide.
+	EID ids.FileID
+	// Name is the client-visible name (before conflict disambiguation).
+	Name string
+	// Child is the file the entry names.
+	Child ids.FileID
+	// Kind is the child's Ficus type.
+	Kind Kind
+	// Deleted marks a tombstone.
+	Deleted bool
+	// Value is an auxiliary payload used when a directory doubles as a
+	// replicated table: graft points store a volume replica's storage-site
+	// address here (paper §4.3 "conveniently maintained as directory
+	// entries").
+	Value string
+}
+
+// Live reports whether the entry is visible (not a tombstone).
+func (e Entry) Live() bool { return !e.Deleted }
+
+// encodeEntries serializes a directory contents file.
+func encodeEntries(entries []Entry) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(entries)))
+	for _, e := range entries {
+		out = binary.BigEndian.AppendUint32(out, uint32(e.EID.Issuer))
+		out = binary.BigEndian.AppendUint64(out, e.EID.Seq)
+		out = binary.BigEndian.AppendUint32(out, uint32(e.Child.Issuer))
+		out = binary.BigEndian.AppendUint64(out, e.Child.Seq)
+		out = append(out, byte(e.Kind))
+		if e.Deleted {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = binary.BigEndian.AppendUint16(out, uint16(len(e.Name)))
+		out = append(out, e.Name...)
+		out = binary.BigEndian.AppendUint16(out, uint16(len(e.Value)))
+		out = append(out, e.Value...)
+	}
+	return out
+}
+
+func decodeEntries(p []byte) ([]Entry, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("physical: short directory file: %d bytes", len(p))
+	}
+	n := int(binary.BigEndian.Uint32(p))
+	off := 4
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(p)-off < 30 {
+			return nil, fmt.Errorf("physical: truncated directory entry %d", i)
+		}
+		var e Entry
+		e.EID.Issuer = ids.ReplicaID(binary.BigEndian.Uint32(p[off:]))
+		e.EID.Seq = binary.BigEndian.Uint64(p[off+4:])
+		e.Child.Issuer = ids.ReplicaID(binary.BigEndian.Uint32(p[off+12:]))
+		e.Child.Seq = binary.BigEndian.Uint64(p[off+16:])
+		e.Kind = Kind(p[off+24])
+		e.Deleted = p[off+25] != 0
+		nameLen := int(binary.BigEndian.Uint16(p[off+26:]))
+		off += 28
+		if len(p)-off < nameLen+2 {
+			return nil, fmt.Errorf("physical: truncated name in entry %d", i)
+		}
+		e.Name = string(p[off : off+nameLen])
+		off += nameLen
+		valLen := int(binary.BigEndian.Uint16(p[off:]))
+		off += 2
+		if len(p)-off < valLen {
+			return nil, fmt.Errorf("physical: truncated value in entry %d", i)
+		}
+		e.Value = string(p[off : off+valLen])
+		off += valLen
+		out = append(out, e)
+	}
+	if off != len(p) {
+		return nil, fmt.Errorf("physical: %d trailing bytes in directory file", len(p)-off)
+	}
+	return out, nil
+}
+
+// readDirFileLocked loads the entries of the directory whose container is
+// cont.
+func (l *Layer) readDirFileLocked(cont vnode.Vnode) ([]Entry, error) {
+	f, err := cont.Lookup(dirFileName)
+	if err != nil {
+		return nil, err
+	}
+	data, err := vnode.ReadFile(f)
+	if err != nil {
+		return nil, err
+	}
+	return decodeEntries(data)
+}
+
+// writeDirFileLocked replaces the directory contents file.
+func (l *Layer) writeDirFileLocked(cont vnode.Vnode, entries []Entry) error {
+	f, err := cont.Create(dirFileName, false)
+	if err != nil {
+		return err
+	}
+	return vnode.WriteFile(f, encodeEntries(entries))
+}
+
+// eidLess orders entries by entry id, which is the deterministic order used
+// for conflict-name disambiguation: after replicas converge on the same
+// entry set, they render identical names.
+func eidLess(a, b ids.FileID) bool {
+	if a.Issuer != b.Issuer {
+		return a.Issuer < b.Issuer
+	}
+	return a.Seq < b.Seq
+}
+
+// RenderedName returns the client-visible name of entry e among its
+// directory's entries.  When concurrent partitioned insertions produced two
+// live entries with the same name — a directory update conflict — the
+// directory reconciliation keeps both and "automatically repairs" the
+// conflict by disambiguating every entry after the first (in entry-id
+// order) with a #issuer.seq suffix.
+func RenderedName(entries []Entry, e Entry) string {
+	first := true
+	var min ids.FileID
+	for _, o := range entries {
+		if !o.Live() || o.Name != e.Name {
+			continue
+		}
+		if first || eidLess(o.EID, min) {
+			min = o.EID
+			first = false
+		}
+	}
+	if e.EID == min {
+		return e.Name
+	}
+	return fmt.Sprintf("%s#%d.%d", e.Name, e.EID.Issuer, e.EID.Seq)
+}
+
+// findByRenderedName locates the live entry whose rendered name matches.
+func findByRenderedName(entries []Entry, name string) (Entry, bool) {
+	for _, e := range entries {
+		if e.Live() && RenderedName(entries, e) == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// liveSorted returns live entries sorted by entry id (stable listing order).
+func liveSorted(entries []Entry) []Entry {
+	out := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		if e.Live() {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return eidLess(out[i].EID, out[j].EID) })
+	return out
+}
+
+// countLiveRefs counts live entries naming child within entries.
+func countLiveRefs(entries []Entry, child ids.FileID) int {
+	n := 0
+	for _, e := range entries {
+		if e.Live() && e.Child == child {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,610 @@
+package physical
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/vnode"
+	"repro/internal/vv"
+)
+
+// This file is the replication-control surface of the physical layer: the
+// operations the update propagation daemon and the reconciliation protocol
+// (internal/recon) use, locally or via the repl RPC service.  Directories
+// are addressed by their full fid path from the volume root (always
+// beginning with ids.RootFileID), mirroring how the reconciliation protocol
+// "traverses an entire subgraph" (§3.3).
+
+// RootPath returns the fid path of the volume root.
+func RootPath() []ids.FileID { return []ids.FileID{ids.RootFileID} }
+
+// DirState is a directory replica's reconciliation-relevant state.
+type DirState struct {
+	Entries []Entry
+	VV      vv.Vector
+	Aux     Aux
+}
+
+// DirEntries returns the entries and version vector of the directory at
+// dirPath.  ErrNotStored reports that this volume replica has no storage
+// for it.
+func (l *Layer) DirEntries(dirPath []ids.FileID) (DirState, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return DirState{}, err
+	}
+	entries, err := l.readDirFileLocked(cont)
+	if err != nil {
+		return DirState{}, err
+	}
+	aux, err := readAuxFile(cont, dirAttrName)
+	if err != nil {
+		return DirState{}, err
+	}
+	return DirState{Entries: entries, VV: aux.VV, Aux: aux}, nil
+}
+
+// FileState is a file replica's reconciliation-relevant state.
+type FileState struct {
+	Aux  Aux
+	Size uint64
+}
+
+// FileInfo returns the auxiliary attributes of file fid in directory
+// dirPath; ErrNotStored when the file has no local storage.
+func (l *Layer) FileInfo(dirPath []ids.FileID, fid ids.FileID) (FileState, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return FileState{}, err
+	}
+	aux, err := readAuxFileFollow(l.root, cont, prefixAux+fid.String())
+	if err != nil {
+		if vnode.AsErrno(err) != vnode.ENOENT {
+			return FileState{}, err
+		}
+		// Not a file here — it may be a child directory, whose attributes
+		// live inside its own container.
+		sub, serr := lookupFollow(l.root, cont, prefixDir+fid.String())
+		if serr != nil {
+			return FileState{}, ErrNotStored
+		}
+		daux, serr := readAuxFile(sub, dirAttrName)
+		if serr != nil {
+			return FileState{}, serr
+		}
+		return FileState{Aux: daux}, nil
+	}
+	df, err := lookupFollow(l.root, cont, prefixData+fid.String())
+	if err != nil {
+		if vnode.AsErrno(err) == vnode.ENOENT {
+			return FileState{}, ErrNotStored
+		}
+		return FileState{}, err
+	}
+	da, err := df.Getattr()
+	if err != nil {
+		return FileState{}, err
+	}
+	return FileState{Aux: aux, Size: da.Size}, nil
+}
+
+// FileData returns the full contents and attributes of file fid in
+// directory dirPath.
+func (l *Layer) FileData(dirPath []ids.FileID, fid ids.FileID) ([]byte, FileState, error) {
+	st, err := l.FileInfo(dirPath, fid)
+	if err != nil {
+		return nil, FileState{}, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return nil, FileState{}, err
+	}
+	df, err := lookupFollow(l.root, cont, prefixData+fid.String())
+	if err != nil {
+		return nil, FileState{}, err
+	}
+	data, err := vnode.ReadFile(df)
+	if err != nil {
+		return nil, FileState{}, err
+	}
+	return data, st, nil
+}
+
+// HasDir reports whether this replica stores the directory at dirPath.
+func (l *Layer) HasDir(dirPath []ids.FileID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.containerOf(dirPath)
+	return err == nil
+}
+
+// EnsureDirStored creates empty local storage for directory fid inside
+// dirPath if absent, so a subtree acquired through reconciliation can be
+// filled in.  aux supplies the directory's kind and graft target; its
+// version vector is installed as given (zero history: everything will be
+// merged in).
+func (l *Layer) EnsureDirStored(dirPath []ids.FileID, fid ids.FileID, aux Aux) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return err
+	}
+	name := prefixDir + fid.String()
+	if _, err := cont.Lookup(name); err == nil {
+		return nil
+	} else if vnode.AsErrno(err) != vnode.ENOENT {
+		return err
+	}
+	sub, err := cont.Mkdir(name)
+	if err != nil {
+		return err
+	}
+	if err := l.writeDirFileLocked(sub, nil); err != nil {
+		return err
+	}
+	a := Aux{Type: aux.Type, Nlink: 1, VV: vv.New(), GraftVol: aux.GraftVol}
+	return writeAuxFile(sub, dirAttrName, &a)
+}
+
+// MergeResult reports what ApplyDirMerge changed.
+type MergeResult struct {
+	Inserted   int // entries adopted from the remote replica
+	Deleted    int // local entries tombstoned because the remote deleted them
+	NameConfls int // live same-name entry pairs now coexisting (auto-repaired)
+}
+
+// Changed reports whether the merge modified the local replica.
+func (r MergeResult) Changed() bool { return r.Inserted > 0 || r.Deleted > 0 }
+
+// ApplyDirMerge merges a remote directory replica's entries into the local
+// replica of the directory at dirPath.  This is the executable core of the
+// Ficus directory reconciliation algorithm (§3.3): it "determines which
+// entries have been added to or deleted from the remote replica, and
+// applies appropriate entry insertion or deletion operations to the local
+// replica."
+//
+// Entries are identified by their globally unique entry id, so the merge is
+// a set union in which a tombstone for an entry id defeats its live form.
+// The result is commutative, associative and idempotent: pairwise
+// reconciliation converges all replicas to the same directory no matter the
+// order of encounters.  Concurrent same-name insertions survive as distinct
+// entries whose rendered names are disambiguated deterministically — the
+// automatic repair of directory update conflicts.
+func (l *Layer) ApplyDirMerge(dirPath []ids.FileID, remote DirState) (MergeResult, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var res MergeResult
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return res, err
+	}
+	local, err := l.readDirFileLocked(cont)
+	if err != nil {
+		return res, err
+	}
+	byEID := make(map[ids.FileID]int, len(local))
+	for i, e := range local {
+		byEID[e.EID] = i
+	}
+	merged := append([]Entry(nil), local...)
+	tombstoned := make(map[ids.FileID]bool) // children losing a name
+	touched := make(map[ids.FileID]bool)    // children whose name count changed
+	for _, re := range remote.Entries {
+		if i, ok := byEID[re.EID]; ok {
+			if re.Deleted && merged[i].Live() {
+				merged[i].Deleted = true
+				res.Deleted++
+				tombstoned[merged[i].Child] = true
+				touched[merged[i].Child] = true
+			}
+			continue
+		}
+		merged = append(merged, re)
+		byEID[re.EID] = len(merged) - 1
+		touched[re.Child] = true
+		if re.Live() {
+			res.Inserted++
+		} else {
+			// An entry adopted already dead: local storage for its child
+			// may exist (the propagation daemon can install file data
+			// before the directory entry arrives) and must be reclaimed.
+			tombstoned[re.Child] = true
+		}
+	}
+	// Deterministic on-disk order so converged replicas are byte-identical.
+	sort.Slice(merged, func(i, j int) bool { return eidLess(merged[i].EID, merged[j].EID) })
+	if err := l.writeDirFileLocked(cont, merged); err != nil {
+		return res, err
+	}
+	// Reclaim storage of children that no live entry names any more, as a
+	// local Remove of the last name would.
+	for child := range tombstoned {
+		if err := l.derefAfterMergeLocked(cont, merged, child); err != nil {
+			return res, err
+		}
+	}
+	// The merge can change how many live names a child bears (e.g. two
+	// partitioned renames of one file both survive, leaving it with two
+	// names, §2.5 fn3); bring each touched child's stored link count in
+	// line with its live name count.
+	for child := range touched {
+		refs := countLiveRefs(merged, child)
+		if refs == 0 {
+			continue
+		}
+		auxName := prefixAux + child.String()
+		af, err := lookupFollow(l.root, cont, auxName)
+		if err != nil {
+			continue // not stored here
+		}
+		data, err := vnode.ReadFile(af)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		aux, err := decodeAux(data)
+		if err != nil {
+			continue
+		}
+		if int(aux.Nlink) != refs {
+			aux.Nlink = uint32(refs)
+			if err := writeAuxVnode(af, &aux); err != nil {
+				return res, err
+			}
+		}
+	}
+	// The merged state covers both histories: vv := merge(local, remote).
+	aux, err := readAuxFile(cont, dirAttrName)
+	if err != nil {
+		return res, err
+	}
+	aux.VV = vv.Merge(aux.VV, remote.VV)
+	if err := writeAuxFile(cont, dirAttrName, &aux); err != nil {
+		return res, err
+	}
+	res.NameConfls = countNameConflicts(merged)
+	return res, nil
+}
+
+func (l *Layer) derefAfterMergeLocked(cont vnode.Vnode, entries []Entry, child ids.FileID) error {
+	if countLiveRefs(entries, child) > 0 {
+		return nil
+	}
+	for _, p := range []string{prefixData, prefixAux} {
+		if err := cont.Remove(p + child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
+			return err
+		}
+	}
+	return nil
+}
+
+func countNameConflicts(entries []Entry) int {
+	names := make(map[string]int)
+	for _, e := range entries {
+		if e.Live() {
+			names[e.Name]++
+		}
+	}
+	n := 0
+	for _, c := range names {
+		if c > 1 {
+			n += c - 1
+		}
+	}
+	return n
+}
+
+// EvictFileStorage discards this volume replica's local copy of file fid in
+// directory dirPath, keeping the directory entry.  The file remains part of
+// the name space ("a volume replica may contain at most one replica of a
+// file, but need not store a replica of any particular file", §4.1): local
+// access answers ErrNotStored/ENOSTOR and the logical layer fails over to
+// a replica that does store it.  Reconciliation or propagation can
+// re-materialize the copy later.  Evicting the only stored copy of a file
+// is the caller's responsibility to avoid.
+func (l *Layer) EvictFileStorage(dirPath []ids.FileID, fid ids.FileID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return err
+	}
+	entries, err := l.readDirFileLocked(cont)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, e := range entries {
+		if e.Live() && e.Child == fid && !e.Kind.IsDir() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return vnode.ENOENT
+	}
+	for _, p := range []string{prefixData, prefixAux} {
+		if err := cont.Remove(p + fid.String()); err != nil {
+			if vnode.AsErrno(err) == vnode.ENOENT {
+				return ErrNotStored
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// StoresFile reports whether this replica holds a local copy of fid.
+func (l *Layer) StoresFile(dirPath []ids.FileID, fid ids.FileID) bool {
+	_, err := l.FileInfo(dirPath, fid)
+	return err == nil
+}
+
+// DropTombstones removes the tombstoned entries with the given entry ids
+// from the directory at dirPath, reclaiming any leftover local storage
+// (e.g. the container of a deleted-but-stored directory).  The caller — the
+// reconciliation layer's garbage collector — has established that every
+// replica of the volume carries these tombstones, so no replica can ever
+// re-introduce the dead entries (the completion of the paper's optimistic
+// two-phase delete).
+func (l *Layer) DropTombstones(dirPath []ids.FileID, eids []ids.FileID) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return 0, err
+	}
+	entries, err := l.readDirFileLocked(cont)
+	if err != nil {
+		return 0, err
+	}
+	drop := make(map[ids.FileID]bool, len(eids))
+	for _, e := range eids {
+		drop[e] = true
+	}
+	kept := entries[:0]
+	removed := 0
+	var dirs, files []ids.FileID
+	for _, e := range entries {
+		if e.Deleted && drop[e.EID] {
+			removed++
+			if e.Kind.IsDir() {
+				dirs = append(dirs, e.Child)
+			} else {
+				files = append(files, e.Child)
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	if err := l.writeDirFileLocked(cont, kept); err != nil {
+		return removed, err
+	}
+	// Reclaim any leftover file storage no surviving entry names.
+	for _, child := range files {
+		if countAnyRefs(kept, child) > 0 {
+			continue
+		}
+		for _, p := range []string{prefixData, prefixAux} {
+			if err := cont.Remove(p + child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
+				return removed, err
+			}
+		}
+	}
+	// Reclaim containers of collected directory entries, if stored here and
+	// no surviving entry still names the child.
+	for _, child := range dirs {
+		if countAnyRefs(kept, child) > 0 {
+			continue
+		}
+		name := prefixDir + child.String()
+		if _, err := cont.Lookup(name); err == nil {
+			if err := removeTree(cont, name); err != nil {
+				return removed, err
+			}
+		}
+	}
+	return removed, nil
+}
+
+// countAnyRefs counts entries (live or tombstoned) naming child.
+func countAnyRefs(entries []Entry, child ids.FileID) int {
+	n := 0
+	for _, e := range entries {
+		if e.Child == child {
+			n++
+		}
+	}
+	return n
+}
+
+// removeTree deletes the named directory subtree from the UFS container.
+func removeTree(parent vnode.Vnode, name string) error {
+	sub, err := parent.Lookup(name)
+	if err != nil {
+		return err
+	}
+	ents, err := sub.Readdir()
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.Type == vnode.VDir {
+			if err := removeTree(sub, e.Name); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := sub.Remove(e.Name); err != nil {
+			return err
+		}
+	}
+	return parent.Rmdir(name)
+}
+
+// AppendEntry inserts a pre-built entry into the directory at dirPath,
+// bumping the directory version vector.  The volume management code uses it
+// to maintain graft-point tables (volume replica -> storage site) as
+// ordinary directory entries (§4.3).
+func (l *Layer) AppendEntry(dirPath []ids.FileID, e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return err
+	}
+	entries, err := l.readDirFileLocked(cont)
+	if err != nil {
+		return err
+	}
+	if e.EID.IsNil() {
+		eid, err := l.nextIDLocked()
+		if err != nil {
+			return err
+		}
+		e.EID = eid
+	}
+	entries = append(entries, e)
+	if err := l.writeDirFileLocked(cont, entries); err != nil {
+		return err
+	}
+	aux, err := readAuxFile(cont, dirAttrName)
+	if err != nil {
+		return err
+	}
+	aux.VV.Bump(l.replica)
+	return writeAuxFile(cont, dirAttrName, &aux)
+}
+
+// NextID allocates a fresh unique id from this replica's sequencer (for
+// graft-table entries and tests).
+func (l *Layer) NextID() (ids.FileID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextIDLocked()
+}
+
+// --- New-version cache and conflict log ---------------------------------
+
+// NoteNewVersion records an update notification: origin holds a newer
+// version of file (in directory dirPath).  Repeated notifications for the
+// same file coalesce — the coalescing is what makes delayed propagation
+// cheaper under bursty updates (§3.2).
+func (l *Layer) NoteNewVersion(dirPath []ids.FileID, file ids.FileID, origin ids.ReplicaID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := nvcKey{file: file}
+	nv, ok := l.nvc[k]
+	if !ok {
+		nv = NewVersion{File: file, Dir: append([]ids.FileID(nil), dirPath...)}
+	}
+	nv.Origin = origin
+	nv.Seen++
+	l.nvc[k] = nv
+}
+
+// PendingVersions lists new-version cache entries, oldest-announced first
+// by file id order (deterministic).
+func (l *Layer) PendingVersions() []NewVersion {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]NewVersion, 0, len(l.nvc))
+	for _, nv := range l.nvc {
+		out = append(out, nv)
+	}
+	sort.Slice(out, func(i, j int) bool { return eidLess(out[i].File, out[j].File) })
+	return out
+}
+
+// DropPending removes a new-version cache entry after propagation.
+func (l *Layer) DropPending(file ids.FileID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.nvc, nvcKey{file: file})
+}
+
+// ReportConflict appends to the conflict log ("conflicting updates to
+// ordinary files are detected and reported to the owner", §1).  Re-detected
+// conflicts (same file, same version-vector pair) coalesce so periodic
+// reconciliation does not flood the owner.
+func (l *Layer) ReportConflict(c Conflict) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, old := range l.conflicts {
+		if old.File == c.File &&
+			((old.LocalVV.Equal(c.LocalVV) && old.RemoteVV.Equal(c.RemoteVV)) ||
+				(old.LocalVV.Equal(c.RemoteVV) && old.RemoteVV.Equal(c.LocalVV))) {
+			return
+		}
+	}
+	l.conflicts = append(l.conflicts, c)
+}
+
+// ClearConflictsFor drops logged conflicts on one file: reconciliation
+// calls it when the file's replicas have become comparable again (a
+// resolution dominating both histories has arrived), so the owner's log
+// reflects only live conflicts.
+func (l *Layer) ClearConflictsFor(fid ids.FileID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.conflicts[:0]
+	for _, c := range l.conflicts {
+		if c.File != fid {
+			kept = append(kept, c)
+		}
+	}
+	l.conflicts = kept
+}
+
+// Conflicts returns the conflict log.
+func (l *Layer) Conflicts() []Conflict {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Conflict(nil), l.conflicts...)
+}
+
+// ClearConflicts empties the conflict log (the owner has dealt with them).
+func (l *Layer) ClearConflicts() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.conflicts = nil
+}
+
+// OpenCount reports how many opens of fid are outstanding (fed by direct
+// Open calls and by the open-over-lookup encoding).  Autografting uses it
+// to decide when a graft is no longer needed (§4.4).
+func (l *Layer) OpenCount(fid ids.FileID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.opens[fid]
+}
+
+// TotalOpens reports the cumulative number of opens the layer has seen.
+func (l *Layer) TotalOpens() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.openTotal
+}
+
+// OpenFiles reports how many distinct files currently have outstanding
+// opens.
+func (l *Layer) OpenFiles() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, c := range l.opens {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+package physical
+
+import (
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/vnode"
+)
+
+// ParseHandle decodes a physical-layer vnode handle into its kind and fid
+// path.  Handles travel verbatim through the NFS layer, so the logical
+// layer can recover the fid path of any file it reached remotely — which is
+// what an update notification must carry (§2.5/§3.2).
+func ParseHandle(handle string) (kind Kind, dirPath []ids.FileID, fid ids.FileID, err error) {
+	parts := strings.Split(handle, "|")
+	if len(parts) < 2 {
+		return 0, nil, ids.FileID{}, vnode.ESTALE
+	}
+	switch parts[0] {
+	case "d":
+		kind = KDir
+	case "f":
+		kind = KFile
+	case "l":
+		kind = KSymlink
+	default:
+		return 0, nil, ids.FileID{}, vnode.ESTALE
+	}
+	fids := make([]ids.FileID, 0, len(parts)-1)
+	for _, p := range parts[1:] {
+		f, perr := ids.ParseFileID(p)
+		if perr != nil {
+			return 0, nil, ids.FileID{}, vnode.ESTALE
+		}
+		fids = append(fids, f)
+	}
+	return kind, fids[:len(fids)-1], fids[len(fids)-1], nil
+}

@@ -1,0 +1,287 @@
+package physical
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ids"
+	"repro/internal/ufs"
+	"repro/internal/ufsvn"
+	"repro/internal/vnode"
+)
+
+func newMergePair(t *testing.T) (*Layer, *Layer) {
+	t.Helper()
+	mk := func(r ids.ReplicaID) *Layer {
+		fs, err := ufs.Mkfs(disk.New(8192), 2048, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Format(ufsvn.New(fs), testVol, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	return mk(1), mk(2)
+}
+
+// mergeBoth applies each replica's root directory state to the other.
+func mergeBoth(t *testing.T, a, b *Layer) (MergeResult, MergeResult) {
+	t.Helper()
+	da, err := a.DirEntries(RootPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.DirEntries(RootPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.ApplyDirMerge(RootPath(), da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.ApplyDirMerge(RootPath(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ra, rb
+}
+
+func entrySummary(t *testing.T, l *Layer) string {
+	t.Helper()
+	ds, err := l.DirEntries(RootPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, 0, len(ds.Entries))
+	for _, e := range ds.Entries {
+		lines = append(lines, fmt.Sprintf("%v|%s|%v|%v|%v", e.EID, e.Name, e.Child, e.Kind, e.Deleted))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func TestMergeAdoptsRemoteInsertions(t *testing.T) {
+	a, b := newMergePair(t)
+	ra, _ := a.Root()
+	if _, err := ra.Create("only-on-a", true); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := a.DirEntries(RootPath())
+	res, err := b.ApplyDirMerge(RootPath(), da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Deleted != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	// The entry is now visible on b, but its data is not stored there.
+	rb, _ := b.Root()
+	if _, err := rb.Lookup("only-on-a"); vnode.AsErrno(err) != vnode.ENOSTOR {
+		t.Fatalf("lookup on b: %v, want ENOSTOR", err)
+	}
+	// Merge is idempotent.
+	res, err = b.ApplyDirMerge(RootPath(), da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Changed() {
+		t.Fatalf("second merge changed state: %+v", res)
+	}
+}
+
+func TestMergePropagatesDeletes(t *testing.T) {
+	a, b := newMergePair(t)
+	ra, _ := a.Root()
+	if _, err := ra.Create("f", true); err != nil {
+		t.Fatal(err)
+	}
+	mergeBoth(t, a, b)
+	// b now knows the entry; store data there too via install.
+	db, _ := b.DirEntries(RootPath())
+	var child ids.FileID
+	for _, e := range db.Entries {
+		if e.Live() {
+			child = e.Child
+		}
+	}
+	if err := b.InstallFileVersion(RootPath(), child, KFile, []byte("x"), db.VV, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Delete on a, merge to b: the tombstone must win and reclaim storage.
+	if err := ra.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := a.DirEntries(RootPath())
+	res, err := b.ApplyDirMerge(RootPath(), da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	rb, _ := b.Root()
+	if _, err := rb.Lookup("f"); vnode.AsErrno(err) != vnode.ENOENT {
+		t.Fatalf("f still visible on b: %v", err)
+	}
+	if _, err := b.FileInfo(RootPath(), child); err == nil {
+		t.Fatal("storage not reclaimed on b")
+	}
+}
+
+func TestMergeNameConflictAutoRepair(t *testing.T) {
+	a, b := newMergePair(t)
+	ra, _ := a.Root()
+	rb, _ := b.Root()
+	// Partitioned: both create "report" independently (§1: conflicting
+	// updates to directories are detected and automatically repaired).
+	fa, err := ra.Create("report", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := rb.Create("report", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vnode.WriteFile(fa, []byte("a's report"))
+	vnode.WriteFile(fb, []byte("b's report"))
+	mergeBoth(t, a, b)
+	// Both replicas list two entries with deterministic disambiguation.
+	for _, l := range []*Layer{a, b} {
+		root, _ := l.Root()
+		ents, err := root.Readdir()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 2 {
+			t.Fatalf("replica %d lists %v", l.Replica(), ents)
+		}
+		names := []string{ents[0].Name, ents[1].Name}
+		sort.Strings(names)
+		if names[0] != "report" || !strings.HasPrefix(names[1], "report#") {
+			t.Fatalf("replica %d names %v", l.Replica(), names)
+		}
+	}
+	// Identical rendering on both replicas.
+	if entrySummary(t, a) != entrySummary(t, b) {
+		t.Fatalf("replicas diverged:\nA:\n%s\nB:\n%s", entrySummary(t, a), entrySummary(t, b))
+	}
+	da, _ := a.DirEntries(RootPath())
+	if countNameConflicts(da.Entries) != 1 {
+		t.Fatalf("conflict count %d", countNameConflicts(da.Entries))
+	}
+}
+
+// TestMergeConvergenceProperty drives two partitioned replicas with random
+// independent operations, then reconciles pairwise in both directions and
+// checks they converge to identical directory state.  A third merge round
+// must be a no-op (quiescence).
+func TestMergeConvergenceProperty(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		a, b := newMergePair(t)
+		rng := rand.New(rand.NewSource(seed))
+		ops := func(l *Layer, tag string) {
+			root, _ := l.Root()
+			names := []string{}
+			for i := 0; i < 25; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					name := fmt.Sprintf("%s-%d", tag, rng.Intn(10))
+					if _, err := root.Create(name, true); err == nil {
+						names = append(names, name)
+					}
+				case 2:
+					name := fmt.Sprintf("shared-%d", rng.Intn(5))
+					root.Create(name, true)
+				case 3:
+					if len(names) > 0 {
+						root.Remove(names[rng.Intn(len(names))])
+					}
+				}
+			}
+		}
+		ops(a, "a")
+		ops(b, "b")
+		mergeBoth(t, a, b)
+		if sa, sb := entrySummary(t, a), entrySummary(t, b); sa != sb {
+			t.Fatalf("seed %d: diverged after merge:\nA:\n%s\nB:\n%s", seed, sa, sb)
+		}
+		ra, rb := mergeBoth(t, a, b)
+		if ra.Changed() || rb.Changed() {
+			t.Fatalf("seed %d: merge not quiescent: %+v %+v", seed, ra, rb)
+		}
+		// Version vectors converge as well.
+		da, _ := a.DirEntries(RootPath())
+		db, _ := b.DirEntries(RootPath())
+		if !da.VV.Equal(db.VV) {
+			t.Fatalf("seed %d: vv diverged: %v vs %v", seed, da.VV, db.VV)
+		}
+	}
+}
+
+// TestThreeWayConvergence checks that pairwise reconciliation propagates
+// transitively: a<->b then b<->c then c<->a leaves all three identical.
+func TestThreeWayConvergence(t *testing.T) {
+	mk := func(r ids.ReplicaID) *Layer {
+		fs, _ := ufs.Mkfs(disk.New(8192), 2048, nil)
+		l, err := Format(ufsvn.New(fs), testVol, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	for i, l := range []*Layer{a, b, c} {
+		root, _ := l.Root()
+		if _, err := root.Create(fmt.Sprintf("from-%d", i+1), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pair := func(x, y *Layer) {
+		dx, _ := x.DirEntries(RootPath())
+		dy, _ := y.DirEntries(RootPath())
+		if _, err := y.ApplyDirMerge(RootPath(), dx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := x.ApplyDirMerge(RootPath(), dy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pair(a, b)
+	pair(b, c)
+	pair(c, a)
+	pair(a, b) // second round closes the gossip loop
+	sa, sb, sc := entrySummary(t, a), entrySummary(t, b), entrySummary(t, c)
+	if sa != sb || sb != sc {
+		t.Fatalf("three-way divergence:\nA:\n%s\nB:\n%s\nC:\n%s", sa, sb, sc)
+	}
+	roots := 0
+	ra, _ := a.Root()
+	ents, _ := ra.Readdir()
+	for range ents {
+		roots++
+	}
+	if roots != 3 {
+		t.Fatalf("expected 3 files everywhere, got %d", roots)
+	}
+}
+
+func TestAppendEntryForGraftTables(t *testing.T) {
+	a, _ := newMergePair(t)
+	e := Entry{Name: "r00000001", Child: ids.FileID{Issuer: 1, Seq: 99}, Kind: KFile, Value: "host-a"}
+	if err := a.AppendEntry(RootPath(), e); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := a.DirEntries(RootPath())
+	if len(ds.Entries) != 1 || ds.Entries[0].Value != "host-a" {
+		t.Fatalf("%+v", ds.Entries)
+	}
+	if ds.Entries[0].EID.IsNil() {
+		t.Fatal("EID not auto-assigned")
+	}
+}

@@ -1,0 +1,906 @@
+package physical
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/vnode"
+)
+
+// pvnode is the physical layer's vnode: one Ficus file replica.  It locates
+// its storage by a fid path from the volume root (dirPath is the containing
+// directory's full fid path, always starting with the root fid), preserving
+// the parallel between the logical name space and on-disk layout (§2.6).
+type pvnode struct {
+	l       *Layer
+	fid     ids.FileID
+	kind    Kind
+	dirPath []ids.FileID // fid path of the containing directory; nil for the root itself
+}
+
+// Root returns the volume root directory vnode.
+func (l *Layer) Root() (vnode.Vnode, error) {
+	return &pvnode{l: l, fid: ids.RootFileID, kind: KDir}, nil
+}
+
+// Sync is a no-op: the substrate is write-through.
+func (l *Layer) Sync() error { return nil }
+
+// selfPath is the fid path of this node when it is a directory.
+func (v *pvnode) selfPath() []ids.FileID {
+	if v.dirPath == nil && v.fid == ids.RootFileID {
+		return []ids.FileID{ids.RootFileID}
+	}
+	p := make([]ids.FileID, 0, len(v.dirPath)+1)
+	p = append(p, v.dirPath...)
+	return append(p, v.fid)
+}
+
+// container returns the UFS directory holding this node's storage: its own
+// container for directories, the parent's container for files.
+func (v *pvnode) container() (vnode.Vnode, error) {
+	if v.kind.IsDir() {
+		return v.l.containerOf(v.selfPath())
+	}
+	return v.l.containerOf(v.dirPath)
+}
+
+// Handle encodes kind and fid path; Resolve reverses it.
+func (v *pvnode) Handle() string {
+	var sb strings.Builder
+	if v.kind.IsDir() {
+		sb.WriteString("d")
+	} else if v.kind == KSymlink {
+		sb.WriteString("l")
+	} else {
+		sb.WriteString("f")
+	}
+	for _, f := range v.dirPath {
+		sb.WriteString("|")
+		sb.WriteString(f.String())
+	}
+	sb.WriteString("|")
+	sb.WriteString(v.fid.String())
+	return sb.String()
+}
+
+// Resolve recovers a vnode from a handle (the nfs.Resolver contract).
+func (l *Layer) Resolve(handle string) (vnode.Vnode, error) {
+	parts := strings.Split(handle, "|")
+	if len(parts) < 2 {
+		return nil, vnode.ESTALE
+	}
+	var kind Kind
+	switch parts[0] {
+	case "d":
+		kind = KDir
+	case "f":
+		kind = KFile
+	case "l":
+		kind = KSymlink
+	default:
+		return nil, vnode.ESTALE
+	}
+	fids := make([]ids.FileID, 0, len(parts)-1)
+	for _, p := range parts[1:] {
+		f, err := ids.ParseFileID(p)
+		if err != nil {
+			return nil, vnode.ESTALE
+		}
+		fids = append(fids, f)
+	}
+	fid := fids[len(fids)-1]
+	dirPath := fids[:len(fids)-1]
+	if len(dirPath) == 0 && fid == ids.RootFileID {
+		return &pvnode{l: l, fid: fid, kind: KDir}, nil
+	}
+	v := &pvnode{l: l, fid: fid, kind: kind, dirPath: dirPath}
+	// Verify the node still exists (stateless re-resolution).
+	if _, err := v.Getattr(); err != nil {
+		if vnode.AsErrno(err) == vnode.ENOSTOR {
+			return nil, vnode.ENOSTOR
+		}
+		return nil, vnode.ESTALE
+	}
+	// Refresh the kind from storage (a handle may have been minted before a
+	// graft point's aux was readable, and clients can't tell KDir from
+	// KGraft anyway).
+	return v, nil
+}
+
+func (v *pvnode) Lookup(name string) (vnode.Vnode, error) {
+	if IsEncodedLookup(name) {
+		return v.encodedLookup(name)
+	}
+	return v.lookupPlain(name)
+}
+
+func (v *pvnode) lookupPlain(name string) (vnode.Vnode, error) {
+	if !v.kind.IsDir() {
+		return nil, vnode.ENOTDIR
+	}
+	if len(name) > SubstrateMaxName {
+		return nil, vnode.ENAMETOOLONG
+	}
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	return v.lookupLocked(name)
+}
+
+func (v *pvnode) lookupLocked(name string) (vnode.Vnode, error) {
+	cont, entries, err := v.dirStateLocked()
+	if err != nil {
+		return nil, err
+	}
+	e, ok := findByRenderedName(entries, name)
+	if !ok {
+		return nil, vnode.ENOENT
+	}
+	return v.childVnodeLocked(cont, e)
+}
+
+// childVnodeLocked builds the vnode for entry e, verifying local storage.
+func (v *pvnode) childVnodeLocked(cont vnode.Vnode, e Entry) (vnode.Vnode, error) {
+	child := &pvnode{l: v.l, fid: e.Child, kind: e.Kind, dirPath: v.selfPath()}
+	if e.Kind.IsDir() {
+		if _, err := lookupFollow(v.l.root, cont, prefixDir+e.Child.String()); err != nil {
+			if vnode.AsErrno(err) == vnode.ENOENT {
+				return nil, vnode.ENOSTOR
+			}
+			return nil, err
+		}
+		return child, nil
+	}
+	if _, err := lookupFollow(v.l.root, cont, prefixAux+e.Child.String()); err != nil {
+		if vnode.AsErrno(err) == vnode.ENOENT {
+			return nil, vnode.ENOSTOR
+		}
+		return nil, err
+	}
+	return child, nil
+}
+
+// encodedLookup executes an open or close shipped through Lookup (§2.3).
+func (v *pvnode) encodedLookup(name string) (vnode.Vnode, error) {
+	open, _, _, realName, err := DecodeOpenLookup(name)
+	if err != nil {
+		return nil, err
+	}
+	child, err := v.lookupPlain(realName)
+	if err != nil {
+		return nil, err
+	}
+	cv := child.(*pvnode)
+	v.l.mu.Lock()
+	if open {
+		v.l.opens[cv.fid]++
+		v.l.openTotal++
+	} else if v.l.opens[cv.fid] > 0 {
+		v.l.opens[cv.fid]--
+	}
+	v.l.mu.Unlock()
+	return child, nil
+}
+
+// dirStateLocked loads this directory's container and entries.
+func (v *pvnode) dirStateLocked() (vnode.Vnode, []Entry, error) {
+	cont, err := v.container()
+	if err != nil {
+		return nil, nil, mapStoreErr(err)
+	}
+	entries, err := v.l.readDirFileLocked(cont)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cont, entries, nil
+}
+
+func mapStoreErr(err error) error {
+	if err == ErrNotStored {
+		return vnode.ENOSTOR
+	}
+	return err
+}
+
+// bumpDirLocked bumps the directory's own version vector after an entry
+// change.
+func (v *pvnode) bumpDirLocked(cont vnode.Vnode) error {
+	aux, err := readAuxFile(cont, dirAttrName)
+	if err != nil {
+		return err
+	}
+	if aux.VV == nil {
+		aux.VV = make(map[ids.ReplicaID]uint64)
+	}
+	aux.VV.Bump(v.l.replica)
+	return writeAuxFile(cont, dirAttrName, &aux)
+}
+
+func (v *pvnode) Create(name string, excl bool) (vnode.Vnode, error) {
+	return v.createKind(name, excl, KFile, "")
+}
+
+func (v *pvnode) Symlink(name, target string) error {
+	_, err := v.createKind(name, true, KSymlink, target)
+	return err
+}
+
+func (v *pvnode) createKind(name string, excl bool, kind Kind, data string) (vnode.Vnode, error) {
+	if !v.kind.IsDir() {
+		return nil, vnode.ENOTDIR
+	}
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	cont, entries, err := v.dirStateLocked()
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := findByRenderedName(entries, name); ok {
+		if excl || e.Kind != kind {
+			return nil, vnode.EEXIST
+		}
+		return v.childVnodeLocked(cont, e)
+	}
+	fid, err := v.l.nextIDLocked()
+	if err != nil {
+		return nil, err
+	}
+	eid, err := v.l.nextIDLocked()
+	if err != nil {
+		return nil, err
+	}
+	// Storage first, then the entry: a crash in between leaves an orphaned
+	// data file, never a dangling entry.
+	df, err := cont.Create(prefixData+fid.String(), true)
+	if err != nil {
+		return nil, err
+	}
+	if data != "" {
+		if err := vnode.WriteFile(df, []byte(data)); err != nil {
+			return nil, err
+		}
+	}
+	aux := Aux{Type: kind, Nlink: 1, VV: make(map[ids.ReplicaID]uint64)}
+	aux.VV.Bump(v.l.replica)
+	if err := writeAuxFile(cont, prefixAux+fid.String(), &aux); err != nil {
+		return nil, err
+	}
+	entries = append(entries, Entry{EID: eid, Name: name, Child: fid, Kind: kind})
+	if err := v.l.writeDirFileLocked(cont, entries); err != nil {
+		return nil, err
+	}
+	if err := v.bumpDirLocked(cont); err != nil {
+		return nil, err
+	}
+	return &pvnode{l: v.l, fid: fid, kind: kind, dirPath: v.selfPath()}, nil
+}
+
+func (v *pvnode) Mkdir(name string) (vnode.Vnode, error) {
+	return v.mkdirKind(name, KDir, ids.VolumeHandle{})
+}
+
+// MkGraft creates a graft point: a special directory that names a volume to
+// be transparently grafted here (§4.3).  It is reached by type assertion
+// from the volume management code.
+func (v *pvnode) MkGraft(name string, target ids.VolumeHandle) (vnode.Vnode, error) {
+	return v.mkdirKind(name, KGraft, target)
+}
+
+func (v *pvnode) mkdirKind(name string, kind Kind, graftVol ids.VolumeHandle) (vnode.Vnode, error) {
+	if !v.kind.IsDir() {
+		return nil, vnode.ENOTDIR
+	}
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	cont, entries, err := v.dirStateLocked()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := findByRenderedName(entries, name); ok {
+		return nil, vnode.EEXIST
+	}
+	fid, err := v.l.nextIDLocked()
+	if err != nil {
+		return nil, err
+	}
+	eid, err := v.l.nextIDLocked()
+	if err != nil {
+		return nil, err
+	}
+	sub, err := cont.Mkdir(prefixDir + fid.String())
+	if err != nil {
+		return nil, err
+	}
+	if err := v.l.writeDirFileLocked(sub, nil); err != nil {
+		return nil, err
+	}
+	aux := Aux{Type: kind, Nlink: 1, VV: make(map[ids.ReplicaID]uint64), GraftVol: graftVol}
+	aux.VV.Bump(v.l.replica)
+	if err := writeAuxFile(sub, dirAttrName, &aux); err != nil {
+		return nil, err
+	}
+	entries = append(entries, Entry{EID: eid, Name: name, Child: fid, Kind: kind})
+	if err := v.l.writeDirFileLocked(cont, entries); err != nil {
+		return nil, err
+	}
+	if err := v.bumpDirLocked(cont); err != nil {
+		return nil, err
+	}
+	return &pvnode{l: v.l, fid: fid, kind: kind, dirPath: v.selfPath()}, nil
+}
+
+func checkName(name string) error {
+	if name == "" || name == "." || name == ".." {
+		return vnode.EINVAL
+	}
+	if len(name) > SubstrateMaxName-1 { // the container prefix consumes 1
+		return vnode.ENAMETOOLONG
+	}
+	if strings.ContainsAny(name, "/\x00") {
+		return vnode.EINVAL
+	}
+	if strings.HasPrefix(name, encPrefix) {
+		return vnode.EINVAL // reserved for the open/close encoding
+	}
+	return nil
+}
+
+func (v *pvnode) Readlink() (string, error) {
+	if v.kind != KSymlink {
+		return "", vnode.EINVAL
+	}
+	data, err := v.readAll()
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// Open and Close arrive directly when the logical layer is co-resident (no
+// NFS in between); they update the same open-count bookkeeping as the
+// encoded path.
+func (v *pvnode) Open(vnode.OpenFlags) error {
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	v.l.opens[v.fid]++
+	v.l.openTotal++
+	return nil
+}
+
+func (v *pvnode) Close(vnode.OpenFlags) error {
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	if v.l.opens[v.fid] > 0 {
+		v.l.opens[v.fid]--
+	}
+	return nil
+}
+
+// dataFile locates this file's UFS data file.
+func (v *pvnode) dataFile() (vnode.Vnode, error) {
+	cont, err := v.container()
+	if err != nil {
+		return nil, mapStoreErr(err)
+	}
+	df, err := lookupFollow(v.l.root, cont, prefixData+v.fid.String())
+	if err != nil {
+		if vnode.AsErrno(err) == vnode.ENOENT {
+			return nil, vnode.ENOSTOR
+		}
+		return nil, err
+	}
+	return df, nil
+}
+
+func (v *pvnode) readAll() ([]byte, error) {
+	df, err := v.dataFile()
+	if err != nil {
+		return nil, err
+	}
+	return vnode.ReadFile(df)
+}
+
+func (v *pvnode) ReadAt(p []byte, off int64) (int, error) {
+	if v.kind.IsDir() {
+		return 0, vnode.EISDIR
+	}
+	df, err := v.dataFile()
+	if err != nil {
+		return 0, err
+	}
+	n, err := df.ReadAt(p, off)
+	if err == io.EOF {
+		return n, io.EOF
+	}
+	return n, err
+}
+
+// bumpFileLocked bumps this file's version vector: every local mutation is
+// an update this replica originated (§3.1).
+func (v *pvnode) bumpFileLocked() error {
+	cont, err := v.container()
+	if err != nil {
+		return mapStoreErr(err)
+	}
+	auxName := prefixAux + v.fid.String()
+	af, err := lookupFollow(v.l.root, cont, auxName)
+	if err != nil {
+		return err
+	}
+	data, err := vnode.ReadFile(af)
+	if err != nil {
+		return err
+	}
+	aux, err := decodeAux(data)
+	if err != nil {
+		return err
+	}
+	if aux.VV == nil {
+		aux.VV = make(map[ids.ReplicaID]uint64)
+	}
+	aux.VV.Bump(v.l.replica)
+	return writeAuxVnode(af, &aux)
+}
+
+func (v *pvnode) WriteAt(p []byte, off int64) (int, error) {
+	if v.kind.IsDir() {
+		return 0, vnode.EISDIR
+	}
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	df, err := v.dataFile()
+	if err != nil {
+		return 0, err
+	}
+	n, err := df.WriteAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	return n, v.bumpFileLocked()
+}
+
+func (v *pvnode) Truncate(size uint64) error {
+	if v.kind.IsDir() {
+		return vnode.EISDIR
+	}
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	df, err := v.dataFile()
+	if err != nil {
+		return err
+	}
+	if err := df.Truncate(size); err != nil {
+		return err
+	}
+	return v.bumpFileLocked()
+}
+
+func (v *pvnode) Fsync() error { return v.l.store.Sync() }
+
+func (v *pvnode) Getattr() (vnode.Attr, error) {
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	return v.getattrLocked()
+}
+
+func (v *pvnode) getattrLocked() (vnode.Attr, error) {
+	if v.kind.IsDir() {
+		cont, entries, err := v.dirStateLocked()
+		if err != nil {
+			return vnode.Attr{}, err
+		}
+		aux, err := readAuxFile(cont, dirAttrName)
+		if err != nil {
+			return vnode.Attr{}, err
+		}
+		live := 0
+		for _, e := range entries {
+			if e.Live() {
+				live++
+			}
+		}
+		a := vnode.Attr{
+			Type:   vnode.VDir,
+			Nlink:  uint32(2 + live),
+			Size:   uint64(len(entries)),
+			Mtime:  aux.VV.Total(),
+			FileID: v.fid.String(),
+		}
+		if aux.Type == KGraft {
+			a.GraftVol = aux.GraftVol.String()
+		}
+		return a, nil
+	}
+	cont, err := v.container()
+	if err != nil {
+		return vnode.Attr{}, mapStoreErr(err)
+	}
+	aux, err := readAuxFileFollow(v.l.root, cont, prefixAux+v.fid.String())
+	if err != nil {
+		if vnode.AsErrno(err) == vnode.ENOENT {
+			return vnode.Attr{}, vnode.ENOSTOR
+		}
+		return vnode.Attr{}, err
+	}
+	df, err := lookupFollow(v.l.root, cont, prefixData+v.fid.String())
+	if err != nil {
+		return vnode.Attr{}, err
+	}
+	da, err := df.Getattr()
+	if err != nil {
+		return vnode.Attr{}, err
+	}
+	t := vnode.VReg
+	if aux.Type == KSymlink {
+		t = vnode.VLnk
+	}
+	return vnode.Attr{
+		Type:   t,
+		Mode:   da.Mode,
+		Nlink:  aux.Nlink,
+		Size:   da.Size,
+		Mtime:  aux.VV.Total(),
+		Ctime:  da.Ctime,
+		FileID: v.fid.String(),
+	}, nil
+}
+
+func readAuxFileFollow(storeRoot, dir vnode.Vnode, name string) (Aux, error) {
+	f, err := lookupFollow(storeRoot, dir, name)
+	if err != nil {
+		return Aux{}, err
+	}
+	data, err := vnode.ReadFile(f)
+	if err != nil {
+		return Aux{}, err
+	}
+	if len(data) == 0 {
+		return Aux{}, ErrNotStored
+	}
+	return decodeAux(data)
+}
+
+func (v *pvnode) Setattr(sa vnode.SetAttr) error {
+	if sa.Size != nil {
+		if err := v.Truncate(*sa.Size); err != nil {
+			return err
+		}
+	}
+	if sa.Mode != nil && !v.kind.IsDir() {
+		df, err := v.dataFile()
+		if err != nil {
+			return err
+		}
+		if err := df.Setattr(vnode.SetAttr{Mode: sa.Mode}); err != nil {
+			return err
+		}
+		v.l.mu.Lock()
+		defer v.l.mu.Unlock()
+		return v.bumpFileLocked()
+	}
+	return nil
+}
+
+func (v *pvnode) Access(uint16) error { return nil }
+
+func (v *pvnode) Remove(name string) error {
+	if !v.kind.IsDir() {
+		return vnode.ENOTDIR
+	}
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	cont, entries, err := v.dirStateLocked()
+	if err != nil {
+		return err
+	}
+	idx := -1
+	for i, e := range entries {
+		if e.Live() && RenderedName(entries, e) == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return vnode.ENOENT
+	}
+	e := entries[idx]
+	if e.Kind.IsDir() {
+		return vnode.EISDIR
+	}
+	entries[idx].Deleted = true
+	if err := v.l.writeDirFileLocked(cont, entries); err != nil {
+		return err
+	}
+	if err := v.bumpDirLocked(cont); err != nil {
+		return err
+	}
+	return v.derefStorageLocked(cont, entries, e.Child)
+}
+
+// derefStorageLocked drops one reference to child's storage, deleting the
+// data and aux files when no live entry in this directory still names it.
+func (v *pvnode) derefStorageLocked(cont vnode.Vnode, entries []Entry, child ids.FileID) error {
+	if countLiveRefs(entries, child) > 0 {
+		// Still named: just decrement the aux link count.
+		auxName := prefixAux + child.String()
+		aux, err := readAuxFileFollow(v.l.root, cont, auxName)
+		if err != nil {
+			return nil // not stored here; nothing to do
+		}
+		if aux.Nlink > 1 {
+			aux.Nlink--
+			af, err := lookupFollow(v.l.root, cont, auxName)
+			if err != nil {
+				return err
+			}
+			return writeAuxVnode(af, &aux)
+		}
+		return nil
+	}
+	// Last name gone: reclaim storage if present.
+	if err := cont.Remove(prefixData + child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
+		return err
+	}
+	if err := cont.Remove(prefixAux + child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
+		return err
+	}
+	return nil
+}
+
+func (v *pvnode) Rmdir(name string) error {
+	if !v.kind.IsDir() {
+		return vnode.ENOTDIR
+	}
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	cont, entries, err := v.dirStateLocked()
+	if err != nil {
+		return err
+	}
+	idx := -1
+	for i, e := range entries {
+		if e.Live() && RenderedName(entries, e) == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return vnode.ENOENT
+	}
+	e := entries[idx]
+	if !e.Kind.IsDir() {
+		return vnode.ENOTDIR
+	}
+	// The child must be empty (no live entries) if we store it; an unstored
+	// child is deletable blindly — optimism, reconciliation cleans up.
+	if sub, err := lookupFollow(v.l.root, cont, prefixDir+e.Child.String()); err == nil {
+		subEntries, err := v.l.readDirFileLocked(sub)
+		if err != nil {
+			return err
+		}
+		for _, se := range subEntries {
+			if se.Live() {
+				return vnode.ENOTEMPTY
+			}
+		}
+	}
+	entries[idx].Deleted = true
+	if err := v.l.writeDirFileLocked(cont, entries); err != nil {
+		return err
+	}
+	return v.bumpDirLocked(cont)
+}
+
+// Link adds another name for target within this same directory — Ficus
+// files live in a DAG and may bear several names (§2.5).  Cross-directory
+// hard links are not supported by this physical layer (EXDEV); the logical
+// layer surfaces that restriction.
+func (v *pvnode) Link(name string, target vnode.Vnode) error {
+	if !v.kind.IsDir() {
+		return vnode.ENOTDIR
+	}
+	t, ok := target.(*pvnode)
+	if !ok || t.l != v.l {
+		return vnode.EXDEV
+	}
+	if t.kind.IsDir() {
+		return vnode.EPERM
+	}
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if len(v.selfPath()) != len(t.dirPath) || !samePath(v.selfPath(), t.dirPath) {
+		return vnode.EXDEV
+	}
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	cont, entries, err := v.dirStateLocked()
+	if err != nil {
+		return err
+	}
+	if _, ok := findByRenderedName(entries, name); ok {
+		return vnode.EEXIST
+	}
+	eid, err := v.l.nextIDLocked()
+	if err != nil {
+		return err
+	}
+	auxName := prefixAux + t.fid.String()
+	aux, err := readAuxFileFollow(v.l.root, cont, auxName)
+	if err != nil {
+		return err
+	}
+	aux.Nlink++
+	af, err := lookupFollow(v.l.root, cont, auxName)
+	if err != nil {
+		return err
+	}
+	if err := writeAuxVnode(af, &aux); err != nil {
+		return err
+	}
+	entries = append(entries, Entry{EID: eid, Name: name, Child: t.fid, Kind: t.kind})
+	if err := v.l.writeDirFileLocked(cont, entries); err != nil {
+		return err
+	}
+	return v.bumpDirLocked(cont)
+}
+
+func samePath(a, b []ids.FileID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *pvnode) Rename(oldName string, dstDir vnode.Vnode, newName string) error {
+	if !v.kind.IsDir() {
+		return vnode.ENOTDIR
+	}
+	d, ok := dstDir.(*pvnode)
+	if !ok || d.l != v.l || !d.kind.IsDir() {
+		return vnode.EXDEV
+	}
+	if err := checkName(newName); err != nil {
+		return err
+	}
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	srcCont, srcEntries, err := v.dirStateLocked()
+	if err != nil {
+		return err
+	}
+	srcIdx := -1
+	for i, e := range srcEntries {
+		if e.Live() && RenderedName(srcEntries, e) == oldName {
+			srcIdx = i
+			break
+		}
+	}
+	if srcIdx < 0 {
+		return vnode.ENOENT
+	}
+	e := srcEntries[srcIdx]
+	sameDir := samePath(v.selfPath(), d.selfPath())
+	if sameDir && oldName == newName {
+		return nil
+	}
+	// Destination handling.
+	dstCont := srcCont
+	dstEntries := srcEntries
+	if !sameDir {
+		dstCont, dstEntries, err = d.dirStateLocked()
+		if err != nil {
+			return err
+		}
+	}
+	if old, ok := findByRenderedName(dstEntries, newName); ok {
+		if old.Kind.IsDir() || e.Kind.IsDir() {
+			return vnode.EEXIST
+		}
+		// Replace: tombstone the old destination entry.
+		for i := range dstEntries {
+			if dstEntries[i].EID == old.EID {
+				dstEntries[i].Deleted = true
+			}
+		}
+		if err := v.l.writeDirFileLocked(dstCont, dstEntries); err != nil {
+			return err
+		}
+		dst := &pvnode{l: v.l, fid: d.fid, kind: d.kind, dirPath: d.dirPath}
+		if err := dst.derefStorageLocked(dstCont, dstEntries, old.Child); err != nil {
+			return err
+		}
+		// Re-read after the replace so the insert below sees fresh state.
+		dstEntries, err = v.l.readDirFileLocked(dstCont)
+		if err != nil {
+			return err
+		}
+		if sameDir {
+			srcEntries = dstEntries
+		}
+	}
+	// Move storage across containers.
+	if !sameDir {
+		if e.Kind.IsDir() {
+			if err := srcCont.Rename(prefixDir+e.Child.String(), dstCont, prefixDir+e.Child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
+				return err
+			}
+		} else {
+			for _, p := range []string{prefixData, prefixAux} {
+				if err := srcCont.Rename(p+e.Child.String(), dstCont, p+e.Child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
+					return err
+				}
+			}
+		}
+	}
+	// Tombstone the source entry; insert a fresh entry at the destination.
+	eid, err := v.l.nextIDLocked()
+	if err != nil {
+		return err
+	}
+	for i := range srcEntries {
+		if srcEntries[i].EID == e.EID {
+			srcEntries[i].Deleted = true
+		}
+	}
+	if sameDir {
+		srcEntries = append(srcEntries, Entry{EID: eid, Name: newName, Child: e.Child, Kind: e.Kind, Value: e.Value})
+		if err := v.l.writeDirFileLocked(srcCont, srcEntries); err != nil {
+			return err
+		}
+		return v.bumpDirLocked(srcCont)
+	}
+	if err := v.l.writeDirFileLocked(srcCont, srcEntries); err != nil {
+		return err
+	}
+	dstEntries = append(dstEntries, Entry{EID: eid, Name: newName, Child: e.Child, Kind: e.Kind, Value: e.Value})
+	if err := v.l.writeDirFileLocked(dstCont, dstEntries); err != nil {
+		return err
+	}
+	if err := v.bumpDirLocked(srcCont); err != nil {
+		return err
+	}
+	return v.bumpDirLocked(dstCont)
+}
+
+func (v *pvnode) Readdir() ([]vnode.Dirent, error) {
+	if !v.kind.IsDir() {
+		return nil, vnode.ENOTDIR
+	}
+	v.l.mu.Lock()
+	defer v.l.mu.Unlock()
+	_, entries, err := v.dirStateLocked()
+	if err != nil {
+		return nil, err
+	}
+	live := liveSorted(entries)
+	out := make([]vnode.Dirent, 0, len(live))
+	for _, e := range live {
+		t := vnode.VReg
+		switch e.Kind {
+		case KDir, KGraft:
+			t = vnode.VDir
+		case KSymlink:
+			t = vnode.VLnk
+		}
+		out = append(out, vnode.Dirent{
+			Name:   RenderedName(entries, e),
+			FileID: e.Child.String(),
+			Type:   t,
+			Value:  e.Value,
+		})
+	}
+	return out, nil
+}

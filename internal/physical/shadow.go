@@ -1,0 +1,107 @@
+package physical
+
+import (
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/vnode"
+	"repro/internal/vv"
+)
+
+// Ficus contains a single-file atomic commit service to support file update
+// propagation (paper §3.2): "A shadow file replica is used to hold the new
+// version until it is completely propagated, and then the shadow atomically
+// replaces the original by changing a low-level directory reference.  If a
+// crash occurs before the shadow substitution, the original replica is
+// retained during recovery and the shadow discarded."
+
+// InstallFileVersion atomically replaces the local replica of file fid in
+// directory dirPath with data, setting its version vector to newVV (the
+// caller — the propagation daemon or reconciliation — has already decided
+// that the remote version dominates, or has merged vectors after resolving
+// a conflict).  If the file is not stored locally, storage is created: this
+// is also how a replica acquires its first copy of a file during subtree
+// reconciliation.
+func (l *Layer) InstallFileVersion(dirPath []ids.FileID, fid ids.FileID, kind Kind, data []byte, newVV vv.Vector, nlink uint32) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return err
+	}
+	base := prefixData + fid.String()
+	shadow := base + suffixShadow
+
+	// 1. Write the complete new version into the shadow.
+	sf, err := cont.Create(shadow, false)
+	if err != nil {
+		return err
+	}
+	if err := vnode.WriteFile(sf, data); err != nil {
+		return err
+	}
+	// 2. Atomically substitute the shadow for the original.
+	if err := cont.Rename(shadow, cont, base); err != nil {
+		return err
+	}
+	// 3. Record the new version vector.  A crash between 2 and 3 leaves
+	// new data under the old vector; the next propagation re-pulls and
+	// re-installs — safe because installation is idempotent.
+	if nlink == 0 {
+		nlink = 1
+	}
+	aux := Aux{Type: kind, Nlink: nlink, VV: newVV.Clone()}
+	return writeAuxFile(cont, prefixAux+fid.String(), &aux)
+}
+
+// Recover scans every directory container for leftover shadow files and
+// applies the paper's recovery rule: if the original replica survives, the
+// shadow is discarded; if the crash landed mid-substitution (original gone,
+// complete shadow present), the shadow is promoted.
+func (l *Layer) Recover() error {
+	cont, err := l.rootContainer()
+	if err != nil {
+		// A freshly formatted store that failed before creating the root
+		// container has nothing to recover.
+		if vnode.AsErrno(err) == vnode.ENOENT {
+			return nil
+		}
+		return err
+	}
+	return l.recoverContainer(cont)
+}
+
+func (l *Layer) recoverContainer(cont vnode.Vnode) error {
+	ents, err := cont.Readdir()
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		switch {
+		case strings.HasSuffix(e.Name, suffixShadow):
+			base := strings.TrimSuffix(e.Name, suffixShadow)
+			if _, err := cont.Lookup(base); err == nil {
+				// Original intact: crash before substitution; discard.
+				if err := cont.Remove(e.Name); err != nil {
+					return err
+				}
+			} else if vnode.AsErrno(err) == vnode.ENOENT {
+				// Mid-substitution: the shadow is the complete new version.
+				if err := cont.Rename(e.Name, cont, base); err != nil {
+					return err
+				}
+			} else {
+				return err
+			}
+		case strings.HasPrefix(e.Name, prefixDir) && e.Type == vnode.VDir:
+			sub, err := cont.Lookup(e.Name)
+			if err != nil {
+				return err
+			}
+			if err := l.recoverContainer(sub); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

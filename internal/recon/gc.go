@@ -1,0 +1,104 @@
+package recon
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/physical"
+)
+
+// Tombstone garbage collection.  Directory reconciliation propagates
+// deletions as tombstones; a tombstone may only be discarded once *every*
+// replica of the volume carries it — otherwise a replica that never saw the
+// delete would re-introduce the dead entry at the next merge.  The real
+// Ficus tracks this with a two-phase algorithm in the reconciliation
+// protocol (Guy's dissertation); this reproduction implements the
+// snapshot-coordinated special case: when the caller can reach every
+// replica of the volume, the tombstones present on all of them are
+// collected from the local replica.  Each host runs the same collection, so
+// tombstones disappear everywhere within one fully connected period; a
+// replica that temporarily re-adopts a tombstone from a slower peer just
+// re-collects it next round.
+
+// ErrPeersIncomplete reports a GC attempt without the full replica set.
+var ErrPeersIncomplete = errors.New("recon: tombstone GC requires all replicas reachable")
+
+// TombstoneGC removes, from the local replica, every tombstone that all
+// peers also carry.  peers must be the complete set of OTHER replicas of
+// the volume; the caller verifies reachability (a vanished peer surfaces as
+// an error mid-walk, which aborts that directory but never removes
+// anything unsafely).  Returns the number of tombstones collected.
+func TombstoneGC(local *physical.Layer, peers []Peer) (int, error) {
+	return gcDir(local, peers, physical.RootPath())
+}
+
+func gcDir(local *physical.Layer, peers []Peer, dirPath []ids.FileID) (int, error) {
+	lstate, err := local.DirEntries(dirPath)
+	if err != nil {
+		if errors.Is(err, physical.ErrNotStored) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var localTombs []ids.FileID
+	for _, e := range lstate.Entries {
+		if e.Deleted {
+			localTombs = append(localTombs, e.EID)
+		}
+	}
+	collected := 0
+	if len(localTombs) > 0 {
+		// A tombstone is collectable unless some peer still holds the
+		// entry LIVE (that peer has not yet seen the delete and would
+		// re-introduce it at its next merge).  A peer with the tombstone,
+		// with no trace of the entry (it never saw the insertion, or it
+		// already collected), or with no replica of this directory at all,
+		// cannot resurrect the entry and does not veto.
+		candidate := make(map[ids.FileID]bool, len(localTombs))
+		for _, eid := range localTombs {
+			candidate[eid] = true
+		}
+		for _, p := range peers {
+			rstate, err := p.DirEntries(dirPath)
+			if err != nil {
+				if errors.Is(err, physical.ErrNotStored) {
+					continue
+				}
+				return 0, fmt.Errorf("recon: gc: peer %d: %w", p.Replica(), err)
+			}
+			for _, e := range rstate.Entries {
+				if e.Live() && candidate[e.EID] {
+					delete(candidate, e.EID)
+				}
+			}
+		}
+		if len(candidate) > 0 {
+			drop := make([]ids.FileID, 0, len(candidate))
+			for eid := range candidate {
+				drop = append(drop, eid)
+			}
+			n, err := local.DropTombstones(dirPath, drop)
+			if err != nil {
+				return collected, err
+			}
+			collected += n
+		}
+	}
+	// Recurse into stored child directories.
+	for _, e := range lstate.Entries {
+		if !e.Live() || !e.Kind.IsDir() {
+			continue
+		}
+		childPath := append(append([]ids.FileID(nil), dirPath...), e.Child)
+		if !local.HasDir(childPath) {
+			continue
+		}
+		n, err := gcDir(local, peers, childPath)
+		collected += n
+		if err != nil {
+			return collected, err
+		}
+	}
+	return collected, nil
+}

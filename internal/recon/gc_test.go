@@ -1,0 +1,150 @@
+package recon
+
+import (
+	"testing"
+
+	"repro/internal/physical"
+	"repro/internal/vnode"
+)
+
+func tombstoneCount(t *testing.T, l *physical.Layer) int {
+	t.Helper()
+	ds, err := l.DirEntries(physical.RootPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ds.Entries {
+		if e.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTombstoneGCCollectsWhenAllReplicasAgree(t *testing.T) {
+	a, b := newReplica(t, 1), newReplica(t, 2)
+	write(t, a, "doomed", "x")
+	reconcileBoth(t, a, b)
+	rootA, _ := a.Root()
+	if err := rootA.Remove("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	reconcileBoth(t, a, b)
+	if tombstoneCount(t, a) != 1 || tombstoneCount(t, b) != 1 {
+		t.Fatalf("tombstones %d/%d, want 1/1", tombstoneCount(t, a), tombstoneCount(t, b))
+	}
+	// Both replicas carry the tombstone: collectable on both sides.
+	nA, err := TombstoneGC(a, []Peer{b})
+	if err != nil || nA != 1 {
+		t.Fatalf("gc on a: %d, %v", nA, err)
+	}
+	nB, err := TombstoneGC(b, []Peer{a})
+	if err != nil || nB != 1 {
+		t.Fatalf("gc on b: %d, %v", nB, err)
+	}
+	if tombstoneCount(t, a)+tombstoneCount(t, b) != 0 {
+		t.Fatal("tombstones survived GC")
+	}
+	// The deletion stays deleted through further reconciliation.
+	sa, sb := reconcileBoth(t, a, b)
+	if sa.Changed() || sb.Changed() {
+		t.Fatalf("post-GC reconciliation changed state: %v %v", sa, sb)
+	}
+	if _, err := read(t, a, "doomed"); vnode.AsErrno(err) != vnode.ENOENT {
+		t.Fatalf("deleted file resurrected: %v", err)
+	}
+}
+
+func TestTombstoneGCRefusesWhileDeleteUnseen(t *testing.T) {
+	a, b := newReplica(t, 1), newReplica(t, 2)
+	write(t, a, "doomed", "x")
+	reconcileBoth(t, a, b)
+	rootA, _ := a.Root()
+	if err := rootA.Remove("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	// b has NOT seen the delete; its replica still holds the live entry.
+	n, err := TombstoneGC(a, []Peer{b})
+	if err != nil || n != 0 {
+		t.Fatalf("gc collected %d with an unaware replica, %v", n, err)
+	}
+	// Reconciliation still propagates the delete afterwards.
+	reconcileBoth(t, a, b)
+	if _, err := read(t, b, "doomed"); vnode.AsErrno(err) != vnode.ENOENT {
+		t.Fatalf("delete lost: %v", err)
+	}
+}
+
+func TestTombstoneGCAsymmetricResurrectionSafety(t *testing.T) {
+	// The scenario GC must never allow: a drops the tombstone while b still
+	// has the live entry; the next merge would resurrect the file.  The
+	// all-replicas condition prevents it; this test pins the behaviour.
+	a, b := newReplica(t, 1), newReplica(t, 2)
+	write(t, a, "f", "x")
+	reconcileBoth(t, a, b)
+	rootA, _ := a.Root()
+	rootA.Remove("f")
+	// GC (correctly refuses because b lacks the tombstone), then reconcile.
+	if n, _ := TombstoneGC(a, []Peer{b}); n != 0 {
+		t.Fatal("unsafe collection")
+	}
+	if _, err := ReconcileVolume(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReconcileVolume(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := read(t, a, "f"); vnode.AsErrno(err) != vnode.ENOENT {
+		t.Fatal("file resurrected on a")
+	}
+	if _, err := read(t, b, "f"); vnode.AsErrno(err) != vnode.ENOENT {
+		t.Fatal("file resurrected on b")
+	}
+}
+
+func TestTombstoneGCInSubdirectories(t *testing.T) {
+	a, b := newReplica(t, 1), newReplica(t, 2)
+	rootA, _ := a.Root()
+	vnode.MkdirAll(rootA, "deep/dir")
+	write(t, a, "deep/dir/f", "x")
+	reconcileBoth(t, a, b)
+	d, err := vnode.Walk(rootA, "deep/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	reconcileBoth(t, a, b)
+	n, err := TombstoneGC(a, []Peer{b})
+	if err != nil || n != 1 {
+		t.Fatalf("subdir gc: %d, %v", n, err)
+	}
+}
+
+func TestTombstoneGCSkipsUnstoredPeerDirs(t *testing.T) {
+	// b stores the root but not the subdirectory: it cannot veto the
+	// subdirectory's tombstones (it can never reintroduce them).
+	a, b := newReplica(t, 1), newReplica(t, 2)
+	rootA, _ := a.Root()
+	d, err := rootA.Mkdir("only-on-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("f", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	// Merge only the root entry into b, leaving the subdir unstored there.
+	da, _ := a.DirEntries(physical.RootPath())
+	if _, err := b.ApplyDirMerge(physical.RootPath(), da); err != nil {
+		t.Fatal(err)
+	}
+	n, err := TombstoneGC(a, []Peer{b})
+	if err != nil || n != 1 {
+		t.Fatalf("gc with unstored peer dir: %d, %v", n, err)
+	}
+}

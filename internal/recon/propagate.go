@@ -1,0 +1,106 @@
+package recon
+
+import (
+	"errors"
+
+	"repro/internal/ids"
+	"repro/internal/physical"
+	"repro/internal/vv"
+)
+
+// PeerFinder locates a pull source for a given replica; nil means the
+// replica is currently unreachable (its new-version cache entries stay
+// queued for a later attempt).
+type PeerFinder func(ids.ReplicaID) Peer
+
+// PropagateOnce runs one pass of the update propagation daemon (paper
+// §3.2): "An update propagation daemon consults this [new-version] cache to
+// see what new replica versions should be propagated in, and performs the
+// propagation when it deems it appropriate to expend the effort."
+//
+// For each pending notification the daemon pulls the announced file from
+// the originating replica:
+//
+//   - remote dominates        -> install via the single-file atomic commit
+//   - equal or local dominates -> drop the notification (stale news)
+//   - concurrent              -> report a conflict to the owner and drop
+//   - origin unreachable       -> keep the entry for a later pass
+//
+// Directories are propagated by replaying operations, not by copying
+// ("simply copying directory contents is incorrect"), so a notification
+// about a directory triggers a directory reconciliation against the origin.
+func PropagateOnce(local *physical.Layer, find PeerFinder) (Stats, error) {
+	var stats Stats
+	for _, nv := range local.PendingVersions() {
+		peer := find(nv.Origin)
+		if peer == nil {
+			continue // unreachable: retry later
+		}
+		done, err := propagateOne(local, peer, nv, &stats)
+		if err != nil {
+			return stats, err
+		}
+		if done {
+			local.DropPending(nv.File)
+		}
+	}
+	return stats, nil
+}
+
+func propagateOne(local *physical.Layer, peer Peer, nv physical.NewVersion, stats *Stats) (bool, error) {
+	rinfo, err := peer.FileInfo(nv.Dir, nv.File)
+	if err != nil {
+		if errors.Is(err, physical.ErrNotStored) {
+			// The origin no longer stores the file (e.g. removed); the
+			// tombstone will arrive through directory reconciliation.
+			return true, nil
+		}
+		return false, nil // transient: keep pending
+	}
+	if rinfo.Aux.Type.IsDir() {
+		childPath := append(append([]ids.FileID(nil), nv.Dir...), nv.File)
+		sub, err := ReconcileSubtree(local, peer, childPath)
+		stats.Add(sub)
+		return err == nil, err
+	}
+	linfo, err := local.FileInfo(nv.Dir, nv.File)
+	if err != nil {
+		if errors.Is(err, physical.ErrNotStored) {
+			if err := pullFile(local, peer, nv.Dir, nv.File, rinfo, stats); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		return false, err
+	}
+	switch linfo.Aux.VV.Compare(rinfo.Aux.VV) {
+	case vv.Dominated:
+		if err := pullFile(local, peer, nv.Dir, nv.File, rinfo, stats); err != nil {
+			return false, err
+		}
+		return true, nil
+	case vv.Concurrent:
+		stats.Conflicts++
+		local.ReportConflict(physical.Conflict{
+			File:     nv.File,
+			Dir:      append([]ids.FileID(nil), nv.Dir...),
+			LocalVV:  linfo.Aux.VV.Clone(),
+			RemoteVV: rinfo.Aux.VV.Clone(),
+			Remote:   peer.Replica(),
+			Note:     "concurrent update detected during update propagation",
+		})
+		return true, nil
+	default:
+		return true, nil // stale news
+	}
+}
+
+// Resolve installs a conflict resolution: newData becomes the file's
+// contents under a version vector that dominates both conflicting histories
+// (merge + a local bump), so the resolution propagates everywhere like any
+// other update.  This is the owner-facing half of "detected and reported to
+// the owner".
+func Resolve(local *physical.Layer, c physical.Conflict, newData []byte) error {
+	merged := vv.Merge(c.LocalVV, c.RemoteVV).Bump(local.Replica())
+	return local.InstallFileVersion(c.Dir, c.File, physical.KFile, newData, merged, 1)
+}

@@ -1,0 +1,236 @@
+// Package recon implements the Ficus reconciliation protocols (paper §3.2,
+// §3.3): update propagation for regular files and the directory and subtree
+// reconciliation algorithms.
+//
+// "A reconciliation algorithm examines the state of two replicas,
+// determines which operations have been performed on each, selects a set of
+// operations to perform on the local replica which reflect previously
+// unseen activity at the remote replica, and then applies those operations
+// to the local replica."
+//
+// Reconciliation is one-way pull: the local replica updates itself from a
+// remote peer and never writes to it.  Running the pull on both sides (or
+// around a gossip cycle) converges all replicas.  For regular files the
+// version vectors decide: a dominating remote version is installed through
+// the physical layer's single-file atomic commit; concurrent versions are a
+// conflict, reported to the owner and left untouched.  For directories the
+// physical layer's entry merge replays insertions and deletions; conflicts
+// there are repaired automatically.
+package recon
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/physical"
+	"repro/internal/vv"
+)
+
+// Peer is the read-only view of a remote volume replica that reconciliation
+// pulls from.  *physical.Layer satisfies it directly (co-resident
+// reconciliation); internal/repl provides the RPC-backed implementation.
+type Peer interface {
+	// Replica identifies the peer's volume replica.
+	Replica() ids.ReplicaID
+	// DirEntries returns a directory's entries and version vector.
+	DirEntries(dirPath []ids.FileID) (physical.DirState, error)
+	// FileInfo returns a file's auxiliary attributes.
+	FileInfo(dirPath []ids.FileID, fid ids.FileID) (physical.FileState, error)
+	// FileData returns a file's full contents and attributes.
+	FileData(dirPath []ids.FileID, fid ids.FileID) ([]byte, physical.FileState, error)
+}
+
+var _ Peer = (*physical.Layer)(nil)
+
+// Stats summarizes one reconciliation or propagation pass.
+type Stats struct {
+	DirsVisited    int // directories compared
+	DirsCreated    int // local containers materialized for remote dirs
+	EntriesAdopted int // entries inserted by the merge
+	EntriesDeleted int // local entries tombstoned by remote deletes
+	FilesPulled    int // file versions installed via atomic commit
+	Conflicts      int // concurrent file updates detected and reported
+	NameRepairs    int // same-name entry pairs coexisting after auto-repair
+	Skipped        int // subtrees skipped (not stored on one side)
+}
+
+// Add accumulates.
+func (s *Stats) Add(t Stats) {
+	s.DirsVisited += t.DirsVisited
+	s.DirsCreated += t.DirsCreated
+	s.EntriesAdopted += t.EntriesAdopted
+	s.EntriesDeleted += t.EntriesDeleted
+	s.FilesPulled += t.FilesPulled
+	s.Conflicts += t.Conflicts
+	s.NameRepairs += t.NameRepairs
+	s.Skipped += t.Skipped
+}
+
+// Changed reports whether the pass modified the local replica.
+func (s Stats) Changed() bool {
+	return s.DirsCreated > 0 || s.EntriesAdopted > 0 || s.EntriesDeleted > 0 || s.FilesPulled > 0
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("dirs=%d created=%d adopted=%d deleted=%d pulled=%d conflicts=%d repairs=%d skipped=%d",
+		s.DirsVisited, s.DirsCreated, s.EntriesAdopted, s.EntriesDeleted, s.FilesPulled, s.Conflicts, s.NameRepairs, s.Skipped)
+}
+
+// ReconcileVolume reconciles the local replica's entire tree against the
+// remote peer, starting at the volume root ("executed periodically to
+// traverse an entire subgraph, not just a single node", §3.3).
+func ReconcileVolume(local *physical.Layer, remote Peer) (Stats, error) {
+	return ReconcileSubtree(local, remote, physical.RootPath())
+}
+
+// ReconcileSubtree reconciles the directory at dirPath and everything below
+// it.  The local replica must store dirPath.
+func ReconcileSubtree(local *physical.Layer, remote Peer, dirPath []ids.FileID) (Stats, error) {
+	var stats Stats
+	if err := reconcileDir(local, remote, dirPath, &stats); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+func reconcileDir(local *physical.Layer, remote Peer, dirPath []ids.FileID, stats *Stats) error {
+	rstate, err := remote.DirEntries(dirPath)
+	if err != nil {
+		if errors.Is(err, physical.ErrNotStored) {
+			stats.Skipped++
+			return nil // the peer stores nothing here; nothing to learn
+		}
+		return err
+	}
+	stats.DirsVisited++
+	res, err := local.ApplyDirMerge(dirPath, rstate)
+	if err != nil {
+		if errors.Is(err, physical.ErrNotStored) {
+			// The local replica does not store this directory; nothing to
+			// merge into (storage of non-root directories is optional,
+			// §4.1).
+			stats.Skipped++
+			return nil
+		}
+		return err
+	}
+	stats.EntriesAdopted += res.Inserted
+	stats.EntriesDeleted += res.Deleted
+	stats.NameRepairs = max(stats.NameRepairs, res.NameConfls)
+
+	lstate, err := local.DirEntries(dirPath)
+	if err != nil {
+		return err
+	}
+	for _, e := range lstate.Entries {
+		if !e.Live() {
+			continue
+		}
+		switch {
+		case e.Kind.IsDir():
+			childPath := append(append([]ids.FileID(nil), dirPath...), e.Child)
+			if !local.HasDir(childPath) {
+				// Materialize local storage for a directory learned from
+				// the peer, copying its kind/graft target.
+				raux, err := remote.DirEntries(childPath)
+				if err != nil {
+					if errors.Is(err, physical.ErrNotStored) {
+						stats.Skipped++
+						continue
+					}
+					return err
+				}
+				if err := local.EnsureDirStored(dirPath, e.Child, raux.Aux); err != nil {
+					return err
+				}
+				stats.DirsCreated++
+			}
+			if err := reconcileDir(local, remote, childPath, stats); err != nil {
+				return err
+			}
+		default:
+			if err := reconcileFile(local, remote, dirPath, e, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// reconcileFile compares one file replica pair by version vector and pulls
+// the remote version when it dominates.  Concurrent versions are a
+// conflict: reported to the owner, data untouched (the owner resolves).
+func reconcileFile(local *physical.Layer, remote Peer, dirPath []ids.FileID, e physical.Entry, stats *Stats) error {
+	rinfo, err := remote.FileInfo(dirPath, e.Child)
+	if err != nil {
+		if errors.Is(err, physical.ErrNotStored) {
+			stats.Skipped++
+			return nil
+		}
+		return err
+	}
+	linfo, err := local.FileInfo(dirPath, e.Child)
+	if err != nil {
+		if errors.Is(err, physical.ErrNotStored) {
+			// First local copy: adopt the remote version wholesale.
+			return pullFile(local, remote, dirPath, e.Child, rinfo, stats)
+		}
+		return err
+	}
+	switch linfo.Aux.VV.Compare(rinfo.Aux.VV) {
+	case vv.Dominated:
+		if err := pullFile(local, remote, dirPath, e.Child, rinfo, stats); err != nil {
+			return err
+		}
+		// The replicas are comparable again: any logged conflict on this
+		// file has been superseded (e.g. by an owner's resolution).
+		local.ClearConflictsFor(e.Child)
+	case vv.Concurrent:
+		stats.Conflicts++
+		local.ReportConflict(physical.Conflict{
+			File:     e.Child,
+			Dir:      append([]ids.FileID(nil), dirPath...),
+			LocalVV:  linfo.Aux.VV.Clone(),
+			RemoteVV: rinfo.Aux.VV.Clone(),
+			Remote:   remote.Replica(),
+			Note:     "concurrent update detected during reconciliation",
+		})
+	default:
+		local.ClearConflictsFor(e.Child)
+	}
+	return nil
+}
+
+func pullFile(local *physical.Layer, remote Peer, dirPath []ids.FileID, fid ids.FileID, rinfo physical.FileState, stats *Stats) error {
+	data, rst, err := remote.FileData(dirPath, fid)
+	if err != nil {
+		if errors.Is(err, physical.ErrNotStored) {
+			stats.Skipped++
+			return nil
+		}
+		return err
+	}
+	// Install under the attributes that came WITH the data (the file may
+	// have advanced between FileInfo and FileData).
+	if err := local.InstallFileVersion(dirPath, fid, rst.Aux.Type, data, rst.Aux.VV, rst.Aux.Nlink); err != nil {
+		if errors.Is(err, physical.ErrNotStored) {
+			// The local replica does not store the containing directory
+			// (yet); subtree reconciliation will materialize it first.
+			stats.Skipped++
+			return nil
+		}
+		return err
+	}
+	_ = rinfo
+	stats.FilesPulled++
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,296 @@
+// Package repl carries the replication-control traffic between Ficus
+// physical layers on different hosts: the pulls issued by the update
+// propagation daemon and the reconciliation protocol (paper §3.2–§3.3),
+// plus the volume-replica probes autografting needs (§4.4).
+//
+// It is deliberately separate from the NFS transport: NFS carries the
+// client data path between logical and physical layers, while repl is the
+// physical-to-physical back channel reconciliation runs over.  (In the real
+// Ficus this traffic ran through customized user-level daemons; the
+// separation of data path and reconciliation path is faithful.)
+package repl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/physical"
+	"repro/internal/recon"
+	"repro/internal/simnet"
+	"repro/internal/vv"
+)
+
+// Service is the simnet RPC service name.
+const Service = "ficus-repl"
+
+// Errors returned by clients.
+var (
+	// ErrUnreachable reports that the peer host cannot be contacted.
+	ErrUnreachable = errors.New("repl: peer unreachable")
+	// ErrNoReplica reports that the peer host stores no such volume replica.
+	ErrNoReplica = errors.New("repl: no such volume replica at peer")
+)
+
+type opCode int
+
+const (
+	opPing opCode = iota
+	opDirEntries
+	opFileInfo
+	opFileData
+	opListReplicas
+)
+
+type request struct {
+	Op      opCode
+	Vol     ids.VolumeHandle
+	Replica ids.ReplicaID
+	Dir     []ids.FileID
+	File    ids.FileID
+}
+
+type wireEntry struct {
+	EID     ids.FileID
+	Name    string
+	Child   ids.FileID
+	Kind    byte
+	Deleted bool
+	Value   string
+}
+
+type response struct {
+	Err       string // "" = ok
+	NotStored bool
+	NoReplica bool
+	Entries   []wireEntry
+	VV        vv.Vector
+	Aux       wireAux
+	Size      uint64
+	Data      []byte
+	Replicas  []ids.ReplicaID
+}
+
+type wireAux struct {
+	Type     byte
+	Nlink    uint32
+	VV       vv.Vector
+	GraftVol ids.VolumeHandle
+}
+
+func toWireAux(a physical.Aux) wireAux {
+	return wireAux{Type: byte(a.Type), Nlink: a.Nlink, VV: a.VV, GraftVol: a.GraftVol}
+}
+
+func fromWireAux(w wireAux) physical.Aux {
+	return physical.Aux{Type: physical.Kind(w.Type), Nlink: w.Nlink, VV: w.VV, GraftVol: w.GraftVol}
+}
+
+// Server exports the volume replicas registered on one host.
+type Server struct {
+	mu     sync.Mutex
+	layers map[ids.VolumeReplicaHandle]*physical.Layer
+}
+
+// NewServer installs a repl server on the host.
+func NewServer(host *simnet.Host) *Server {
+	s := &Server{layers: make(map[ids.VolumeReplicaHandle]*physical.Layer)}
+	host.HandleRPC(Service, s.handle)
+	return s
+}
+
+// Register exports a volume replica.
+func (s *Server) Register(l *physical.Layer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.layers[l.VolumeReplica()] = l
+}
+
+// Unregister withdraws a volume replica.
+func (s *Server) Unregister(vr ids.VolumeReplicaHandle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.layers, vr)
+}
+
+func (s *Server) layerFor(vol ids.VolumeHandle, r ids.ReplicaID) *physical.Layer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.layers[ids.VolumeReplicaHandle{Vol: vol, Replica: r}]
+}
+
+func (s *Server) handle(reqBytes []byte) ([]byte, error) {
+	var req request
+	if err := gob.NewDecoder(bytes.NewReader(reqBytes)).Decode(&req); err != nil {
+		return marshal(response{Err: "bad request"})
+	}
+	return marshal(s.dispatch(&req))
+}
+
+func marshal(resp response) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *Server) dispatch(req *request) response {
+	if req.Op == opListReplicas {
+		s.mu.Lock()
+		var reps []ids.ReplicaID
+		for vr := range s.layers {
+			if vr.Vol == req.Vol {
+				reps = append(reps, vr.Replica)
+			}
+		}
+		s.mu.Unlock()
+		return response{Replicas: reps}
+	}
+	l := s.layerFor(req.Vol, req.Replica)
+	if l == nil {
+		return response{NoReplica: true}
+	}
+	switch req.Op {
+	case opPing:
+		return response{}
+	case opDirEntries:
+		ds, err := l.DirEntries(req.Dir)
+		if err != nil {
+			return errResponse(err)
+		}
+		wes := make([]wireEntry, len(ds.Entries))
+		for i, e := range ds.Entries {
+			wes[i] = wireEntry{EID: e.EID, Name: e.Name, Child: e.Child, Kind: byte(e.Kind), Deleted: e.Deleted, Value: e.Value}
+		}
+		return response{Entries: wes, VV: ds.VV, Aux: toWireAux(ds.Aux)}
+	case opFileInfo:
+		st, err := l.FileInfo(req.Dir, req.File)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{Aux: toWireAux(st.Aux), Size: st.Size}
+	case opFileData:
+		data, st, err := l.FileData(req.Dir, req.File)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{Data: data, Aux: toWireAux(st.Aux), Size: st.Size}
+	default:
+		return response{Err: "unknown op"}
+	}
+}
+
+func errResponse(err error) response {
+	if errors.Is(err, physical.ErrNotStored) {
+		return response{NotStored: true}
+	}
+	return response{Err: err.Error()}
+}
+
+// Client is a recon.Peer backed by RPC to a remote host's repl server.
+type Client struct {
+	host *simnet.Host
+	addr simnet.Addr
+	vr   ids.VolumeReplicaHandle
+}
+
+var _ recon.Peer = (*Client)(nil)
+
+// NewClient builds a peer for the volume replica vr served at addr,
+// issuing calls from host.
+func NewClient(host *simnet.Host, addr simnet.Addr, vr ids.VolumeReplicaHandle) *Client {
+	return &Client{host: host, addr: addr, vr: vr}
+}
+
+// Addr returns the peer host address.
+func (c *Client) Addr() simnet.Addr { return c.addr }
+
+// Replica implements recon.Peer.
+func (c *Client) Replica() ids.ReplicaID { return c.vr.Replica }
+
+func (c *Client) call(req request) (*response, error) {
+	req.Vol = c.vr.Vol
+	req.Replica = c.vr.Replica
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+		return nil, err
+	}
+	respBytes, err := c.host.Call(c.addr, Service, buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	var resp response
+	if err := gob.NewDecoder(bytes.NewReader(respBytes)).Decode(&resp); err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.NotStored:
+		return nil, physical.ErrNotStored
+	case resp.NoReplica:
+		return nil, ErrNoReplica
+	case resp.Err != "":
+		return nil, errors.New("repl: peer error: " + resp.Err)
+	}
+	return &resp, nil
+}
+
+// Ping verifies the peer host serves this volume replica.
+func (c *Client) Ping() error {
+	_, err := c.call(request{Op: opPing})
+	return err
+}
+
+// DirEntries implements recon.Peer.
+func (c *Client) DirEntries(dirPath []ids.FileID) (physical.DirState, error) {
+	resp, err := c.call(request{Op: opDirEntries, Dir: dirPath})
+	if err != nil {
+		return physical.DirState{}, err
+	}
+	entries := make([]physical.Entry, len(resp.Entries))
+	for i, w := range resp.Entries {
+		entries[i] = physical.Entry{EID: w.EID, Name: w.Name, Child: w.Child, Kind: physical.Kind(w.Kind), Deleted: w.Deleted, Value: w.Value}
+	}
+	return physical.DirState{Entries: entries, VV: resp.VV, Aux: fromWireAux(resp.Aux)}, nil
+}
+
+// FileInfo implements recon.Peer.
+func (c *Client) FileInfo(dirPath []ids.FileID, fid ids.FileID) (physical.FileState, error) {
+	resp, err := c.call(request{Op: opFileInfo, Dir: dirPath, File: fid})
+	if err != nil {
+		return physical.FileState{}, err
+	}
+	return physical.FileState{Aux: fromWireAux(resp.Aux), Size: resp.Size}, nil
+}
+
+// FileData implements recon.Peer.
+func (c *Client) FileData(dirPath []ids.FileID, fid ids.FileID) ([]byte, physical.FileState, error) {
+	resp, err := c.call(request{Op: opFileData, Dir: dirPath, File: fid})
+	if err != nil {
+		return nil, physical.FileState{}, err
+	}
+	return resp.Data, physical.FileState{Aux: fromWireAux(resp.Aux), Size: resp.Size}, nil
+}
+
+// ListReplicas asks which replicas of vol the host at addr serves.
+func ListReplicas(host *simnet.Host, addr simnet.Addr, vol ids.VolumeHandle) ([]ids.ReplicaID, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&request{Op: opListReplicas, Vol: vol}); err != nil {
+		return nil, err
+	}
+	respBytes, err := host.Call(addr, Service, buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	var resp response
+	if err := gob.NewDecoder(bytes.NewReader(respBytes)).Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New("repl: peer error: " + resp.Err)
+	}
+	return resp.Replicas, nil
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logical"
+	"repro/internal/vnode"
+)
+
+// TestReconciliationSafetyNetUnderDatagramLoss exercises the division of
+// labour the paper sets up in §3.2–§3.3: update notifications are
+// best-effort datagrams (here: 70% of them are dropped), so propagation
+// alone may miss updates — but the periodic reconciliation protocol
+// guarantees convergence regardless.
+func TestReconciliationSafetyNetUnderDatagramLoss(t *testing.T) {
+	c, err := New(Config{Hosts: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Net.SetDatagramLossRate(0.7)
+
+	root, err := c.Mount(0, logical.FirstAvailable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		f, err := root.Create(fmt.Sprintf("f%02d", i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vnode.WriteFile(f, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Propagation runs, but most notifications never arrived.
+	if _, err := c.PropagateAll(); err != nil {
+		t.Fatal(err)
+	}
+	ns := c.Net.Stats()
+	if ns.DatagramsDropped == 0 {
+		t.Fatal("test needs dropped datagrams to be meaningful")
+	}
+
+	// The reconciliation protocol is the safety net: full convergence.
+	if _, err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		l := c.Replica(i)
+		r, _ := l.Root()
+		ents, err := r.Readdir()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 20 {
+			t.Fatalf("replica %d has %d entries, want 20 (notifications lost AND reconciliation failed)", i, len(ents))
+		}
+		for _, e := range ents {
+			v, err := r.Lookup(e.Name)
+			if err != nil {
+				t.Fatalf("replica %d %s: %v", i, e.Name, err)
+			}
+			if _, err := vnode.ReadFile(v); err != nil {
+				t.Fatalf("replica %d %s data: %v", i, e.Name, err)
+			}
+		}
+	}
+}
+
+// TestPropagationAloneConvergesWithoutLoss is the complementary case: with
+// a lossless network, notifications + the propagation daemons converge the
+// replicas with no reconciliation pass at all.
+func TestPropagationAloneConvergesWithoutLoss(t *testing.T) {
+	c, err := New(Config{Hosts: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := c.Mount(0, logical.FirstAvailable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		f, err := root.Create(fmt.Sprintf("f%d", i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vnode.WriteFile(f, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two daemon passes: the first pulls the files announced by the dir
+	// notifications, the second drains anything announced during the first.
+	for pass := 0; pass < 2; pass++ {
+		if _, err := c.PropagateAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 3; i++ {
+		r, _ := c.Replica(i).Root()
+		ents, err := r.Readdir()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 10 {
+			t.Fatalf("replica %d: %d entries after propagation alone", i, len(ents))
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package sim is the whole-cluster harness the experiments and examples
+// drive: N Ficus hosts on one simulated network, a volume replicated across
+// all of them, scriptable partitions, and explicit daemon steps
+// (propagation, reconciliation) so every run is deterministic.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/recon"
+	"repro/internal/simnet"
+	"repro/internal/vnode"
+)
+
+// Config sizes a cluster.
+type Config struct {
+	Hosts   int
+	Seed    int64
+	Storage *core.StorageOptions
+}
+
+// Cluster is N hosts sharing one replicated volume.
+type Cluster struct {
+	Net   *simnet.Network
+	Hosts []*core.Host
+	Vol   ids.VolumeHandle
+	Locs  []core.ReplicaLoc
+}
+
+// HostName renders host i's network address.
+func HostName(i int) simnet.Addr { return simnet.Addr(fmt.Sprintf("h%d", i)) }
+
+// New builds a cluster with the shared volume replicated on every host
+// (replica i+1 on host i).
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Hosts < 1 {
+		return nil, fmt.Errorf("sim: need at least one host")
+	}
+	c := &Cluster{Net: simnet.New(cfg.Seed)}
+	for i := 0; i < cfg.Hosts; i++ {
+		c.Hosts = append(c.Hosts, core.NewHost(c.Net, HostName(i), ids.AllocatorID(i+1)))
+	}
+	vol, rid, err := c.Hosts[0].CreateVolume(cfg.Storage)
+	if err != nil {
+		return nil, err
+	}
+	c.Vol = vol
+	c.Locs = []core.ReplicaLoc{{ID: rid, Addr: HostName(0)}}
+	for i := 1; i < cfg.Hosts; i++ {
+		newID := ids.ReplicaID(i + 1)
+		if err := c.Hosts[i].AddReplica(vol, newID, c.Locs[0], cfg.Storage); err != nil {
+			return nil, err
+		}
+		c.Locs = append(c.Locs, core.ReplicaLoc{ID: newID, Addr: HostName(i)})
+	}
+	for _, h := range c.Hosts {
+		h.SetLocations(vol, c.Locs)
+	}
+	return c, nil
+}
+
+// Mount returns the shared volume's root as seen from host i.
+func (c *Cluster) Mount(i int, policy logical.Policy) (vnode.Vnode, error) {
+	lay, err := c.Hosts[i].Mount(c.Vol, policy)
+	if err != nil {
+		return nil, err
+	}
+	return lay.Root()
+}
+
+// Replica returns host i's physical replica of the shared volume.
+func (c *Cluster) Replica(i int) *physical.Layer {
+	return c.Hosts[i].LocalReplica(c.Vol)
+}
+
+// Partition splits the cluster into groups of host indices; unlisted hosts
+// are isolated singletons.
+func (c *Cluster) Partition(groups ...[]int) {
+	addrGroups := make([][]simnet.Addr, len(groups))
+	for i, g := range groups {
+		for _, idx := range g {
+			addrGroups[i] = append(addrGroups[i], HostName(idx))
+		}
+	}
+	c.Net.Partition(addrGroups...)
+}
+
+// Heal reconnects everything.
+func (c *Cluster) Heal() { c.Net.Heal() }
+
+// PropagateAll runs one propagation-daemon pass on every host.
+func (c *Cluster) PropagateAll() (recon.Stats, error) {
+	var total recon.Stats
+	for _, h := range c.Hosts {
+		s, err := h.PropagateOnce()
+		total.Add(s)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReconcileAll runs one reconciliation pass on every host.
+func (c *Cluster) ReconcileAll() (recon.Stats, error) {
+	var total recon.Stats
+	for _, h := range c.Hosts {
+		s, err := h.ReconcileOnce()
+		total.Add(s)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Settle reconciles repeatedly until a full pass changes nothing, returning
+// the number of rounds used (capped at maxRounds).
+func (c *Cluster) Settle(maxRounds int) (int, error) {
+	for round := 1; round <= maxRounds; round++ {
+		s, err := c.ReconcileAll()
+		if err != nil {
+			return round, err
+		}
+		if !s.Changed() {
+			return round, nil
+		}
+	}
+	return maxRounds, fmt.Errorf("sim: not quiescent after %d rounds", maxRounds)
+}
+
+// Conflicts gathers every host's conflict log for the shared volume.
+func (c *Cluster) Conflicts() [][]physical.Conflict {
+	out := make([][]physical.Conflict, len(c.Hosts))
+	for i := range c.Hosts {
+		if l := c.Replica(i); l != nil {
+			out[i] = l.Conflicts()
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logical"
+	"repro/internal/vnode"
+)
+
+func TestClusterLifecycle(t *testing.T) {
+	c, err := New(Config{Hosts: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root0, err := c.Mount(0, logical.MostRecent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := root0.Create("shared", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vnode.WriteFile(f, []byte("hello cluster")); err != nil {
+		t.Fatal(err)
+	}
+	// Propagation pushes the bits to the other replicas.
+	if _, err := c.PropagateAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		l := c.Replica(i)
+		root, _ := l.Root()
+		v, err := root.Lookup("shared")
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		data, _ := vnode.ReadFile(v)
+		if string(data) != "hello cluster" {
+			t.Fatalf("replica %d has %q", i, data)
+		}
+	}
+}
+
+func TestSettleReachesQuiescence(t *testing.T) {
+	c, err := New(Config{Hosts: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		root, err := c.Mount(i, logical.FirstAvailable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := root.Create(fmt.Sprintf("from-%d", i), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rounds, err := c.Settle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 1 || rounds > 10 {
+		t.Fatalf("rounds %d", rounds)
+	}
+	// Everyone sees all four files.
+	for i := 0; i < 4; i++ {
+		root, _ := c.Mount(i, logical.FirstAvailable)
+		ents, err := root.Readdir()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 4 {
+			t.Fatalf("host %d sees %d entries", i, len(ents))
+		}
+	}
+}
+
+func TestPartitionScenario(t *testing.T) {
+	c, err := New(Config{Hosts: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root0, _ := c.Mount(0, logical.FirstAvailable)
+	if _, err := root0.Create("doc", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Settle(5); err != nil {
+		t.Fatal(err)
+	}
+	c.Partition([]int{0}, []int{1})
+	f0, err := root0.Lookup("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f0.WriteAt([]byte("zero"), 0); err != nil {
+		t.Fatal(err)
+	}
+	root1, _ := c.Mount(1, logical.FirstAvailable)
+	f1, err := root1.Lookup("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.WriteAt([]byte("one!"), 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Heal()
+	if _, err := c.Settle(5); err != nil {
+		t.Fatal(err)
+	}
+	confs := c.Conflicts()
+	if len(confs[0]) != 1 || len(confs[1]) != 1 {
+		t.Fatalf("conflicts %d/%d, want 1/1", len(confs[0]), len(confs[1]))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Hosts: 0}); err == nil {
+		t.Fatal("zero hosts accepted")
+	}
+}
+
+func TestHostName(t *testing.T) {
+	if HostName(0) != "h0" || HostName(12) != "h12" {
+		t.Fatal("names")
+	}
+}

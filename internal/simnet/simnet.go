@@ -1,0 +1,292 @@
+// Package simnet is the simulated internetwork that stands in for the
+// paper's campus/continental network.  Large-scale Ficus assumes "partial
+// operation is the normal, not exceptional, status" (paper §1): hosts and
+// links fail independently and communication outages partition the replica
+// set.  The simulator makes partitions a first-class, scriptable object so
+// the availability and reconciliation experiments (E4, E6) can create and
+// heal them deterministically.
+//
+// Two communication primitives match what Ficus uses:
+//
+//   - synchronous RPC, which carries the NFS vnode traffic between logical
+//     and physical layers on different hosts (paper §2.2), and
+//   - best-effort multicast datagrams, which carry update notifications
+//     ("an asynchronous multicast datagram is sent to all available
+//     replicas", §2.5); these are silently dropped across partitions and
+//     may additionally be dropped at a configurable rate.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Addr names a host on the network.
+type Addr string
+
+// Errors returned by network operations.
+var (
+	// ErrUnreachable reports that the destination is partitioned away or
+	// down; to a caller this is indistinguishable from a timeout.
+	ErrUnreachable = errors.New("simnet: host unreachable")
+	// ErrNoHost reports a destination that was never attached.
+	ErrNoHost = errors.New("simnet: no such host")
+	// ErrNoService reports an RPC to a service the host does not export.
+	ErrNoService = errors.New("simnet: no such service")
+)
+
+// RPCHandler serves one synchronous request.
+type RPCHandler func(req []byte) ([]byte, error)
+
+// DatagramHandler receives one best-effort datagram.  It must not block.
+type DatagramHandler func(from Addr, payload []byte)
+
+// Stats counts network traffic.
+type Stats struct {
+	RPCs               uint64 // calls attempted
+	RPCFailures        uint64 // calls that failed with ErrUnreachable et al.
+	RPCBytes           uint64 // request+response payload bytes of successful calls
+	Datagrams          uint64 // datagram deliveries attempted (per destination)
+	DatagramsDropped   uint64 // dropped by partition, down host, or loss rate
+	DatagramsDelivered uint64
+}
+
+// Network connects hosts.  All methods are safe for concurrent use.
+type Network struct {
+	mu       sync.Mutex
+	hosts    map[Addr]*Host
+	group    map[Addr]int // partition group; hosts communicate iff equal
+	rng      *rand.Rand
+	lossRate float64 // additional datagram loss probability
+	stats    Stats
+}
+
+// New creates an empty, fully connected network.  The seed drives datagram
+// loss decisions only, so runs are reproducible.
+func New(seed int64) *Network {
+	return &Network{
+		hosts: make(map[Addr]*Host),
+		group: make(map[Addr]int),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetDatagramLossRate makes every datagram delivery fail independently with
+// probability p, in addition to partition/down losses.
+func (n *Network) SetDatagramLossRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossRate = p
+}
+
+// Host attaches (or returns) the host at addr.
+func (n *Network) Host(addr Addr) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[addr]; ok {
+		return h
+	}
+	h := &Host{
+		net:      n,
+		addr:     addr,
+		rpc:      make(map[string]RPCHandler),
+		datagram: make(map[string]DatagramHandler),
+	}
+	n.hosts[addr] = h
+	n.group[addr] = 0
+	return h
+}
+
+// Addrs lists attached hosts in no particular order.
+func (n *Network) Addrs() []Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Addr, 0, len(n.hosts))
+	for a := range n.hosts {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Partition splits the network into the given groups; a host in no listed
+// group lands in its own singleton.  Hosts communicate iff they share a
+// group.  Calling with no arguments is equivalent to Heal.
+func (n *Network) Partition(groups ...[]Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	next := 1
+	assigned := make(map[Addr]int)
+	for _, g := range groups {
+		for _, a := range g {
+			assigned[a] = next
+		}
+		next++
+	}
+	for a := range n.hosts {
+		if g, ok := assigned[a]; ok {
+			n.group[a] = g
+		} else {
+			n.group[a] = next
+			next++
+		}
+	}
+}
+
+// Heal reconnects every host.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for a := range n.hosts {
+		n.group[a] = 0
+	}
+}
+
+// Connected reports whether a and b can currently communicate.
+func (n *Network) Connected(a, b Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.connectedLocked(a, b)
+}
+
+func (n *Network) connectedLocked(a, b Addr) bool {
+	ha, ok := n.hosts[a]
+	if !ok {
+		return false
+	}
+	hb, ok := n.hosts[b]
+	if !ok {
+		return false
+	}
+	if ha.down || hb.down {
+		return false
+	}
+	return n.group[a] == n.group[b]
+}
+
+// Stats returns a traffic snapshot.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// Host is one attached machine.
+type Host struct {
+	net      *Network
+	addr     Addr
+	down     bool
+	rpc      map[string]RPCHandler
+	datagram map[string]DatagramHandler
+}
+
+// Addr returns the host's address.
+func (h *Host) Addr() Addr { return h.addr }
+
+// SetDown crashes or revives the host.  A down host neither sends nor
+// receives; its state is untouched (storage survives, as with a real crash).
+func (h *Host) SetDown(down bool) {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	h.down = down
+}
+
+// Down reports whether the host is crashed.
+func (h *Host) Down() bool {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	return h.down
+}
+
+// HandleRPC registers the handler for a named service.
+func (h *Host) HandleRPC(service string, fn RPCHandler) {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	h.rpc[service] = fn
+}
+
+// RemoveRPC withdraws a service; later calls fail with ErrNoService.
+func (h *Host) RemoveRPC(service string) {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	delete(h.rpc, service)
+}
+
+// HandleDatagram registers the handler for a named datagram port.
+func (h *Host) HandleDatagram(port string, fn DatagramHandler) {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	h.datagram[port] = fn
+}
+
+// Call performs a synchronous RPC to service on dst.  It fails with
+// ErrUnreachable when the hosts cannot currently communicate.  A host can
+// always call itself, even while partitioned from everyone else.
+func (h *Host) Call(dst Addr, service string, req []byte) ([]byte, error) {
+	h.net.mu.Lock()
+	h.net.stats.RPCs++
+	target, ok := h.net.hosts[dst]
+	if !ok {
+		h.net.stats.RPCFailures++
+		h.net.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoHost, dst)
+	}
+	if h.down || (dst != h.addr && !h.net.connectedLocked(h.addr, dst)) {
+		h.net.stats.RPCFailures++
+		h.net.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, h.addr, dst)
+	}
+	fn, ok := target.rpc[service]
+	if !ok {
+		h.net.stats.RPCFailures++
+		h.net.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s on %s", ErrNoService, service, dst)
+	}
+	h.net.mu.Unlock()
+
+	resp, err := fn(req)
+
+	h.net.mu.Lock()
+	if err == nil {
+		h.net.stats.RPCBytes += uint64(len(req) + len(resp))
+	}
+	h.net.mu.Unlock()
+	return resp, err
+}
+
+// Multicast delivers a best-effort datagram to port on each destination.
+// Unreachable destinations are silently skipped — exactly the fire-and-
+// forget semantics of the paper's update notification (§2.5).  Delivery is
+// synchronous in the caller's goroutine to keep simulations deterministic;
+// handlers must be fast and must not call back into the sender.
+func (h *Host) Multicast(port string, payload []byte, dsts []Addr) {
+	for _, dst := range dsts {
+		h.net.mu.Lock()
+		h.net.stats.Datagrams++
+		target, ok := h.net.hosts[dst]
+		deliverable := ok && !h.down && (dst == h.addr || h.net.connectedLocked(h.addr, dst))
+		if deliverable && h.net.lossRate > 0 && h.net.rng.Float64() < h.net.lossRate {
+			deliverable = false
+		}
+		var fn DatagramHandler
+		if deliverable {
+			fn = target.datagram[port]
+		}
+		if fn == nil {
+			h.net.stats.DatagramsDropped++
+			h.net.mu.Unlock()
+			continue
+		}
+		h.net.stats.DatagramsDelivered++
+		h.net.mu.Unlock()
+		fn(h.addr, payload)
+	}
+}

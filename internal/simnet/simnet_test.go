@@ -1,0 +1,213 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func echoNet(t *testing.T) (*Network, *Host, *Host, *Host) {
+	t.Helper()
+	n := New(1)
+	a := n.Host("a")
+	b := n.Host("b")
+	c := n.Host("c")
+	for _, h := range []*Host{a, b, c} {
+		h.HandleRPC("echo", func(req []byte) ([]byte, error) { return req, nil })
+	}
+	return n, a, b, c
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	_, a, _, _ := echoNet(t)
+	resp, err := a.Call("b", "echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "ping" {
+		t.Fatalf("resp %q", resp)
+	}
+}
+
+func TestRPCToSelf(t *testing.T) {
+	_, a, _, _ := echoNet(t)
+	if _, err := a.Call("a", "echo", []byte("x")); err != nil {
+		t.Fatalf("self call: %v", err)
+	}
+}
+
+func TestRPCErrors(t *testing.T) {
+	_, a, b, _ := echoNet(t)
+	if _, err := a.Call("zz", "echo", nil); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("no host: %v", err)
+	}
+	if _, err := a.Call("b", "nope", nil); !errors.Is(err, ErrNoService) {
+		t.Fatalf("no service: %v", err)
+	}
+	_ = b
+}
+
+func TestPartitionBlocksRPC(t *testing.T) {
+	n, a, b, c := echoNet(t)
+	n.Partition([]Addr{"a", "b"}, []Addr{"c"})
+	if _, err := a.Call("b", "echo", nil); err != nil {
+		t.Fatalf("same group: %v", err)
+	}
+	if _, err := a.Call("c", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("cross-partition: %v", err)
+	}
+	if !n.Connected("a", "b") || n.Connected("b", "c") {
+		t.Fatal("Connected disagrees with partition")
+	}
+	n.Heal()
+	if _, err := a.Call("c", "echo", nil); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	_, _ = b, c
+}
+
+func TestUnlistedHostIsolatedByPartition(t *testing.T) {
+	n, a, _, c := echoNet(t)
+	n.Partition([]Addr{"a", "b"}) // c unlisted -> singleton
+	if _, err := a.Call("c", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("unlisted host reachable: %v", err)
+	}
+	// c can still talk to itself.
+	if _, err := c.Call("c", "echo", nil); err != nil {
+		t.Fatalf("self call while isolated: %v", err)
+	}
+}
+
+func TestEmptyPartitionHeals(t *testing.T) {
+	n, a, _, _ := echoNet(t)
+	n.Partition([]Addr{"a"}, []Addr{"b"}, []Addr{"c"})
+	n.Partition()
+	if _, err := a.Call("b", "echo", nil); err == nil {
+		t.Fatal("Partition() with no groups should isolate everyone (each unlisted host is a singleton)")
+	}
+	n.Heal()
+	if _, err := a.Call("b", "echo", nil); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestDownHost(t *testing.T) {
+	_, a, b, _ := echoNet(t)
+	b.SetDown(true)
+	if !b.Down() {
+		t.Fatal("Down() = false")
+	}
+	if _, err := a.Call("b", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call to down host: %v", err)
+	}
+	// A down host cannot originate calls either.
+	if _, err := b.Call("a", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call from down host: %v", err)
+	}
+	b.SetDown(false)
+	if _, err := a.Call("b", "echo", nil); err != nil {
+		t.Fatalf("after revive: %v", err)
+	}
+}
+
+func TestMulticastDelivery(t *testing.T) {
+	n := New(1)
+	a := n.Host("a")
+	var mu sync.Mutex
+	got := map[Addr][]string{}
+	for _, name := range []Addr{"b", "c", "d"} {
+		name := name
+		n.Host(name).HandleDatagram("notify", func(from Addr, p []byte) {
+			mu.Lock()
+			got[name] = append(got[name], string(p))
+			mu.Unlock()
+		})
+	}
+	a.Multicast("notify", []byte("v2"), []Addr{"b", "c", "d"})
+	for _, name := range []Addr{"b", "c", "d"} {
+		if len(got[name]) != 1 || got[name][0] != "v2" {
+			t.Fatalf("%s got %v", name, got[name])
+		}
+	}
+	s := n.Stats()
+	if s.DatagramsDelivered != 3 || s.DatagramsDropped != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMulticastDropsAcrossPartition(t *testing.T) {
+	n := New(1)
+	a := n.Host("a")
+	seen := 0
+	n.Host("b").HandleDatagram("notify", func(Addr, []byte) { seen++ })
+	n.Host("c").HandleDatagram("notify", func(Addr, []byte) { seen++ })
+	n.Partition([]Addr{"a", "b"}, []Addr{"c"})
+	a.Multicast("notify", []byte("x"), []Addr{"b", "c"})
+	if seen != 1 {
+		t.Fatalf("deliveries %d, want 1", seen)
+	}
+	s := n.Stats()
+	if s.DatagramsDropped != 1 || s.DatagramsDelivered != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMulticastToUnregisteredPortDropped(t *testing.T) {
+	n := New(1)
+	a := n.Host("a")
+	n.Host("b")
+	a.Multicast("notify", nil, []Addr{"b"})
+	if s := n.Stats(); s.DatagramsDropped != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDatagramLossRate(t *testing.T) {
+	n := New(42)
+	a := n.Host("a")
+	delivered := 0
+	n.Host("b").HandleDatagram("p", func(Addr, []byte) { delivered++ })
+	n.SetDatagramLossRate(0.5)
+	for i := 0; i < 1000; i++ {
+		a.Multicast("p", nil, []Addr{"b"})
+	}
+	if delivered < 350 || delivered > 650 {
+		t.Fatalf("delivered %d of 1000 at 50%% loss", delivered)
+	}
+	// Determinism: same seed, same outcome.
+	n2 := New(42)
+	a2 := n2.Host("a")
+	delivered2 := 0
+	n2.Host("b").HandleDatagram("p", func(Addr, []byte) { delivered2++ })
+	n2.SetDatagramLossRate(0.5)
+	for i := 0; i < 1000; i++ {
+		a2.Multicast("p", nil, []Addr{"b"})
+	}
+	if delivered2 != delivered {
+		t.Fatalf("non-deterministic: %d vs %d", delivered, delivered2)
+	}
+}
+
+func TestRPCStats(t *testing.T) {
+	n, a, _, _ := echoNet(t)
+	n.ResetStats()
+	a.Call("b", "echo", []byte("1234"))
+	a.Call("zz", "echo", nil)
+	s := n.Stats()
+	if s.RPCs != 2 || s.RPCFailures != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.RPCBytes != 8 { // 4 request + 4 echoed response
+		t.Fatalf("bytes %d", s.RPCBytes)
+	}
+}
+
+func TestHostIdempotentAttach(t *testing.T) {
+	n := New(1)
+	if n.Host("a") != n.Host("a") {
+		t.Fatal("Host not idempotent")
+	}
+	if len(n.Addrs()) != 1 {
+		t.Fatalf("addrs %v", n.Addrs())
+	}
+}

@@ -1,0 +1,139 @@
+package ufs
+
+import "fmt"
+
+// Bitmap selector for bmapSet/bmapTest.
+type bitmapKind int
+
+const (
+	inoBitmap bitmapKind = iota
+	blkBitmap
+)
+
+func (fs *FS) bitmapLoc(kind bitmapKind, idx uint32) (bn uint32, byteOff int, mask byte, err error) {
+	var start, length, limit uint32
+	switch kind {
+	case inoBitmap:
+		start, length, limit = fs.sb.InoBmapStart, fs.sb.InoBmapLen, fs.sb.NInodes
+	case blkBitmap:
+		start, length, limit = fs.sb.BlkBmapStart, fs.sb.BlkBmapLen, fs.sb.NBlocks
+	}
+	if idx >= limit {
+		return 0, 0, 0, fmt.Errorf("ufs: bitmap index %d out of range %d", idx, limit)
+	}
+	bn = start + idx/(BlockSize*8)
+	if bn >= start+length {
+		return 0, 0, 0, fmt.Errorf("ufs: bitmap block overflow")
+	}
+	byteOff = int(idx % (BlockSize * 8) / 8)
+	mask = 1 << (idx % 8)
+	return bn, byteOff, mask, nil
+}
+
+func (fs *FS) bmapSet(kind bitmapKind, idx uint32, on bool) error {
+	bn, off, mask, err := fs.bitmapLoc(kind, idx)
+	if err != nil {
+		return err
+	}
+	blk, err := fs.bc.read(bn)
+	if err != nil {
+		return err
+	}
+	if on {
+		blk[off] |= mask
+	} else {
+		blk[off] &^= mask
+	}
+	return fs.bc.write(bn, blk)
+}
+
+func (fs *FS) bmapTest(kind bitmapKind, idx uint32) (bool, error) {
+	bn, off, mask, err := fs.bitmapLoc(kind, idx)
+	if err != nil {
+		return false, err
+	}
+	blk, err := fs.bc.read(bn)
+	if err != nil {
+		return false, err
+	}
+	return blk[off]&mask != 0, nil
+}
+
+// ballocLocked allocates a data block using a next-fit rotor, zero-fills it
+// and returns its number.
+func (fs *FS) ballocLocked() (uint32, error) {
+	n := fs.sb.NBlocks
+	start := fs.rotor
+	if start < fs.sb.DataStart || start >= n {
+		start = fs.sb.DataStart
+	}
+	for i := uint32(0); i < n-fs.sb.DataStart; i++ {
+		bn := fs.sb.DataStart + (start-fs.sb.DataStart+i)%(n-fs.sb.DataStart)
+		used, err := fs.bmapTest(blkBitmap, bn)
+		if err != nil {
+			return 0, err
+		}
+		if !used {
+			if err := fs.bmapSet(blkBitmap, bn, true); err != nil {
+				return 0, err
+			}
+			// Zero the block so stale contents never leak into new files.
+			if err := fs.bc.write(bn, make([]byte, BlockSize)); err != nil {
+				return 0, err
+			}
+			fs.rotor = bn + 1
+			return bn, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// bfreeLocked releases a data block.
+func (fs *FS) bfreeLocked(bn uint32) error {
+	if bn < fs.sb.DataStart || bn >= fs.sb.NBlocks {
+		return fmt.Errorf("ufs: bfree of non-data block %d", bn)
+	}
+	used, err := fs.bmapTest(blkBitmap, bn)
+	if err != nil {
+		return err
+	}
+	if !used {
+		return fmt.Errorf("ufs: double free of block %d", bn)
+	}
+	fs.bc.evict(bn)
+	return fs.bmapSet(blkBitmap, bn, false)
+}
+
+// iallocLocked allocates an inode of the given type with nlink 0.
+func (fs *FS) iallocLocked(t FileType) (Ino, error) {
+	for i := uint32(1); i < fs.sb.NInodes; i++ {
+		used, err := fs.bmapTest(inoBitmap, i)
+		if err != nil {
+			return 0, err
+		}
+		if !used {
+			if err := fs.bmapSet(inoBitmap, i, true); err != nil {
+				return 0, err
+			}
+			now := fs.tick()
+			din := dinode{Type: t, Ctime: now, Mtime: now}
+			if err := fs.writeInodeLocked(Ino(i), din); err != nil {
+				return 0, err
+			}
+			return Ino(i), nil
+		}
+	}
+	return 0, ErrNoInodes
+}
+
+// ifreeLocked releases an inode and all its data blocks.
+func (fs *FS) ifreeLocked(ino Ino) error {
+	if err := fs.itruncateLocked(ino, 0); err != nil {
+		return err
+	}
+	if err := fs.writeInodeLocked(ino, dinode{}); err != nil {
+		return err
+	}
+	fs.ic.drop(ino)
+	return fs.bmapSet(inoBitmap, uint32(ino), false)
+}

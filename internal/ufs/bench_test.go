@@ -1,0 +1,90 @@
+package ufs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+func benchFS(b *testing.B) *FS {
+	b.Helper()
+	fs, err := Mkfs(disk.New(65536), 16384, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+func BenchmarkCreate(b *testing.B) {
+	fs := benchFS(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Create(fs.Root(), fmt.Sprintf("f%08d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWrite4K(b *testing.B) {
+	fs := benchFS(b)
+	ino, err := fs.Create(fs.Root(), "f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, BlockSize)
+	b.SetBytes(BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.WriteAt(ino, buf, int64(i%64)*BlockSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead4KWarm(b *testing.B) {
+	fs := benchFS(b)
+	ino, _ := fs.Create(fs.Root(), "f")
+	if err := fs.WriteFile(ino, make([]byte, 64*BlockSize)); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, BlockSize)
+	b.SetBytes(BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ReadAt(ino, buf, int64(i%64)*BlockSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupWarm(b *testing.B) {
+	fs := benchFS(b)
+	for i := 0; i < 100; i++ {
+		if _, err := fs.Create(fs.Root(), fmt.Sprintf("f%03d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Lookup(fs.Root(), "f050"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupColdCaches(b *testing.B) {
+	fs := benchFS(b)
+	for i := 0; i < 100; i++ {
+		if _, err := fs.Create(fs.Root(), fmt.Sprintf("f%03d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.FlushCaches()
+		if _, err := fs.Lookup(fs.Root(), "f050"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package ufs
+
+import (
+	"container/list"
+
+	"repro/internal/disk"
+)
+
+// bufferCache is a write-through LRU block cache.  Write-through keeps
+// crash semantics trivial (every completed write is on the device) while
+// still giving the read-path locality wins the paper's dual-mapping design
+// relies on (§2.6).
+type bufferCache struct {
+	dev     *disk.Device
+	cap     int
+	enabled bool
+	lru     *list.List // of *bufEntry, front = most recent
+	byBlock map[uint32]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type bufEntry struct {
+	bn   uint32
+	data []byte
+}
+
+func newBufferCache(dev *disk.Device, capacity int, enabled bool) *bufferCache {
+	return &bufferCache{
+		dev:     dev,
+		cap:     capacity,
+		enabled: enabled,
+		lru:     list.New(),
+		byBlock: make(map[uint32]*list.Element),
+	}
+}
+
+func (c *bufferCache) setEnabled(on bool) {
+	c.enabled = on
+	if !on {
+		c.flush()
+	}
+}
+
+func (c *bufferCache) flush() {
+	c.lru.Init()
+	c.byBlock = make(map[uint32]*list.Element)
+}
+
+// read returns a copy of block bn, consulting the cache first.
+func (c *bufferCache) read(bn uint32) ([]byte, error) {
+	if c.enabled {
+		if e, ok := c.byBlock[bn]; ok {
+			c.hits++
+			c.lru.MoveToFront(e)
+			out := make([]byte, BlockSize)
+			copy(out, e.Value.(*bufEntry).data)
+			return out, nil
+		}
+		c.misses++
+	}
+	p := make([]byte, BlockSize)
+	if err := c.dev.Read(int(bn), p); err != nil {
+		return nil, err
+	}
+	c.insert(bn, p)
+	return p, nil
+}
+
+// write stores data as block bn, writing through to the device.
+func (c *bufferCache) write(bn uint32, data []byte) error {
+	if err := c.dev.Write(int(bn), data); err != nil {
+		// Failed writes must not populate the cache: the bytes never
+		// reached the device, and serving them later would hide the crash.
+		c.evict(bn)
+		return err
+	}
+	c.insert(bn, data)
+	return nil
+}
+
+func (c *bufferCache) insert(bn uint32, data []byte) {
+	if !c.enabled {
+		return
+	}
+	cp := make([]byte, BlockSize)
+	copy(cp, data)
+	if e, ok := c.byBlock[bn]; ok {
+		e.Value.(*bufEntry).data = cp
+		c.lru.MoveToFront(e)
+		return
+	}
+	e := c.lru.PushFront(&bufEntry{bn: bn, data: cp})
+	c.byBlock[bn] = e
+	for c.lru.Len() > c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.byBlock, old.Value.(*bufEntry).bn)
+	}
+}
+
+func (c *bufferCache) evict(bn uint32) {
+	if e, ok := c.byBlock[bn]; ok {
+		c.lru.Remove(e)
+		delete(c.byBlock, bn)
+	}
+}
+
+// inodeCache holds decoded inodes.  Because it sits above the buffer cache
+// its effect on disk I/O is indirect, but it models the "Ficus directory
+// inode ... must be loaded" accounting of paper §6 and lets experiments
+// separate decode hits from block hits.
+type inodeCache struct {
+	fs      *FS
+	cap     int
+	enabled bool
+	lru     *list.List // of *icEntry
+	byIno   map[Ino]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type icEntry struct {
+	ino Ino
+	din dinode
+}
+
+func newInodeCache(fs *FS, capacity int, enabled bool) *inodeCache {
+	return &inodeCache{
+		fs:      fs,
+		cap:     capacity,
+		enabled: enabled,
+		lru:     list.New(),
+		byIno:   make(map[Ino]*list.Element),
+	}
+}
+
+func (c *inodeCache) setEnabled(on bool) {
+	c.enabled = on
+	if !on {
+		c.flush()
+	}
+}
+
+func (c *inodeCache) flush() {
+	c.lru.Init()
+	c.byIno = make(map[Ino]*list.Element)
+}
+
+func (c *inodeCache) get(ino Ino) (dinode, error) {
+	if c.enabled {
+		if e, ok := c.byIno[ino]; ok {
+			c.hits++
+			c.lru.MoveToFront(e)
+			return e.Value.(*icEntry).din, nil
+		}
+		c.misses++
+	}
+	din, err := c.fs.readInodeFromDisk(ino)
+	if err != nil {
+		return dinode{}, err
+	}
+	c.put(ino, din)
+	return din, nil
+}
+
+func (c *inodeCache) put(ino Ino, din dinode) {
+	if !c.enabled {
+		return
+	}
+	if e, ok := c.byIno[ino]; ok {
+		e.Value.(*icEntry).din = din
+		c.lru.MoveToFront(e)
+		return
+	}
+	e := c.lru.PushFront(&icEntry{ino: ino, din: din})
+	c.byIno[ino] = e
+	for c.lru.Len() > c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.byIno, old.Value.(*icEntry).ino)
+	}
+}
+
+func (c *inodeCache) drop(ino Ino) {
+	if e, ok := c.byIno[ino]; ok {
+		c.lru.Remove(e)
+		delete(c.byIno, ino)
+	}
+}
+
+// nameCache is the directory name lookup cache (DNLC).  Entries map
+// (directory inode, component name) to the child inode and are invalidated
+// on unlink/rename/rmdir of that name.
+type nameCache struct {
+	cap     int
+	enabled bool
+	lru     *list.List // of *ncEntry
+	byKey   map[ncKey]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type ncKey struct {
+	dir  Ino
+	name string
+}
+
+type ncEntry struct {
+	key   ncKey
+	child Ino
+}
+
+func newNameCache(capacity int, enabled bool) *nameCache {
+	return &nameCache{
+		cap:     capacity,
+		enabled: enabled,
+		lru:     list.New(),
+		byKey:   make(map[ncKey]*list.Element),
+	}
+}
+
+func (c *nameCache) setEnabled(on bool) {
+	c.enabled = on
+	if !on {
+		c.flush()
+	}
+}
+
+func (c *nameCache) flush() {
+	c.lru.Init()
+	c.byKey = make(map[ncKey]*list.Element)
+}
+
+func (c *nameCache) get(dir Ino, name string) (Ino, bool) {
+	if !c.enabled {
+		return 0, false
+	}
+	if e, ok := c.byKey[ncKey{dir, name}]; ok {
+		c.hits++
+		c.lru.MoveToFront(e)
+		return e.Value.(*ncEntry).child, true
+	}
+	c.misses++
+	return 0, false
+}
+
+func (c *nameCache) put(dir Ino, name string, child Ino) {
+	if !c.enabled {
+		return
+	}
+	k := ncKey{dir, name}
+	if e, ok := c.byKey[k]; ok {
+		e.Value.(*ncEntry).child = child
+		c.lru.MoveToFront(e)
+		return
+	}
+	e := c.lru.PushFront(&ncEntry{key: k, child: child})
+	c.byKey[k] = e
+	for c.lru.Len() > c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.byKey, old.Value.(*ncEntry).key)
+	}
+}
+
+func (c *nameCache) drop(dir Ino, name string) {
+	if e, ok := c.byKey[ncKey{dir, name}]; ok {
+		c.lru.Remove(e)
+		delete(c.byKey, ncKey{dir, name})
+	}
+}
+
+// dropDir removes every entry under a directory (used by rmdir of the
+// directory itself, where its children entries are already gone).
+func (c *nameCache) dropDir(dir Ino) {
+	for e := c.lru.Front(); e != nil; {
+		next := e.Next()
+		ent := e.Value.(*ncEntry)
+		if ent.key.dir == dir || ent.child == dir {
+			c.lru.Remove(e)
+			delete(c.byKey, ent.key)
+		}
+		e = next
+	}
+}

@@ -1,0 +1,183 @@
+package ufs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Check performs an fsck-style consistency scan and returns a list of
+// problems (empty means clean):
+//
+//   - every block referenced by an allocated inode is marked allocated and
+//     referenced exactly once
+//   - every allocated data block is referenced by some inode
+//   - every directory entry points at an allocated inode
+//   - link counts match the number of directory references
+//   - every allocated inode is reachable from the root
+func (fs *FS) Check() ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	var problems []string
+	blockRefs := make(map[uint32]int)
+	linkRefs := make(map[Ino]int)
+	reachable := make(map[Ino]bool)
+
+	// Pass 1: walk every allocated inode's block tree.
+	for i := uint32(1); i < fs.sb.NInodes; i++ {
+		used, err := fs.bmapTest(inoBitmap, i)
+		if err != nil {
+			return nil, err
+		}
+		din, err := fs.ic.get(Ino(i))
+		if err != nil {
+			return nil, err
+		}
+		if used != (din.Type != TypeFree) {
+			problems = append(problems, fmt.Sprintf("inode %d: bitmap=%v but type=%v", i, used, din.Type))
+			continue
+		}
+		if !used {
+			continue
+		}
+		if err := fs.walkBlocks(&din, func(bn uint32) { blockRefs[bn]++ }); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 2: compare block references to the bitmap.
+	for bn, n := range blockRefs {
+		if n > 1 {
+			problems = append(problems, fmt.Sprintf("block %d: referenced %d times", bn, n))
+		}
+		used, err := fs.bmapTest(blkBitmap, bn)
+		if err != nil {
+			return nil, err
+		}
+		if !used {
+			problems = append(problems, fmt.Sprintf("block %d: referenced but marked free", bn))
+		}
+	}
+	for bn := fs.sb.DataStart; bn < fs.sb.NBlocks; bn++ {
+		used, err := fs.bmapTest(blkBitmap, bn)
+		if err != nil {
+			return nil, err
+		}
+		if used && blockRefs[bn] == 0 {
+			problems = append(problems, fmt.Sprintf("block %d: marked allocated but unreferenced", bn))
+		}
+	}
+
+	// Pass 3: walk the directory tree from the root.
+	var walk func(dir Ino) error
+	walk = func(dir Ino) error {
+		if reachable[dir] {
+			return nil
+		}
+		reachable[dir] = true
+		ents := make([]Dirent, 0, 8)
+		if err := fs.dirScanLocked(dir, func(_ uint64, ino Ino, name string) bool {
+			ents = append(ents, Dirent{Name: name, Ino: ino})
+			return false
+		}); err != nil {
+			return err
+		}
+		for _, e := range ents {
+			din, err := fs.ic.get(e.Ino)
+			if err != nil {
+				return err
+			}
+			if din.Type == TypeFree {
+				problems = append(problems, fmt.Sprintf("dir %d: entry %q points at free inode %d", dir, e.Name, e.Ino))
+				continue
+			}
+			switch e.Name {
+			case ".":
+				if e.Ino != dir {
+					problems = append(problems, fmt.Sprintf("dir %d: \".\" points at %d", dir, e.Ino))
+				}
+				linkRefs[dir]++
+			case "..":
+				linkRefs[e.Ino]++
+			default:
+				linkRefs[e.Ino]++
+				if din.Type == TypeDir {
+					if err := walk(e.Ino); err != nil {
+						return err
+					}
+				} else {
+					reachable[e.Ino] = true
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(rootIno); err != nil {
+		return nil, err
+	}
+
+	// Pass 4: link counts and reachability.
+	for i := uint32(1); i < fs.sb.NInodes; i++ {
+		din, err := fs.ic.get(Ino(i))
+		if err != nil {
+			return nil, err
+		}
+		if din.Type == TypeFree {
+			continue
+		}
+		if got, want := din.Nlink, uint16(linkRefs[Ino(i)]); got != want {
+			problems = append(problems, fmt.Sprintf("%s: nlink=%d but %d references", din.debugString(Ino(i)), got, want))
+		}
+		if !reachable[Ino(i)] {
+			problems = append(problems, fmt.Sprintf("%s: unreachable from root", din.debugString(Ino(i))))
+		}
+	}
+	return problems, nil
+}
+
+// walkBlocks calls fn for every device block owned by the inode, including
+// indirect blocks themselves.
+func (fs *FS) walkBlocks(din *dinode, fn func(bn uint32)) error {
+	for _, bn := range din.Direct {
+		if bn != 0 {
+			fn(bn)
+		}
+	}
+	if din.Indirect != 0 {
+		fn(din.Indirect)
+		if err := fs.walkIndirect(din.Indirect, fn); err != nil {
+			return err
+		}
+	}
+	if din.DblIndirect != 0 {
+		fn(din.DblIndirect)
+		blk, err := fs.bc.read(din.DblIndirect)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < PtrsPerBlock; i++ {
+			mid := binary.BigEndian.Uint32(blk[4*i:])
+			if mid == 0 {
+				continue
+			}
+			fn(mid)
+			if err := fs.walkIndirect(mid, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (fs *FS) walkIndirect(ibn uint32, fn func(bn uint32)) error {
+	blk, err := fs.bc.read(ibn)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < PtrsPerBlock; i++ {
+		if bn := binary.BigEndian.Uint32(blk[4*i:]); bn != 0 {
+			fn(bn)
+		}
+	}
+	return nil
+}

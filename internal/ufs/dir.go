@@ -1,0 +1,636 @@
+package ufs
+
+import "encoding/binary"
+
+// Dirent is one directory entry as returned by Readdir.
+type Dirent struct {
+	Name string
+	Ino  Ino
+}
+
+// Directory slot layout (dirSlotSize bytes):
+//
+//	off 0  ino      uint32 (0 = free slot)
+//	off 4  nameLen  uint8
+//	off 5  name     [MaxNameLen]byte
+//
+// Slots never span blocks (dirSlotsPerBlock per block; the block tail is
+// unused), so one directory data page read resolves all names in it.
+
+func decodeSlot(p []byte) (Ino, string) {
+	ino := Ino(binary.BigEndian.Uint32(p))
+	if ino == 0 {
+		return 0, ""
+	}
+	n := int(p[4])
+	return ino, string(p[5 : 5+n])
+}
+
+func encodeSlot(p []byte, ino Ino, name string) {
+	binary.BigEndian.PutUint32(p, uint32(ino))
+	p[4] = byte(len(name))
+	copy(p[5:], name)
+	// Zero the remainder so stale names never resurface.
+	for i := 5 + len(name); i < dirSlotSize; i++ {
+		p[i] = 0
+	}
+}
+
+// slotAddr converts a slot index to (file block, in-block offset).
+func slotAddr(idx uint64) (fbn uint64, off int) {
+	return idx / dirSlotsPerBlock, int(idx%dirSlotsPerBlock) * dirSlotSize
+}
+
+// dirInitLocked writes "." and ".." into a fresh directory.
+func (fs *FS) dirInitLocked(dir, parent Ino) error {
+	din, err := fs.readInodeLocked(dir)
+	if err != nil {
+		return err
+	}
+	if din.Type != TypeDir {
+		return ErrNotDir
+	}
+	blk := make([]byte, BlockSize)
+	encodeSlot(blk[0:], dir, ".")
+	encodeSlot(blk[dirSlotSize:], parent, "..")
+	bn, err := fs.blockmapLocked(&din, 0, true)
+	if err != nil {
+		return err
+	}
+	if err := fs.bc.write(bn, blk); err != nil {
+		return err
+	}
+	din.Size = 2 * dirSlotSize
+	din.Nlink = 2 // "." and the parent's entry (counted when linked in)
+	din.Mtime = fs.tick()
+	return fs.writeInodeLocked(dir, din)
+}
+
+// dirScanLocked iterates allocated slots, calling fn with (slotIndex, ino,
+// name); fn returns true to stop early.
+func (fs *FS) dirScanLocked(dir Ino, fn func(idx uint64, ino Ino, name string) bool) error {
+	din, err := fs.readInodeLocked(dir)
+	if err != nil {
+		return err
+	}
+	if din.Type != TypeDir {
+		return ErrNotDir
+	}
+	nSlots := din.Size / dirSlotSize
+	for fbn := uint64(0); fbn*dirSlotsPerBlock < nSlots; fbn++ {
+		bn, err := fs.blockmapLocked(&din, fbn, false)
+		if err != nil {
+			return err
+		}
+		var blk []byte
+		if bn != 0 {
+			blk, err = fs.bc.read(bn)
+			if err != nil {
+				return err
+			}
+		} else {
+			blk = make([]byte, BlockSize)
+		}
+		for s := 0; s < dirSlotsPerBlock; s++ {
+			idx := fbn*dirSlotsPerBlock + uint64(s)
+			if idx >= nSlots {
+				return nil
+			}
+			ino, name := decodeSlot(blk[s*dirSlotSize:])
+			if ino == 0 {
+				continue
+			}
+			if fn(idx, ino, name) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// dirLookupLocked finds name in dir (".", ".." included), using the DNLC.
+func (fs *FS) dirLookupLocked(dir Ino, name string) (Ino, error) {
+	if child, ok := fs.dnlc.get(dir, name); ok {
+		return child, nil
+	}
+	var found Ino
+	err := fs.dirScanLocked(dir, func(_ uint64, ino Ino, n string) bool {
+		if n == name {
+			found = ino
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return 0, err
+	}
+	if found == 0 {
+		return 0, ErrNotExist
+	}
+	fs.dnlc.put(dir, name, found)
+	return found, nil
+}
+
+// dirAddLocked inserts an entry, reusing a free slot or extending the
+// directory.  The caller has verified that name does not already exist.
+func (fs *FS) dirAddLocked(dir Ino, name string, child Ino) error {
+	din, err := fs.readInodeLocked(dir)
+	if err != nil {
+		return err
+	}
+	nSlots := din.Size / dirSlotSize
+	freeIdx := uint64(1<<63 - 1)
+	foundFree := false
+	err = func() error {
+		for fbn := uint64(0); fbn*dirSlotsPerBlock < nSlots; fbn++ {
+			bn, err := fs.blockmapLocked(&din, fbn, false)
+			if err != nil {
+				return err
+			}
+			if bn == 0 {
+				freeIdx = fbn * dirSlotsPerBlock
+				foundFree = true
+				return nil
+			}
+			blk, err := fs.bc.read(bn)
+			if err != nil {
+				return err
+			}
+			for s := 0; s < dirSlotsPerBlock; s++ {
+				idx := fbn*dirSlotsPerBlock + uint64(s)
+				if idx >= nSlots {
+					return nil
+				}
+				if ino, _ := decodeSlot(blk[s*dirSlotSize:]); ino == 0 {
+					freeIdx = idx
+					foundFree = true
+					return nil
+				}
+			}
+		}
+		return nil
+	}()
+	if err != nil {
+		return err
+	}
+	idx := nSlots
+	if foundFree {
+		idx = freeIdx
+	}
+	fbn, off := slotAddr(idx)
+	bn, err := fs.blockmapLocked(&din, fbn, true)
+	if err != nil {
+		return err
+	}
+	blk, err := fs.bc.read(bn)
+	if err != nil {
+		return err
+	}
+	encodeSlot(blk[off:], child, name)
+	if err := fs.bc.write(bn, blk); err != nil {
+		return err
+	}
+	if end := (idx + 1) * dirSlotSize; end > din.Size {
+		din.Size = end
+	}
+	din.Mtime = fs.tick()
+	if err := fs.writeInodeLocked(dir, din); err != nil {
+		return err
+	}
+	fs.dnlc.put(dir, name, child)
+	return nil
+}
+
+// dirRemoveLocked deletes the entry for name, returning the child it named.
+func (fs *FS) dirRemoveLocked(dir Ino, name string) (Ino, error) {
+	din, err := fs.readInodeLocked(dir)
+	if err != nil {
+		return 0, err
+	}
+	var at uint64
+	var child Ino
+	err = fs.dirScanLocked(dir, func(idx uint64, ino Ino, n string) bool {
+		if n == name {
+			at, child = idx, ino
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return 0, err
+	}
+	if child == 0 {
+		return 0, ErrNotExist
+	}
+	fbn, off := slotAddr(at)
+	bn, err := fs.blockmapLocked(&din, fbn, false)
+	if err != nil {
+		return 0, err
+	}
+	blk, err := fs.bc.read(bn)
+	if err != nil {
+		return 0, err
+	}
+	encodeSlot(blk[off:], 0, "")
+	if err := fs.bc.write(bn, blk); err != nil {
+		return 0, err
+	}
+	din.Mtime = fs.tick()
+	if err := fs.writeInodeLocked(dir, din); err != nil {
+		return 0, err
+	}
+	fs.dnlc.drop(dir, name)
+	return child, nil
+}
+
+// dirEmptyLocked reports whether dir contains only "." and "..".
+func (fs *FS) dirEmptyLocked(dir Ino) (bool, error) {
+	empty := true
+	err := fs.dirScanLocked(dir, func(_ uint64, _ Ino, name string) bool {
+		if name != "." && name != ".." {
+			empty = false
+			return true
+		}
+		return false
+	})
+	return empty, err
+}
+
+// Lookup resolves name within directory dir.
+func (fs *FS) Lookup(dir Ino, name string) (Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if name == "." {
+		return dir, nil
+	}
+	if len(name) > MaxNameLen {
+		return 0, ErrNameTooLong
+	}
+	return fs.dirLookupLocked(dir, name)
+}
+
+// Create makes a new regular file named name in dir.
+func (fs *FS) Create(dir Ino, name string) (Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := validName(name); err != nil {
+		return 0, err
+	}
+	ddin, err := fs.readInodeLocked(dir)
+	if err != nil {
+		return 0, err
+	}
+	if ddin.Type != TypeDir {
+		return 0, ErrNotDir
+	}
+	if _, err := fs.dirLookupLocked(dir, name); err == nil {
+		return 0, ErrExist
+	} else if err != ErrNotExist {
+		return 0, err
+	}
+	ino, err := fs.iallocLocked(TypeFile)
+	if err != nil {
+		return 0, err
+	}
+	din, err := fs.readInodeLocked(ino)
+	if err != nil {
+		return 0, err
+	}
+	din.Nlink = 1
+	if err := fs.writeInodeLocked(ino, din); err != nil {
+		return 0, err
+	}
+	if err := fs.dirAddLocked(dir, name, ino); err != nil {
+		_ = fs.ifreeLocked(ino)
+		return 0, err
+	}
+	return ino, nil
+}
+
+// Mkdir makes a new directory named name in dir.
+func (fs *FS) Mkdir(dir Ino, name string) (Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := validName(name); err != nil {
+		return 0, err
+	}
+	ddin, err := fs.readInodeLocked(dir)
+	if err != nil {
+		return 0, err
+	}
+	if ddin.Type != TypeDir {
+		return 0, ErrNotDir
+	}
+	if _, err := fs.dirLookupLocked(dir, name); err == nil {
+		return 0, ErrExist
+	} else if err != ErrNotExist {
+		return 0, err
+	}
+	ino, err := fs.iallocLocked(TypeDir)
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.dirInitLocked(ino, dir); err != nil {
+		_ = fs.ifreeLocked(ino)
+		return 0, err
+	}
+	if err := fs.dirAddLocked(dir, name, ino); err != nil {
+		_ = fs.ifreeLocked(ino)
+		return 0, err
+	}
+	// Parent gains a link via the child's "..".
+	ddin, err = fs.readInodeLocked(dir)
+	if err != nil {
+		return 0, err
+	}
+	ddin.Nlink++
+	if err := fs.writeInodeLocked(dir, ddin); err != nil {
+		return 0, err
+	}
+	return ino, nil
+}
+
+// Link creates a hard link to target as name in dir.  Hard links to
+// directories are rejected, as in Unix.
+func (fs *FS) Link(dir Ino, name string, target Ino) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := validName(name); err != nil {
+		return err
+	}
+	tdin, err := fs.readInodeLocked(target)
+	if err != nil {
+		return err
+	}
+	if tdin.Type == TypeDir {
+		return ErrLinkedDir
+	}
+	ddin, err := fs.readInodeLocked(dir)
+	if err != nil {
+		return err
+	}
+	if ddin.Type != TypeDir {
+		return ErrNotDir
+	}
+	if _, err := fs.dirLookupLocked(dir, name); err == nil {
+		return ErrExist
+	} else if err != ErrNotExist {
+		return err
+	}
+	if err := fs.dirAddLocked(dir, name, target); err != nil {
+		return err
+	}
+	tdin.Nlink++
+	tdin.Ctime = fs.tick()
+	return fs.writeInodeLocked(target, tdin)
+}
+
+// Remove unlinks a non-directory name; when the link count drops to zero
+// the inode and its blocks are freed.
+func (fs *FS) Remove(dir Ino, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := validName(name); err != nil {
+		return err
+	}
+	child, err := fs.dirLookupLocked(dir, name)
+	if err != nil {
+		return err
+	}
+	cdin, err := fs.readInodeLocked(child)
+	if err != nil {
+		return err
+	}
+	if cdin.Type == TypeDir {
+		return ErrIsDir
+	}
+	if _, err := fs.dirRemoveLocked(dir, name); err != nil {
+		return err
+	}
+	cdin.Nlink--
+	cdin.Ctime = fs.tick()
+	if cdin.Nlink == 0 {
+		return fs.ifreeLocked(child)
+	}
+	return fs.writeInodeLocked(child, cdin)
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(dir Ino, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := validName(name); err != nil {
+		return err
+	}
+	child, err := fs.dirLookupLocked(dir, name)
+	if err != nil {
+		return err
+	}
+	cdin, err := fs.readInodeLocked(child)
+	if err != nil {
+		return err
+	}
+	if cdin.Type != TypeDir {
+		return ErrNotDir
+	}
+	empty, err := fs.dirEmptyLocked(child)
+	if err != nil {
+		return err
+	}
+	if !empty {
+		return ErrNotEmpty
+	}
+	if _, err := fs.dirRemoveLocked(dir, name); err != nil {
+		return err
+	}
+	if err := fs.ifreeLocked(child); err != nil {
+		return err
+	}
+	fs.dnlc.dropDir(child)
+	// Parent loses the child's ".." link.
+	ddin, err := fs.readInodeLocked(dir)
+	if err != nil {
+		return err
+	}
+	ddin.Nlink--
+	ddin.Mtime = fs.tick()
+	return fs.writeInodeLocked(dir, ddin)
+}
+
+// Rename moves sdir/sname to ddir/dname.  A non-directory destination is
+// replaced atomically; directory destinations must not exist.
+func (fs *FS) Rename(sdir Ino, sname string, ddir Ino, dname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := validName(sname); err != nil {
+		return err
+	}
+	if err := validName(dname); err != nil {
+		return err
+	}
+	child, err := fs.dirLookupLocked(sdir, sname)
+	if err != nil {
+		return err
+	}
+	if sdir == ddir && sname == dname {
+		return nil
+	}
+	cdin, err := fs.readInodeLocked(child)
+	if err != nil {
+		return err
+	}
+	// Moving a directory under itself would orphan the subtree.
+	if cdin.Type == TypeDir {
+		if child == ddir {
+			return ErrDirLoop
+		}
+		for p := ddir; p != rootIno; {
+			up, err := fs.dirLookupLocked(p, "..")
+			if err != nil {
+				return err
+			}
+			if up == child {
+				return ErrDirLoop
+			}
+			if up == p {
+				break
+			}
+			p = up
+		}
+	}
+	// Handle an existing destination.
+	if old, err := fs.dirLookupLocked(ddir, dname); err == nil {
+		if old == child {
+			// Same inode under both names: just drop the source entry.
+			if _, err := fs.dirRemoveLocked(sdir, sname); err != nil {
+				return err
+			}
+			odin, err := fs.readInodeLocked(old)
+			if err != nil {
+				return err
+			}
+			odin.Nlink--
+			return fs.writeInodeLocked(old, odin)
+		}
+		odin, err := fs.readInodeLocked(old)
+		if err != nil {
+			return err
+		}
+		if odin.Type == TypeDir {
+			return ErrExist
+		}
+		if cdin.Type == TypeDir {
+			return ErrNotDir
+		}
+		if _, err := fs.dirRemoveLocked(ddir, dname); err != nil {
+			return err
+		}
+		odin.Nlink--
+		if odin.Nlink == 0 {
+			if err := fs.ifreeLocked(old); err != nil {
+				return err
+			}
+		} else if err := fs.writeInodeLocked(old, odin); err != nil {
+			return err
+		}
+	} else if err != ErrNotExist {
+		return err
+	}
+	// Keep nlink >= on-disk reference count at every crash point: bump
+	// before adding the second name, drop only after the first is gone.
+	// Otherwise recovery code removing one name would free an inode the
+	// other name still references.
+	cdin, err = fs.readInodeLocked(child)
+	if err != nil {
+		return err
+	}
+	cdin.Nlink++
+	if err := fs.writeInodeLocked(child, cdin); err != nil {
+		return err
+	}
+	if err := fs.dirAddLocked(ddir, dname, child); err != nil {
+		return err
+	}
+	if _, err := fs.dirRemoveLocked(sdir, sname); err != nil {
+		return err
+	}
+	cdin, err = fs.readInodeLocked(child)
+	if err != nil {
+		return err
+	}
+	cdin.Nlink--
+	if err := fs.writeInodeLocked(child, cdin); err != nil {
+		return err
+	}
+	// Fix ".." and parent link counts when a directory changes parents.
+	if cdin.Type == TypeDir && sdir != ddir {
+		if err := fs.dirSetDotDotLocked(child, ddir); err != nil {
+			return err
+		}
+		sdin, err := fs.readInodeLocked(sdir)
+		if err != nil {
+			return err
+		}
+		sdin.Nlink--
+		if err := fs.writeInodeLocked(sdir, sdin); err != nil {
+			return err
+		}
+		ddin, err := fs.readInodeLocked(ddir)
+		if err != nil {
+			return err
+		}
+		ddin.Nlink++
+		if err := fs.writeInodeLocked(ddir, ddin); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dirSetDotDotLocked repoints the ".." entry of dir at parent.
+func (fs *FS) dirSetDotDotLocked(dir, parent Ino) error {
+	din, err := fs.readInodeLocked(dir)
+	if err != nil {
+		return err
+	}
+	bn, err := fs.blockmapLocked(&din, 0, false)
+	if err != nil {
+		return err
+	}
+	blk, err := fs.bc.read(bn)
+	if err != nil {
+		return err
+	}
+	encodeSlot(blk[dirSlotSize:], parent, "..")
+	if err := fs.bc.write(bn, blk); err != nil {
+		return err
+	}
+	fs.dnlc.put(dir, "..", parent)
+	return nil
+}
+
+// Readdir lists dir's entries, excluding "." and "..".
+func (fs *FS) Readdir(dir Ino) ([]Dirent, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []Dirent
+	err := fs.dirScanLocked(dir, func(_ uint64, ino Ino, name string) bool {
+		if name != "." && name != ".." {
+			out = append(out, Dirent{Name: name, Ino: ino})
+		}
+		return false
+	})
+	return out, err
+}
+
+// ReaddirAll lists dir's entries including "." and "..", for fsck.
+func (fs *FS) ReaddirAll(dir Ino) ([]Dirent, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []Dirent
+	err := fs.dirScanLocked(dir, func(_ uint64, ino Ino, name string) bool {
+		out = append(out, Dirent{Name: name, Ino: ino})
+		return false
+	})
+	return out, err
+}

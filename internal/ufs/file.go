@@ -1,0 +1,321 @@
+package ufs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Stat describes an inode.
+type Stat struct {
+	Ino   Ino
+	Type  FileType
+	Nlink uint16
+	Mode  uint16
+	Size  uint64
+	Mtime uint64
+	Ctime uint64
+}
+
+// Stat returns metadata for ino.
+func (fs *FS) Stat(ino Ino) (Stat, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	din, err := fs.readInodeLocked(ino)
+	if err != nil {
+		return Stat{}, err
+	}
+	return Stat{
+		Ino: ino, Type: din.Type, Nlink: din.Nlink, Mode: din.Mode,
+		Size: din.Size, Mtime: din.Mtime, Ctime: din.Ctime,
+	}, nil
+}
+
+// SetMode updates the informational permission bits.
+func (fs *FS) SetMode(ino Ino, mode uint16) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	din, err := fs.readInodeLocked(ino)
+	if err != nil {
+		return err
+	}
+	din.Mode = mode
+	din.Ctime = fs.tick()
+	return fs.writeInodeLocked(ino, din)
+}
+
+// ReadAt reads up to len(p) bytes at offset off, returning io.EOF past end
+// of file as os.File does.
+func (fs *FS) ReadAt(ino Ino, p []byte, off int64) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.readAtLocked(ino, p, off)
+}
+
+func (fs *FS) readAtLocked(ino Ino, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, ErrInvalidWhere
+	}
+	din, err := fs.readInodeLocked(ino)
+	if err != nil {
+		return 0, err
+	}
+	if din.Type == TypeDir {
+		// Directories are read through Readdir; raw reads support fsck only.
+	}
+	if uint64(off) >= din.Size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if rem := din.Size - uint64(off); uint64(n) > rem {
+		n = int(rem)
+	}
+	read := 0
+	for read < n {
+		fbn := uint64(off+int64(read)) / BlockSize
+		boff := int(uint64(off+int64(read)) % BlockSize)
+		chunk := BlockSize - boff
+		if chunk > n-read {
+			chunk = n - read
+		}
+		bn, err := fs.blockmapLocked(&din, fbn, false)
+		if err != nil {
+			return read, err
+		}
+		if bn == 0 {
+			// Hole: zeros.
+			for i := 0; i < chunk; i++ {
+				p[read+i] = 0
+			}
+		} else {
+			blk, err := fs.bc.read(bn)
+			if err != nil {
+				return read, err
+			}
+			copy(p[read:read+chunk], blk[boff:])
+		}
+		read += chunk
+	}
+	if read < len(p) {
+		return read, io.EOF
+	}
+	return read, nil
+}
+
+// WriteAt writes p at offset off, extending the file as needed.
+func (fs *FS) WriteAt(ino Ino, p []byte, off int64) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writeAtLocked(ino, p, off)
+}
+
+func (fs *FS) writeAtLocked(ino Ino, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, ErrInvalidWhere
+	}
+	din, err := fs.readInodeLocked(ino)
+	if err != nil {
+		return 0, err
+	}
+	if din.Type == TypeDir {
+		return 0, ErrIsDir
+	}
+	written := 0
+	for written < len(p) {
+		fbn := uint64(off+int64(written)) / BlockSize
+		boff := int(uint64(off+int64(written)) % BlockSize)
+		chunk := BlockSize - boff
+		if chunk > len(p)-written {
+			chunk = len(p) - written
+		}
+		bn, err := fs.blockmapLocked(&din, fbn, true)
+		if err != nil {
+			// Persist pointer changes made so far before reporting.
+			_ = fs.writeInodeLocked(ino, din)
+			return written, err
+		}
+		var blk []byte
+		if boff == 0 && chunk == BlockSize {
+			blk = make([]byte, BlockSize)
+		} else {
+			blk, err = fs.bc.read(bn)
+			if err != nil {
+				_ = fs.writeInodeLocked(ino, din)
+				return written, err
+			}
+		}
+		copy(blk[boff:], p[written:written+chunk])
+		if err := fs.bc.write(bn, blk); err != nil {
+			_ = fs.writeInodeLocked(ino, din)
+			return written, err
+		}
+		written += chunk
+	}
+	if end := uint64(off) + uint64(written); end > din.Size {
+		din.Size = end
+	}
+	din.Mtime = fs.tick()
+	if err := fs.writeInodeLocked(ino, din); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// Truncate sets the file size, freeing blocks past the new end.
+func (fs *FS) Truncate(ino Ino, size uint64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	din, err := fs.readInodeLocked(ino)
+	if err != nil {
+		return err
+	}
+	if din.Type == TypeDir {
+		return ErrIsDir
+	}
+	return fs.itruncateLocked(ino, size)
+}
+
+// ReadFile reads the whole file.
+func (fs *FS) ReadFile(ino Ino) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	din, err := fs.readInodeLocked(ino)
+	if err != nil {
+		return nil, err
+	}
+	p := make([]byte, din.Size)
+	if din.Size == 0 {
+		return p, nil
+	}
+	n, err := fs.readAtLocked(ino, p, 0)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return p[:n], nil
+}
+
+// WriteFile replaces the whole file contents.
+func (fs *FS) WriteFile(ino Ino, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	din, err := fs.readInodeLocked(ino)
+	if err != nil {
+		return err
+	}
+	if din.Type == TypeDir {
+		return ErrIsDir
+	}
+	if err := fs.itruncateLocked(ino, 0); err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	_, err = fs.writeAtLocked(ino, data, 0)
+	return err
+}
+
+// Symlink creates a symbolic link named name in dir whose target is target.
+func (fs *FS) Symlink(dir Ino, name, target string) (Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := validName(name); err != nil {
+		return 0, err
+	}
+	ddin, err := fs.readInodeLocked(dir)
+	if err != nil {
+		return 0, err
+	}
+	if ddin.Type != TypeDir {
+		return 0, ErrNotDir
+	}
+	if _, err := fs.dirLookupLocked(dir, name); err == nil {
+		return 0, ErrExist
+	} else if err != ErrNotExist {
+		return 0, err
+	}
+	ino, err := fs.iallocLocked(TypeSymlink)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := fs.writeAtLocked(ino, []byte(target), 0); err != nil {
+		return 0, err
+	}
+	din, err := fs.readInodeLocked(ino)
+	if err != nil {
+		return 0, err
+	}
+	din.Nlink = 1
+	if err := fs.writeInodeLocked(ino, din); err != nil {
+		return 0, err
+	}
+	if err := fs.dirAddLocked(dir, name, ino); err != nil {
+		_ = fs.ifreeLocked(ino)
+		return 0, err
+	}
+	return ino, nil
+}
+
+// Readlink returns the target of a symlink.
+func (fs *FS) Readlink(ino Ino) (string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	din, err := fs.readInodeLocked(ino)
+	if err != nil {
+		return "", err
+	}
+	if din.Type != TypeSymlink {
+		return "", ErrNotSymlink
+	}
+	p := make([]byte, din.Size)
+	if _, err := fs.readAtLocked(ino, p, 0); err != nil && err != io.EOF {
+		return "", err
+	}
+	return string(p), nil
+}
+
+// Sync is a no-op: the buffer cache is write-through, so every completed
+// operation is already on the device.
+func (fs *FS) Sync() error { return nil }
+
+// StatFS summarizes usage.
+type StatFS struct {
+	TotalBlocks uint32
+	DataBlocks  uint32
+	FreeBlocks  uint32
+	TotalInodes uint32
+	FreeInodes  uint32
+}
+
+// Statfs reports usage by scanning the bitmaps.
+func (fs *FS) Statfs() (StatFS, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out StatFS
+	out.TotalBlocks = fs.sb.NBlocks
+	out.DataBlocks = fs.sb.NBlocks - fs.sb.DataStart
+	for bn := fs.sb.DataStart; bn < fs.sb.NBlocks; bn++ {
+		used, err := fs.bmapTest(blkBitmap, bn)
+		if err != nil {
+			return out, err
+		}
+		if !used {
+			out.FreeBlocks++
+		}
+	}
+	out.TotalInodes = fs.sb.NInodes
+	for i := uint32(1); i < fs.sb.NInodes; i++ {
+		used, err := fs.bmapTest(inoBitmap, i)
+		if err != nil {
+			return out, err
+		}
+		if !used {
+			out.FreeInodes++
+		}
+	}
+	return out, nil
+}
+
+// debugString renders an inode for error messages.
+func (d dinode) debugString(ino Ino) string {
+	return fmt.Sprintf("ino %d type=%v nlink=%d size=%d", ino, d.Type, d.Nlink, d.Size)
+}

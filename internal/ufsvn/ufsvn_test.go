@@ -1,0 +1,77 @@
+package ufsvn
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ufs"
+	"repro/internal/vnode"
+	"repro/internal/vntest"
+)
+
+func newVFS(t *testing.T) *VFS {
+	t.Helper()
+	fs, err := ufs.Mkfs(disk.New(2048), 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(fs)
+}
+
+func TestConformance(t *testing.T) {
+	vntest.Run(t, vntest.Config{SupportsHardLinks: true, MaxName: ufs.MaxNameLen},
+		func(t *testing.T) vnode.VFS { return newVFS(t) })
+}
+
+func TestResolveHandle(t *testing.T) {
+	fs := newVFS(t)
+	root, _ := fs.Root()
+	f, err := root.Create("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Resolve(f.Handle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Handle() != f.Handle() {
+		t.Fatalf("resolved %q, want %q", got.Handle(), f.Handle())
+	}
+	// Stale handle after remove.
+	if err := root.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Resolve(f.Handle()); vnode.AsErrno(err) != vnode.ESTALE {
+		t.Fatalf("stale resolve: %v", err)
+	}
+	if _, err := fs.Resolve("not-a-number"); vnode.AsErrno(err) != vnode.ESTALE {
+		t.Fatalf("garbage resolve: %v", err)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	fs := newVFS(t)
+	root, _ := fs.Root()
+	d, _ := root.Mkdir("d")
+	if err := root.Link("dl", d); vnode.AsErrno(err) != vnode.EPERM {
+		t.Fatalf("link to dir: %v", err)
+	}
+	f, _ := root.Create("f", true)
+	if _, err := f.Readlink(); vnode.AsErrno(err) != vnode.EINVAL {
+		t.Fatalf("readlink of file: %v", err)
+	}
+}
+
+func TestCrossFSOpsRejected(t *testing.T) {
+	a := newVFS(t)
+	b := newVFS(t)
+	ra, _ := a.Root()
+	rb, _ := b.Root()
+	f, _ := ra.Create("f", true)
+	if err := rb.Link("x", f); vnode.AsErrno(err) != vnode.EXDEV {
+		t.Fatalf("cross-fs link: %v", err)
+	}
+	if err := ra.Rename("f", rb, "g"); vnode.AsErrno(err) != vnode.EXDEV {
+		t.Fatalf("cross-fs rename: %v", err)
+	}
+}

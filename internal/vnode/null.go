@@ -1,0 +1,254 @@
+package vnode
+
+import "sync/atomic"
+
+// NullVFS is the pass-through layer: it forwards every operation to the
+// layer below and rewraps returned vnodes so the stack is preserved across
+// Lookup/Create/Mkdir.  Per paper §6, the cost of crossing it is one
+// procedure call, one pointer indirection, and storage for another vnode
+// block — experiment E2 measures exactly that by interposing N of these.
+type NullVFS struct {
+	lower VFS
+}
+
+// NewNull interposes a null layer above lower.
+func NewNull(lower VFS) *NullVFS { return &NullVFS{lower: lower} }
+
+// Root returns the wrapped root of the lower layer.
+func (n *NullVFS) Root() (Vnode, error) {
+	v, err := n.lower.Root()
+	if err != nil {
+		return nil, err
+	}
+	return &nullVnode{fs: n, lower: v}, nil
+}
+
+// Sync forwards to the lower layer.
+func (n *NullVFS) Sync() error { return n.lower.Sync() }
+
+type nullVnode struct {
+	fs    *NullVFS
+	lower Vnode
+}
+
+func (v *nullVnode) wrap(lower Vnode) Vnode { return &nullVnode{fs: v.fs, lower: lower} }
+
+// unwrapNull peels a peer vnode down to this layer's lower interface, so
+// two-vnode operations (Link, Rename) hand the lower layer its own vnodes.
+func (v *nullVnode) unwrap(peer Vnode) Vnode {
+	if p, ok := peer.(*nullVnode); ok && p.fs == v.fs {
+		return p.lower
+	}
+	return peer
+}
+
+func (v *nullVnode) Handle() string { return v.lower.Handle() }
+
+func (v *nullVnode) Lookup(name string) (Vnode, error) {
+	c, err := v.lower.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c), nil
+}
+
+func (v *nullVnode) Create(name string, excl bool) (Vnode, error) {
+	c, err := v.lower.Create(name, excl)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c), nil
+}
+
+func (v *nullVnode) Mkdir(name string) (Vnode, error) {
+	c, err := v.lower.Mkdir(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c), nil
+}
+
+func (v *nullVnode) Symlink(name, target string) error { return v.lower.Symlink(name, target) }
+func (v *nullVnode) Readlink() (string, error)         { return v.lower.Readlink() }
+func (v *nullVnode) Open(f OpenFlags) error            { return v.lower.Open(f) }
+func (v *nullVnode) Close(f OpenFlags) error           { return v.lower.Close(f) }
+
+func (v *nullVnode) ReadAt(p []byte, off int64) (int, error)  { return v.lower.ReadAt(p, off) }
+func (v *nullVnode) WriteAt(p []byte, off int64) (int, error) { return v.lower.WriteAt(p, off) }
+func (v *nullVnode) Truncate(size uint64) error               { return v.lower.Truncate(size) }
+func (v *nullVnode) Fsync() error                             { return v.lower.Fsync() }
+
+func (v *nullVnode) Getattr() (Attr, error)     { return v.lower.Getattr() }
+func (v *nullVnode) Setattr(sa SetAttr) error   { return v.lower.Setattr(sa) }
+func (v *nullVnode) Access(mode uint16) error   { return v.lower.Access(mode) }
+func (v *nullVnode) Remove(name string) error   { return v.lower.Remove(name) }
+func (v *nullVnode) Rmdir(name string) error    { return v.lower.Rmdir(name) }
+func (v *nullVnode) Readdir() ([]Dirent, error) { return v.lower.Readdir() }
+
+func (v *nullVnode) Link(name string, target Vnode) error {
+	return v.lower.Link(name, v.unwrap(target))
+}
+
+func (v *nullVnode) Rename(oldName string, dstDir Vnode, newName string) error {
+	return v.lower.Rename(oldName, v.unwrap(dstDir), newName)
+}
+
+// HookVFS is a null layer with a counter and an optional callback invoked
+// before every forwarded operation.  It is the "performance monitoring"
+// layer the paper anticipates slipping into a stack (§1) and the probe used
+// by E1/E2 and examples/layers.
+type HookVFS struct {
+	NullVFS
+	ops    atomic.Uint64
+	onCall func(op string)
+}
+
+// NewHook interposes a hook layer above lower; onCall may be nil.
+func NewHook(lower VFS, onCall func(op string)) *HookVFS {
+	h := &HookVFS{onCall: onCall}
+	h.NullVFS.lower = lower
+	return h
+}
+
+// Ops returns the number of operations that have crossed this layer.
+func (h *HookVFS) Ops() uint64 { return h.ops.Load() }
+
+func (h *HookVFS) note(op string) {
+	h.ops.Add(1)
+	if h.onCall != nil {
+		h.onCall(op)
+	}
+}
+
+// Root returns the wrapped, counted root.
+func (h *HookVFS) Root() (Vnode, error) {
+	h.note("root")
+	v, err := h.NullVFS.lower.Root()
+	if err != nil {
+		return nil, err
+	}
+	return &hookVnode{nullVnode{fs: &h.NullVFS, lower: v}, h}, nil
+}
+
+type hookVnode struct {
+	nullVnode
+	h *HookVFS
+}
+
+func (v *hookVnode) wrap(lower Vnode) Vnode {
+	return &hookVnode{nullVnode{fs: v.fs, lower: lower}, v.h}
+}
+
+func (v *hookVnode) unwrap(peer Vnode) Vnode {
+	if p, ok := peer.(*hookVnode); ok && p.h == v.h {
+		return p.lower
+	}
+	return peer
+}
+
+func (v *hookVnode) Lookup(name string) (Vnode, error) {
+	v.h.note("lookup")
+	c, err := v.lower.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c), nil
+}
+
+func (v *hookVnode) Create(name string, excl bool) (Vnode, error) {
+	v.h.note("create")
+	c, err := v.lower.Create(name, excl)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c), nil
+}
+
+func (v *hookVnode) Mkdir(name string) (Vnode, error) {
+	v.h.note("mkdir")
+	c, err := v.lower.Mkdir(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.wrap(c), nil
+}
+
+func (v *hookVnode) Symlink(name, target string) error {
+	v.h.note("symlink")
+	return v.lower.Symlink(name, target)
+}
+
+func (v *hookVnode) Readlink() (string, error) {
+	v.h.note("readlink")
+	return v.lower.Readlink()
+}
+
+func (v *hookVnode) Open(f OpenFlags) error {
+	v.h.note("open")
+	return v.lower.Open(f)
+}
+
+func (v *hookVnode) Close(f OpenFlags) error {
+	v.h.note("close")
+	return v.lower.Close(f)
+}
+
+func (v *hookVnode) ReadAt(p []byte, off int64) (int, error) {
+	v.h.note("read")
+	return v.lower.ReadAt(p, off)
+}
+
+func (v *hookVnode) WriteAt(p []byte, off int64) (int, error) {
+	v.h.note("write")
+	return v.lower.WriteAt(p, off)
+}
+
+func (v *hookVnode) Truncate(size uint64) error {
+	v.h.note("truncate")
+	return v.lower.Truncate(size)
+}
+
+func (v *hookVnode) Fsync() error {
+	v.h.note("fsync")
+	return v.lower.Fsync()
+}
+
+func (v *hookVnode) Getattr() (Attr, error) {
+	v.h.note("getattr")
+	return v.lower.Getattr()
+}
+
+func (v *hookVnode) Setattr(sa SetAttr) error {
+	v.h.note("setattr")
+	return v.lower.Setattr(sa)
+}
+
+func (v *hookVnode) Access(mode uint16) error {
+	v.h.note("access")
+	return v.lower.Access(mode)
+}
+
+func (v *hookVnode) Remove(name string) error {
+	v.h.note("remove")
+	return v.lower.Remove(name)
+}
+
+func (v *hookVnode) Rmdir(name string) error {
+	v.h.note("rmdir")
+	return v.lower.Rmdir(name)
+}
+
+func (v *hookVnode) Readdir() ([]Dirent, error) {
+	v.h.note("readdir")
+	return v.lower.Readdir()
+}
+
+func (v *hookVnode) Link(name string, target Vnode) error {
+	v.h.note("link")
+	return v.lower.Link(name, v.unwrap(target))
+}
+
+func (v *hookVnode) Rename(oldName string, dstDir Vnode, newName string) error {
+	v.h.note("rename")
+	return v.lower.Rename(oldName, v.unwrap(dstDir), newName)
+}

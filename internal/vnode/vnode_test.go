@@ -1,0 +1,218 @@
+package vnode_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ufs"
+	"repro/internal/ufsvn"
+	"repro/internal/vnode"
+	"repro/internal/vntest"
+)
+
+func baseVFS(t *testing.T) vnode.VFS {
+	t.Helper()
+	fs, err := ufs.Mkfs(disk.New(2048), 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ufsvn.New(fs)
+}
+
+// TestNullStackConformance runs the full conformance suite through a stack
+// of 3 null layers: transparent interposition is the paper's core
+// architectural claim (Fig. 1, §7).
+func TestNullStackConformance(t *testing.T) {
+	vntest.Run(t, vntest.Config{SupportsHardLinks: true, MaxName: ufs.MaxNameLen},
+		func(t *testing.T) vnode.VFS {
+			var fs vnode.VFS = baseVFS(t)
+			for i := 0; i < 3; i++ {
+				fs = vnode.NewNull(fs)
+			}
+			return fs
+		})
+}
+
+func TestHookLayerCountsAndObserves(t *testing.T) {
+	var calls []string
+	h := vnode.NewHook(baseVFS(t), func(op string) { calls = append(calls, op) })
+	root, err := h.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := root.Create("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Lookup("f"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Ops() != 4 { // root, create, write, lookup
+		t.Fatalf("ops %d, want 4: %v", h.Ops(), calls)
+	}
+	want := []string{"root", "create", "write", "lookup"}
+	for i, w := range want {
+		if calls[i] != w {
+			t.Fatalf("calls = %v, want %v", calls, want)
+		}
+	}
+}
+
+func TestHookSeesAllOpsThroughStack(t *testing.T) {
+	// hook above two nulls: operations must still be counted once each.
+	base := baseVFS(t)
+	h := vnode.NewHook(vnode.NewNull(vnode.NewNull(base)), nil)
+	root, _ := h.Root()
+	d, err := root.Mkdir("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Rename("d", root, "e"); err != nil {
+		t.Fatal(err)
+	}
+	_ = d
+	if err := root.Rmdir("e"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Ops() != 4 {
+		t.Fatalf("ops %d, want 4", h.Ops())
+	}
+}
+
+func TestNullLayerUnwrapsPeersForRename(t *testing.T) {
+	n := vnode.NewNull(baseVFS(t))
+	root, _ := n.Root()
+	d1, _ := root.Mkdir("d1")
+	d2, _ := root.Mkdir("d2")
+	if _, err := d1.Create("f", true); err != nil {
+		t.Fatal(err)
+	}
+	// dstDir is a wrapped vnode of the same layer; Rename must unwrap it
+	// before handing it to UFS, or UFS would see a foreign type.
+	if err := d1.Rename("f", d2, "g"); err != nil {
+		t.Fatalf("rename through null layer: %v", err)
+	}
+	if _, err := d2.Lookup("g"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrnoVocabulary(t *testing.T) {
+	if vnode.ENOENT.Error() == "" || vnode.Errno(999).Error() == "" {
+		t.Fatal("empty error strings")
+	}
+	if vnode.AsErrno(nil) != vnode.EOK {
+		t.Fatal("nil should map to EOK")
+	}
+	wrapped := fmt.Errorf("context: %w", vnode.ENOTDIR)
+	if vnode.AsErrno(wrapped) != vnode.ENOTDIR {
+		t.Fatal("wrapped errno lost")
+	}
+	if vnode.AsErrno(errors.New("opaque")) != vnode.EIO {
+		t.Fatal("opaque error should degrade to EIO")
+	}
+	if got := vnode.ErrnoFromCode(vnode.ENOSPC.Code()); got != vnode.ENOSPC {
+		t.Fatalf("round trip: %v", got)
+	}
+	if got := vnode.ErrnoFromCode(424242); got != vnode.EIO {
+		t.Fatalf("unknown code: %v", got)
+	}
+	if got := vnode.ErrnoFromCode(0); got != vnode.EOK {
+		t.Fatalf("zero code: %v", got)
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	cases := map[string][]string{
+		"":            nil,
+		"/":           nil,
+		"a":           {"a"},
+		"/a/b/c":      {"a", "b", "c"},
+		"a//b/":       {"a", "b"},
+		"./a/./b":     {"a", "b"},
+		"a/b/c/d/e/f": {"a", "b", "c", "d", "e", "f"},
+	}
+	for in, want := range cases {
+		got := vnode.SplitPath(in)
+		if len(got) != len(want) {
+			t.Errorf("SplitPath(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("SplitPath(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+}
+
+func TestWalkAndMkdirAll(t *testing.T) {
+	fs := baseVFS(t)
+	root, _ := fs.Root()
+	if _, err := vnode.MkdirAll(root, "a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if _, err := vnode.MkdirAll(root, "a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := vnode.Walk(root, "/a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := v.Getattr()
+	if a.Type != vnode.VDir {
+		t.Fatalf("type %v", a.Type)
+	}
+	if _, err := vnode.Walk(root, "a/missing/c"); vnode.AsErrno(err) != vnode.ENOENT {
+		t.Fatalf("walk missing: %v", err)
+	}
+	parent, name, err := vnode.WalkParent(root, "a/b/newfile")
+	if err != nil || name != "newfile" {
+		t.Fatalf("WalkParent: %q, %v", name, err)
+	}
+	if _, err := parent.Create(name, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := vnode.WalkParent(root, "/"); vnode.AsErrno(err) != vnode.EINVAL {
+		t.Fatalf("WalkParent of root: %v", err)
+	}
+}
+
+func TestReadWriteFileHelpers(t *testing.T) {
+	fs := baseVFS(t)
+	root, _ := fs.Root()
+	f, _ := root.Create("f", true)
+	if err := vnode.WriteFile(f, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vnode.ReadFile(f)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("%q, %v", got, err)
+	}
+	if err := vnode.WriteFile(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err = vnode.ReadFile(f)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("after empty write: %q, %v", got, err)
+	}
+}
+
+func TestVTypeString(t *testing.T) {
+	for ty, want := range map[vnode.VType]string{
+		vnode.VReg: "file", vnode.VDir: "dir", vnode.VLnk: "symlink",
+	} {
+		if ty.String() != want {
+			t.Errorf("%d -> %q", int(ty), ty.String())
+		}
+	}
+	if vnode.VType(42).String() == "" {
+		t.Error("unknown VType should render")
+	}
+}

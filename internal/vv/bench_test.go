@@ -1,0 +1,47 @@
+package vv
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func benchVec(n int) Vector {
+	v := New()
+	for i := 0; i < n; i++ {
+		v[ids.ReplicaID(i)] = uint64(i + 1)
+	}
+	return v
+}
+
+func BenchmarkCompare8(b *testing.B) {
+	x, y := benchVec(8), benchVec(8)
+	y.Bump(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.Compare(y) != Dominated {
+			b.Fatal("wrong order")
+		}
+	}
+}
+
+func BenchmarkMerge8(b *testing.B) {
+	x, y := benchVec(8), benchVec(8)
+	y.Bump(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Merge(x, y)
+	}
+}
+
+func BenchmarkCodecRoundTrip8(b *testing.B) {
+	v := benchVec(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, _ := v.MarshalBinary()
+		var out Vector
+		if err := out.UnmarshalBinary(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package vv implements version vectors as introduced by Parker et al.,
+// "Detection of Mutual Inconsistency in Distributed Systems" (IEEE TSE
+// 1983), which Ficus uses to detect concurrent unsynchronized updates to
+// file replicas (paper §2.6, §3.1).
+//
+// A version vector associated with a file replica maps each replica id to
+// the number of updates that replica has originated for the file.  Two
+// replica states are comparable when one vector dominates the other
+// componentwise; otherwise the replicas were updated concurrently while not
+// communicating and are in conflict.
+package vv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ids"
+)
+
+// Order is the result of comparing two version vectors.
+type Order int
+
+// Comparison outcomes.  Concurrent means neither vector dominates: a
+// conflicting, unsynchronized update pair has been detected.
+const (
+	Equal Order = iota
+	Dominates
+	Dominated
+	Concurrent
+)
+
+// String names the order for logs and conflict reports.
+func (o Order) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Dominates:
+		return "dominates"
+	case Dominated:
+		return "dominated"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Vector is a version vector.  The zero value is the empty vector, which is
+// Equal to any vector of all-zero counters and Dominated by any vector with
+// a positive counter.
+type Vector map[ids.ReplicaID]uint64
+
+// New returns an empty version vector.
+func New() Vector { return make(Vector) }
+
+// Clone returns a deep copy.  Clone of a nil vector is an empty vector.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	for r, n := range v {
+		c[r] = n
+	}
+	return c
+}
+
+// Counter returns the update counter for one replica (0 when absent).
+func (v Vector) Counter(r ids.ReplicaID) uint64 { return v[r] }
+
+// Bump records one update originated by replica r and returns the vector for
+// chaining.  Bump on a nil Vector panics; create with New or Clone first.
+func (v Vector) Bump(r ids.ReplicaID) Vector {
+	v[r]++
+	return v
+}
+
+// Compare determines the relationship of v to w.
+func (v Vector) Compare(w Vector) Order {
+	vGreater, wGreater := false, false
+	for r, n := range v {
+		m := w[r]
+		if n > m {
+			vGreater = true
+		} else if n < m {
+			wGreater = true
+		}
+	}
+	for r, m := range w {
+		if _, ok := v[r]; !ok && m > 0 {
+			wGreater = true
+		}
+	}
+	switch {
+	case vGreater && wGreater:
+		return Concurrent
+	case vGreater:
+		return Dominates
+	case wGreater:
+		return Dominated
+	default:
+		return Equal
+	}
+}
+
+// DominatesOrEqual reports whether every counter in v is at least the
+// corresponding counter in w.
+func (v Vector) DominatesOrEqual(w Vector) bool {
+	o := v.Compare(w)
+	return o == Dominates || o == Equal
+}
+
+// Merge returns the componentwise maximum of v and w: the least vector that
+// dominates both.  Reconciliation installs the merged vector after manual or
+// automatic conflict resolution so the resolution dominates both inputs.
+func Merge(v, w Vector) Vector {
+	m := v.Clone()
+	for r, n := range w {
+		if n > m[r] {
+			m[r] = n
+		}
+	}
+	return m
+}
+
+// Equal reports componentwise equality, treating absent counters as zero.
+func (v Vector) Equal(w Vector) bool { return v.Compare(w) == Equal }
+
+// Total returns the sum of all counters: the total number of updates the
+// replica has seen.  Used by the logical layer's default "select the most
+// recent copy available" policy as a tiebreaker among comparable replicas.
+func (v Vector) Total() uint64 {
+	var t uint64
+	for _, n := range v {
+		t += n
+	}
+	return t
+}
+
+// String renders the vector deterministically as {r1:n1 r2:n2 ...} with
+// replica ids sorted, omitting zero counters.
+func (v Vector) String() string {
+	rs := make([]ids.ReplicaID, 0, len(v))
+	for r, n := range v {
+		if n > 0 {
+			rs = append(rs, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, r := range rs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", r, v[r])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

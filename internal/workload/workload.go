@@ -1,0 +1,114 @@
+// Package workload generates the synthetic reference streams the
+// experiments replay.  Two generators cover the behaviours the paper's
+// design leans on:
+//
+//   - Locality-weighted file references (Floyd's UNIX studies, cited in
+//     §1/§2.6): a small hot set absorbs most references, which is what lets
+//     the UFS caches amortize the Ficus dual-mapping overhead.
+//   - Bursty update streams (§3.2): updates to a file arrive in bursts, so
+//     delayed propagation coalesces several notifications into one pull.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ref is one file reference.
+type Ref struct {
+	File  int  // file index in [0, Files)
+	Write bool // write (update) vs read
+}
+
+// LocalityConfig parameterizes a hot/cold reference stream.
+type LocalityConfig struct {
+	Files      int     // population size
+	HotFiles   int     // size of the hot set (first HotFiles indices)
+	HotProb    float64 // probability a reference lands in the hot set
+	WriteRatio float64 // fraction of references that are writes
+	Seed       int64
+}
+
+// Locality is a deterministic reference generator with a hot set.
+type Locality struct {
+	cfg LocalityConfig
+	rng *rand.Rand
+}
+
+// NewLocality validates the configuration and builds a generator.
+func NewLocality(cfg LocalityConfig) (*Locality, error) {
+	if cfg.Files <= 0 {
+		return nil, fmt.Errorf("workload: Files must be positive, got %d", cfg.Files)
+	}
+	if cfg.HotFiles < 0 || cfg.HotFiles > cfg.Files {
+		return nil, fmt.Errorf("workload: HotFiles %d out of range [0,%d]", cfg.HotFiles, cfg.Files)
+	}
+	if cfg.HotProb < 0 || cfg.HotProb > 1 {
+		return nil, fmt.Errorf("workload: HotProb %f out of range", cfg.HotProb)
+	}
+	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
+		return nil, fmt.Errorf("workload: WriteRatio %f out of range", cfg.WriteRatio)
+	}
+	return &Locality{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Next draws one reference.
+func (l *Locality) Next() Ref {
+	var file int
+	if l.cfg.HotFiles > 0 && l.rng.Float64() < l.cfg.HotProb {
+		file = l.rng.Intn(l.cfg.HotFiles)
+	} else if l.cfg.Files > l.cfg.HotFiles {
+		file = l.cfg.HotFiles + l.rng.Intn(l.cfg.Files-l.cfg.HotFiles)
+	} else {
+		file = l.rng.Intn(l.cfg.Files)
+	}
+	return Ref{File: file, Write: l.rng.Float64() < l.cfg.WriteRatio}
+}
+
+// Stream draws n references.
+func (l *Locality) Stream(n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		out[i] = l.Next()
+	}
+	return out
+}
+
+// Update is one timestamped update event.
+type Update struct {
+	Step int // logical time step
+	File int
+}
+
+// BurstConfig parameterizes a bursty update stream: bursts of BurstLen
+// consecutive updates to one file, separated by idle gaps.
+type BurstConfig struct {
+	Files    int
+	BurstLen int // updates per burst (>= 1)
+	GapSteps int // idle steps between bursts
+	Bursts   int // number of bursts to emit
+	Seed     int64
+}
+
+// Bursts generates the update schedule.
+func Bursts(cfg BurstConfig) ([]Update, error) {
+	if cfg.Files <= 0 || cfg.BurstLen <= 0 || cfg.Bursts < 0 || cfg.GapSteps < 0 {
+		return nil, fmt.Errorf("workload: invalid burst config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []Update
+	step := 0
+	for b := 0; b < cfg.Bursts; b++ {
+		file := rng.Intn(cfg.Files)
+		for i := 0; i < cfg.BurstLen; i++ {
+			out = append(out, Update{Step: step, File: file})
+			step++
+		}
+		step += cfg.GapSteps
+	}
+	return out, nil
+}
+
+// NameFor renders a stable file name for index i (shared by experiments so
+// streams address the same namespace).
+func NameFor(i int) string { return fmt.Sprintf("wf-%05d", i) }

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestLocalityValidation(t *testing.T) {
+	bad := []LocalityConfig{
+		{Files: 0},
+		{Files: 10, HotFiles: 11},
+		{Files: 10, HotFiles: -1},
+		{Files: 10, HotProb: 1.5},
+		{Files: 10, WriteRatio: -0.1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewLocality(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestLocalitySkew(t *testing.T) {
+	l, err := NewLocality(LocalityConfig{Files: 1000, HotFiles: 50, HotProb: 0.9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		r := l.Next()
+		if r.File < 0 || r.File >= 1000 {
+			t.Fatalf("file %d out of range", r.File)
+		}
+		if r.File < 50 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.87 || frac > 0.93 {
+		t.Fatalf("hot fraction %.3f, want ~0.90", frac)
+	}
+}
+
+func TestLocalityWriteRatio(t *testing.T) {
+	l, _ := NewLocality(LocalityConfig{Files: 10, HotFiles: 2, HotProb: 0.5, WriteRatio: 0.25, Seed: 2})
+	writes := 0
+	refs := l.Stream(20000)
+	if len(refs) != 20000 {
+		t.Fatal("stream length")
+	}
+	for _, r := range refs {
+		if r.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(len(refs))
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("write fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestLocalityDeterministic(t *testing.T) {
+	mk := func() []Ref {
+		l, _ := NewLocality(LocalityConfig{Files: 100, HotFiles: 10, HotProb: 0.8, Seed: 42})
+		return l.Stream(100)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic stream")
+		}
+	}
+}
+
+func TestLocalityAllHot(t *testing.T) {
+	// HotFiles == Files: every draw must stay in range.
+	l, err := NewLocality(LocalityConfig{Files: 5, HotFiles: 5, HotProb: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if r := l.Next(); r.File < 0 || r.File >= 5 {
+			t.Fatalf("file %d", r.File)
+		}
+	}
+}
+
+func TestBurstsShape(t *testing.T) {
+	ups, err := Bursts(BurstConfig{Files: 4, BurstLen: 5, GapSteps: 10, Bursts: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 15 {
+		t.Fatalf("%d updates, want 15", len(ups))
+	}
+	// Within a burst: same file, consecutive steps.
+	for b := 0; b < 3; b++ {
+		burst := ups[b*5 : (b+1)*5]
+		for i := 1; i < 5; i++ {
+			if burst[i].File != burst[0].File {
+				t.Fatal("burst spans files")
+			}
+			if burst[i].Step != burst[i-1].Step+1 {
+				t.Fatal("burst not consecutive")
+			}
+		}
+	}
+	// Gap between bursts.
+	if ups[5].Step-ups[4].Step != 11 {
+		t.Fatalf("gap %d, want 11", ups[5].Step-ups[4].Step)
+	}
+}
+
+func TestBurstsValidation(t *testing.T) {
+	for _, cfg := range []BurstConfig{
+		{Files: 0, BurstLen: 1, Bursts: 1},
+		{Files: 1, BurstLen: 0, Bursts: 1},
+		{Files: 1, BurstLen: 1, Bursts: -1},
+		{Files: 1, BurstLen: 1, Bursts: 1, GapSteps: -1},
+	} {
+		if _, err := Bursts(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if ups, err := Bursts(BurstConfig{Files: 1, BurstLen: 1, Bursts: 0}); err != nil || len(ups) != 0 {
+		t.Fatalf("zero bursts: %v %v", ups, err)
+	}
+}
+
+func TestNameFor(t *testing.T) {
+	if NameFor(3) != "wf-00003" || NameFor(0) == NameFor(1) {
+		t.Fatal("names")
+	}
+}

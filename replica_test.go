@@ -1,0 +1,76 @@
+package ficus
+
+import "testing"
+
+// TestReplicaSetChanges exercises §3.1: "A client may change the location
+// and quantity of file replicas whenever a file replica is available" —
+// replicas of a volume are added and removed while the data stays served.
+func TestReplicaSetChanges(t *testing.T) {
+	c := newTestCluster(t, 3)
+	// A project volume born on host 0, replicated to hosts 1 and 2.
+	proj, err := c.NewVolume(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := c.MountVolume(0, proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.WriteFile("/data", []byte("travels with the replicas")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplicateVolume(proj, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplicateVolume(proj, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop the ORIGINAL replica; the data must keep being served from the
+	// two newer replicas.
+	if err := c.DropReplica(proj, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		m, err := c.MountVolume(i, proj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := m.ReadFile("/data")
+		if err != nil || string(data) != "travels with the replicas" {
+			t.Fatalf("host %d after drop: %q %v", i, data, err)
+		}
+	}
+	// Updates still work (one-copy availability on the remaining set)...
+	m2, _ := c.MountVolume(2, proj)
+	if err := m2.WriteFile("/data", []byte("still writable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+	// ... and tombstone GC still has a complete replica set to work with.
+	if err := m2.Remove("/data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CollectGarbage(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropReplicaGuards(t *testing.T) {
+	c := newTestCluster(t, 2)
+	proj, _ := c.NewVolume(0)
+	if err := c.DropReplica(proj, 0); err == nil {
+		t.Fatal("dropped the last replica")
+	}
+	if err := c.DropReplica(proj, 1); err == nil {
+		t.Fatal("dropped a replica from a host that stores none")
+	}
+	if err := c.DropReplica(Volume{}, 0); err == nil {
+		t.Fatal("dropped a replica of an unknown volume")
+	}
+}

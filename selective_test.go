@@ -1,0 +1,89 @@
+package ficus
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSelectiveStorage exercises §4.1: a volume replica keeps a file's name
+// without storing its data; access fails over, reconciliation can
+// re-materialize.
+func TestSelectiveStorage(t *testing.T) {
+	c := newTestCluster(t, 2, WithPolicy(FirstAvailable))
+	m0, _ := c.Mount(0)
+	if err := m0.WriteFile("/big-dataset", []byte("lots of bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Host 0 evicts its local copy to reclaim space.
+	if err := c.Evict(0, "/big-dataset"); err != nil {
+		t.Fatal(err)
+	}
+	// The name is still there, and reads transparently use host 1's copy.
+	ents, err := m0.ReadDir("/")
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("%v %v", ents, err)
+	}
+	data, err := m0.ReadFile("/big-dataset")
+	if err != nil || string(data) != "lots of bytes" {
+		t.Fatalf("read through failover: %q %v", data, err)
+	}
+	// A write from host 0 lands on the replica that stores the file, and
+	// the system stays consistent.
+	if err := m0.WriteFile("/big-dataset", []byte("updated remotely")); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := c.Mount(1)
+	data, err = m1.ReadFile("/big-dataset")
+	if err != nil || string(data) != "updated remotely" {
+		t.Fatalf("%q %v", data, err)
+	}
+	// Reconciliation re-materializes host 0's local copy.
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+	if probs, err := c.Fsck(); err != nil || len(probs) != 0 {
+		t.Fatalf("fsck: %v %v", probs, err)
+	}
+	// If host 1 is now partitioned away, host 0 serves from its restored
+	// local copy.
+	c.Partition([]int{0}, []int{1})
+	data, err = m0.ReadFile("/big-dataset")
+	if err != nil || string(data) != "updated remotely" {
+		t.Fatalf("local copy not restored: %q %v", data, err)
+	}
+	c.Heal()
+}
+
+func TestEvictErrors(t *testing.T) {
+	c := newTestCluster(t, 2)
+	m0, _ := c.Mount(0)
+	if err := c.Evict(0, "/missing"); err == nil {
+		t.Fatal("evicted a missing file")
+	}
+	if err := m0.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Evict(0, "/d"); !errors.Is(err, ErrConflict) && err == nil {
+		// Directories cannot be evicted (EISDIR).
+	}
+	if err := c.Evict(0, "/d"); err == nil {
+		t.Fatal("evicted a directory")
+	}
+	// Double eviction reports not-stored.
+	if err := m0.WriteFile("/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Evict(0, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Evict(0, "/f"); err == nil {
+		t.Fatal("double eviction succeeded")
+	}
+}
