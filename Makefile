@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test check race vet chaos
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# chaos runs the whole-system property tests, including the flaky-link
+# variant that keeps the fault plane enabled through final convergence.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v .
+
+# check is the full gate: static analysis plus the race-enabled suite.
+check: vet race

@@ -210,6 +210,146 @@ func TestChaosConvergenceProperty(t *testing.T) {
 	}
 }
 
+// TestChaosConvergenceFlakyLinks is the chaos property test with the fault
+// plane switched on for the whole run — including final convergence: a
+// nonzero RPC fault rate, lost replies (the handler ran, the caller saw
+// failure), dropped/duplicated notification datagrams, and reordered
+// multicast fan-out.  Retries, per-entry backoff, and the reconciliation
+// safety net must still converge every replica to an identical namespace.
+func TestChaosConvergenceFlakyLinks(t *testing.T) {
+	const hosts = 3
+	faults := FaultConfig{
+		RPCFailRate:      0.05,
+		ReplyLossRate:    0.05,
+		DatagramLossRate: 0.25,
+		DatagramDupRate:  0.2,
+		ReorderRate:      0.5,
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c, err := NewCluster(hosts, WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.InjectFaults(faults)
+			mounts := make([]*Mount, hosts)
+			for i := range mounts {
+				if mounts[i], err = c.Mount(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tolerate := func(err error) {
+				if err == nil || errors.Is(err, ErrUnavailable) || errors.Is(err, ErrNotExist) ||
+					errors.Is(err, ErrExist) || errors.Is(err, ErrConflict) {
+					return
+				}
+				s := err.Error()
+				if strings.Contains(s, "not empty") || strings.Contains(s, "is a directory") ||
+					strings.Contains(s, "not a directory") || strings.Contains(s, "stale") ||
+					strings.Contains(s, "not stored") || strings.Contains(s, "unreachable") {
+					return
+				}
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			name := func() string { return fmt.Sprintf("f%d", rng.Intn(10)) }
+
+			for step := 0; step < 100; step++ {
+				h := rng.Intn(hosts)
+				m := mounts[h]
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					tolerate(m.WriteFile("/"+name(), []byte(fmt.Sprintf("h%d s%d", h, step))))
+				case 4:
+					tolerate(m.MkdirAll("/sub"))
+				case 5:
+					tolerate(m.WriteFile("/sub/"+name(), []byte(fmt.Sprintf("deep h%d", h))))
+				case 6:
+					tolerate(m.Remove("/" + name()))
+				case 7:
+					_, err := m.ReadFile("/" + name())
+					tolerate(err)
+				case 8: // a partition on top of the link flakiness
+					if rng.Intn(2) == 0 {
+						c.Partition([]int{0}, []int{1, 2})
+					} else {
+						c.Heal()
+					}
+				case 9:
+					if _, err := c.Propagate(); err != nil {
+						t.Fatalf("propagate: %v", err)
+					}
+				}
+			}
+			c.Heal() // partitions end; link flakiness stays on
+
+			// A single unchanged pass is not proof of quiescence when pulls
+			// can fail transiently: demand several unchanged passes in a row.
+			settle := func() {
+				unchanged := 0
+				for round := 0; round < 200 && unchanged < 3; round++ {
+					s, err := c.Reconcile()
+					if err != nil {
+						t.Fatalf("reconcile: %v", err)
+					}
+					if s.Changed() {
+						unchanged = 0
+					} else {
+						unchanged++
+					}
+				}
+				if unchanged < 3 {
+					t.Fatal("not quiescent after 200 rounds under link faults")
+				}
+			}
+			settle()
+
+			// The run must actually have exercised the fault plane.
+			ns := c.NetworkStats()
+			if ns.RPCFaultsInjected == 0 || ns.RPCRepliesLost == 0 {
+				t.Fatalf("fault plane idle: %+v", ns)
+			}
+
+			ref := treeOf(t, c, 0, false)
+			for i := 1; i < hosts; i++ {
+				if got := treeOf(t, c, i, false); got != ref {
+					t.Fatalf("namespace diverged under link faults:\n--- host 0:\n%s\n--- host %d:\n%s", ref, i, got)
+				}
+			}
+			for iter := 0; iter < 5 && len(c.Conflicts()) > 0; iter++ {
+				resolved := map[string]bool{}
+				for _, conf := range c.Conflicts() {
+					if resolved[conf.FileID] {
+						continue
+					}
+					resolved[conf.FileID] = true
+					if err := c.Resolve(conf, []byte("chaos-resolved")); err != nil {
+						t.Fatalf("resolve: %v", err)
+					}
+				}
+				settle()
+			}
+			if n := len(c.Conflicts()); n != 0 {
+				t.Fatalf("%d conflicts survived resolution", n)
+			}
+			refFull := treeOf(t, c, 0, true)
+			for i := 1; i < hosts; i++ {
+				if got := treeOf(t, c, i, true); got != refFull {
+					t.Fatalf("contents diverged after resolution:\n--- host 0:\n%s\n--- host %d:\n%s", refFull, i, got)
+				}
+			}
+			probs, err := c.Fsck()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(probs) != 0 {
+				t.Fatalf("fsck problems:\n%s", strings.Join(probs, "\n"))
+			}
+		})
+	}
+}
+
 func TestClusterGCEndToEnd(t *testing.T) {
 	c, err := NewCluster(3)
 	if err != nil {

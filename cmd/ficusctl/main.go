@@ -24,6 +24,9 @@
 //	gc                                   collect tombstones (all replicas reachable)
 //	fsck                                 run UFS + Ficus consistency checks
 //	stats                                network traffic counters
+//	faults <rpc> <reply> [dgloss] [dgdup] [reorder]
+//	                                     program the fault plane (rates 0..1)
+//	clearfaults                          remove all injected faults
 //	# comment                            ignored
 //
 // Example:
@@ -390,6 +393,34 @@ func (c *controller) exec(line string) error {
 		s := c.cluster.NetworkStats()
 		fmt.Printf("rpcs=%d (failed %d, %d bytes) datagrams=%d (delivered %d, dropped %d)\n",
 			s.RPCs, s.RPCFailures, s.RPCBytes, s.Datagrams, s.DatagramsDelivered, s.DatagramsDropped)
+		fmt.Printf("faults: rpc-injected=%d replies-lost=%d datagrams-duplicated=%d multicasts-reordered=%d\n",
+			s.RPCFaultsInjected, s.RPCRepliesLost, s.DatagramsDuplicated, s.MulticastsReordered)
+		return nil
+	case "faults":
+		if err := need(2); err != nil {
+			return err
+		}
+		rates := make([]float64, 5)
+		for i, a := range args {
+			if i >= len(rates) {
+				return fmt.Errorf("faults takes at most %d rates", len(rates))
+			}
+			r, err := strconv.ParseFloat(a, 64)
+			if err != nil || r < 0 || r > 1 {
+				return fmt.Errorf("bad rate %q (want 0..1)", a)
+			}
+			rates[i] = r
+		}
+		c.cluster.InjectFaults(ficus.FaultConfig{
+			RPCFailRate:      rates[0],
+			ReplyLossRate:    rates[1],
+			DatagramLossRate: rates[2],
+			DatagramDupRate:  rates[3],
+			ReorderRate:      rates[4],
+		})
+		return nil
+	case "clearfaults":
+		c.cluster.ClearFaults()
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)

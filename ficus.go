@@ -140,6 +140,11 @@ type SyncStats struct {
 	NameRepairs    int
 }
 
+// Changed reports whether the pass modified any replica.
+func (s SyncStats) Changed() bool {
+	return s.DirsCreated > 0 || s.EntriesAdopted > 0 || s.EntriesDeleted > 0 || s.FilesPulled > 0
+}
+
 func fromRecon(s recon.Stats) SyncStats {
 	return SyncStats{
 		DirsVisited:    s.DirsVisited,
@@ -284,6 +289,41 @@ func (c *Cluster) Resolve(conf Conflict, newData []byte) error {
 // Host returns low-level access to host i (for experiments).
 func (c *Cluster) Host(i int) *core.Host { return c.sim.Hosts[i] }
 
+// FaultConfig programs steady-state fault injection on the simulated
+// network.  All rates are probabilities in [0, 1] and draw from the
+// cluster's seeded RNG, so faulty runs stay deterministic.
+type FaultConfig struct {
+	// RPCFailRate is the chance an RPC request is lost before the remote
+	// handler runs (the caller sees an unreachable error).
+	RPCFailRate float64
+	// ReplyLossRate is the chance an RPC reply is lost after the handler
+	// ran: the remote side did the work, the caller sees failure — the
+	// at-most-once ambiguity retries must tolerate.
+	ReplyLossRate float64
+	// DatagramLossRate drops best-effort update notifications.
+	DatagramLossRate float64
+	// DatagramDupRate delivers a notification twice (at-least-once links).
+	DatagramDupRate float64
+	// ReorderRate shuffles the delivery order of a multicast's fan-out.
+	ReorderRate float64
+}
+
+// InjectFaults applies the fault plane configuration to every link.  The
+// replication stack is expected to converge regardless: RPC callers retry
+// idempotent pulls, propagation backs off and re-queues failed entries,
+// and reconciliation remains the lossless safety net.
+func (c *Cluster) InjectFaults(f FaultConfig) {
+	n := c.sim.Net
+	n.SetRPCFaultRate(f.RPCFailRate)
+	n.SetReplyLossRate(f.ReplyLossRate)
+	n.SetDatagramLossRate(f.DatagramLossRate)
+	n.SetDatagramDuplicateRate(f.DatagramDupRate)
+	n.SetDatagramReorderRate(f.ReorderRate)
+}
+
+// ClearFaults removes every injected fault, global and per-link.
+func (c *Cluster) ClearFaults() { c.sim.Net.ClearFaults() }
+
 // NetStats summarizes network traffic.
 type NetStats struct {
 	RPCs               uint64
@@ -292,18 +332,29 @@ type NetStats struct {
 	Datagrams          uint64
 	DatagramsDropped   uint64
 	DatagramsDelivered uint64
+
+	// Fault-plane counters: injected failures are also included in the
+	// totals above (an injected request loss counts as an RPCFailure).
+	RPCFaultsInjected   uint64
+	RPCRepliesLost      uint64
+	DatagramsDuplicated uint64
+	MulticastsReordered uint64
 }
 
 // NetworkStats returns the simulated network's counters.
 func (c *Cluster) NetworkStats() NetStats {
 	s := c.sim.Net.Stats()
 	return NetStats{
-		RPCs:               s.RPCs,
-		RPCFailures:        s.RPCFailures,
-		RPCBytes:           s.RPCBytes,
-		Datagrams:          s.Datagrams,
-		DatagramsDropped:   s.DatagramsDropped,
-		DatagramsDelivered: s.DatagramsDelivered,
+		RPCs:                s.RPCs,
+		RPCFailures:         s.RPCFailures,
+		RPCBytes:            s.RPCBytes,
+		Datagrams:           s.Datagrams,
+		DatagramsDropped:    s.DatagramsDropped,
+		DatagramsDelivered:  s.DatagramsDelivered,
+		RPCFaultsInjected:   s.RPCFaultsInjected,
+		RPCRepliesLost:      s.RPCRepliesLost,
+		DatagramsDuplicated: s.DatagramsDuplicated,
+		MulticastsReordered: s.MulticastsReordered,
 	}
 }
 

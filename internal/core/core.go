@@ -29,6 +29,7 @@ import (
 	"repro/internal/physical"
 	"repro/internal/recon"
 	"repro/internal/repl"
+	"repro/internal/retry"
 	"repro/internal/simnet"
 	"repro/internal/ufs"
 	"repro/internal/ufsvn"
@@ -102,6 +103,13 @@ type Host struct {
 	nextVol   ids.VolumeID
 	clock     uint64 // graft-pruning idle clock
 
+	// Peer health (healthy -> suspect -> dead with cool-down reprobe),
+	// fed by every daemon contact with a remote host.  The propagation
+	// daemon skips dead peers; the reconciliation protocol — the safety
+	// net — always probes, which is also what revives a recovered peer.
+	health     *retry.Tracker
+	daemonTick uint64 // one tick per daemon pass (propagate or reconcile)
+
 	// NotificationsSeen counts datagrams accepted into new-version caches.
 	notificationsSeen uint64
 }
@@ -127,6 +135,7 @@ func NewHost(net *simnet.Network, addr simnet.Addr, alloc ids.AllocatorID) *Host
 		locations: make(map[ids.VolumeHandle]map[ids.ReplicaID]simnet.Addr),
 		grafts:    make(map[ids.VolumeHandle]*graftEntry),
 		nextVol:   1,
+		health:    retry.NewTracker(3, 4),
 	}
 	h.replSrv = repl.NewServer(h.snHost)
 	h.snHost.HandleDatagram(NotifyPort, h.onNotify)
@@ -431,12 +440,27 @@ func (h *Host) NotificationsSeen() uint64 {
 	return h.notificationsSeen
 }
 
+// advanceTick steps the host's virtual daemon clock (one tick per daemon
+// pass); peer-health cool-downs are measured on it.
+func (h *Host) advanceTick() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.daemonTick++
+	return h.daemonTick
+}
+
 // peerFinder builds the propagation daemon's pull-source lookup for one
-// local replica.
-func (h *Host) peerFinder(local *physical.Layer) recon.PeerFinder {
+// local replica.  Every remote contact feeds the health tracker.  With
+// gated set, peers the tracker considers dead are skipped without any
+// network traffic until their cool-down expires — the propagation daemon
+// uses this so a flapping or long-dead host is not hammered every pass.
+// Reconciliation and GC pass gated=false: correctness there depends on
+// actual reachability, and their probes are what revive a recovered peer.
+func (h *Host) peerFinder(local *physical.Layer, gated bool) recon.PeerFinder {
 	return func(origin ids.ReplicaID) recon.Peer {
 		h.mu.Lock()
 		addr, ok := h.locations[local.Volume()][origin]
+		now := h.daemonTick
 		var lr *localReplica
 		if ok && addr == h.addr {
 			lr = h.replicas[ids.VolumeReplicaHandle{Vol: local.Volume(), Replica: origin}]
@@ -448,20 +472,35 @@ func (h *Host) peerFinder(local *physical.Layer) recon.PeerFinder {
 		if lr != nil {
 			return lr.layer
 		}
-		c := repl.NewClient(h.snHost, addr, ids.VolumeReplicaHandle{Vol: local.Volume(), Replica: origin})
-		if c.Ping() != nil {
+		if gated && !h.health.ShouldProbe(string(addr), now) {
 			return nil
 		}
+		c := repl.NewClient(h.snHost, addr, ids.VolumeReplicaHandle{Vol: local.Volume(), Replica: origin})
+		if err := c.Ping(); err != nil {
+			if retry.Transient(err) {
+				h.health.Fail(string(addr), now)
+			}
+			return nil
+		}
+		h.health.OK(string(addr))
 		return c
 	}
 }
 
+// PeerHealth reports the tracked health of the host at addr.
+func (h *Host) PeerHealth(addr simnet.Addr) retry.State {
+	return h.health.State(string(addr))
+}
+
 // PropagateOnce runs one pass of the update propagation daemon over every
 // local replica, pulling announced versions from their origins (§3.2).
+// Per-entry transient failures are absorbed into the returned Stats
+// (Deferred/Failures); only permanent, corruption-class errors surface.
 func (h *Host) PropagateOnce() (recon.Stats, error) {
+	h.advanceTick()
 	var total recon.Stats
 	for _, layer := range h.LocalReplicas() {
-		stats, err := recon.PropagateOnce(layer, h.peerFinder(layer))
+		stats, err := recon.PropagateOnce(layer, h.peerFinder(layer, true))
 		total.Add(stats)
 		if err != nil {
 			return total, err
@@ -526,7 +565,7 @@ func (h *Host) CollectGarbage() (int, error) {
 			if rid == layer.Replica() {
 				continue
 			}
-			peer := h.peerFinder(layer)(rid)
+			peer := h.peerFinder(layer, false)(rid)
 			if peer == nil {
 				complete = false
 				break
@@ -547,8 +586,11 @@ func (h *Host) CollectGarbage() (int, error) {
 
 // ReconcileOnce runs the periodic reconciliation protocol: every local
 // replica pulls from every known remote replica of its volume that is
-// currently reachable (§3.3).
+// currently reachable (§3.3).  Reconciliation is the safety net, so it is
+// never health-gated: every known peer is probed every pass, which is also
+// how a recovered peer's health state resets.
 func (h *Host) ReconcileOnce() (recon.Stats, error) {
+	h.advanceTick()
 	var total recon.Stats
 	for _, layer := range h.LocalReplicas() {
 		h.mu.Lock()
@@ -566,7 +608,7 @@ func (h *Host) ReconcileOnce() (recon.Stats, error) {
 			if rid == layer.Replica() {
 				continue
 			}
-			peer := h.peerFinder(layer)(rid)
+			peer := h.peerFinder(layer, false)(rid)
 			if peer == nil {
 				continue
 			}

@@ -509,7 +509,42 @@ func (l *Layer) NoteNewVersion(dirPath []ids.FileID, file ids.FileID, origin ids
 	}
 	nv.Origin = origin
 	nv.Seen++
+	// Fresh news: there really is something new at the origin, so any
+	// backoff deferral is lifted (accumulated Attempts keep the next
+	// backoff step high if the origin is flapping).
+	nv.NotBefore = 0
 	l.nvc[k] = nv
+}
+
+// DeferPending records a failed propagation attempt for file: the attempt
+// count grows and the entry is not due again before daemon tick notBefore.
+// A no-op if the entry has been dropped meanwhile.
+func (l *Layer) DeferPending(file ids.FileID, notBefore uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := nvcKey{file: file}
+	if nv, ok := l.nvc[k]; ok {
+		nv.Attempts++
+		nv.NotBefore = notBefore
+		l.nvc[k] = nv
+	}
+}
+
+// AdvanceDaemonTick advances the replica's virtual daemon clock by one
+// pass and returns the new tick.  The propagation daemon calls it once per
+// pass; NewVersion.NotBefore is measured on this clock.
+func (l *Layer) AdvanceDaemonTick() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.daemonTick++
+	return l.daemonTick
+}
+
+// DaemonTick reads the virtual daemon clock.
+func (l *Layer) DaemonTick() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.daemonTick
 }
 
 // PendingVersions lists new-version cache entries, oldest-announced first

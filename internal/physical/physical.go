@@ -72,10 +72,11 @@ type Layer struct {
 	replica ids.ReplicaID
 	seq     *ids.Sequencer
 
-	nvc       map[nvcKey]NewVersion
-	conflicts []Conflict
-	opens     map[ids.FileID]int
-	openTotal uint64
+	nvc        map[nvcKey]NewVersion
+	conflicts  []Conflict
+	opens      map[ids.FileID]int
+	openTotal  uint64
+	daemonTick uint64 // virtual clock, one tick per propagation pass
 }
 
 type nvcKey struct {
@@ -89,6 +90,12 @@ type NewVersion struct {
 	Dir    []ids.FileID // fid path of the containing directory from the root
 	Origin ids.ReplicaID
 	Seen   int // how many times re-announced (bursty updates coalesce here)
+
+	// Retry bookkeeping kept by the propagation daemon: a flapping or
+	// partitioned origin degrades gracefully instead of being polled on
+	// every pass.
+	Attempts  int    // failed propagation attempts so far
+	NotBefore uint64 // earliest daemon tick for the next attempt (backoff)
 }
 
 // Conflict is a detected concurrent-update conflict on a regular file,

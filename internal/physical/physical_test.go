@@ -379,12 +379,14 @@ func TestInstallCreatesMissingStorage(t *testing.T) {
 // TestShadowCommitCrashSafety drives the device to crash after every
 // possible write count during an install and verifies the §3.2 fn5
 // invariant: after recovery the replica holds either the complete old or
-// the complete new version — never a mix, never nothing.
+// the complete new version — never a mix, never nothing.  After every
+// crash point the recovered volume must also pass the Ficus-level Check
+// (no shadow litter, no orphaned storage) and the UFS fsck.
 func TestShadowCommitCrashSafety(t *testing.T) {
 	oldData := bytes.Repeat([]byte("OLD!"), 2048) // 2 blocks
 	newData := bytes.Repeat([]byte("new?"), 3072) // 3 blocks
 
-	for crashAfter := 0; crashAfter < 40; crashAfter++ {
+	setup := func() (*disk.Device, *Layer, ids.FileID) {
 		dev := disk.New(8192)
 		fs, err := ufs.Mkfs(dev, 2048, nil)
 		if err != nil {
@@ -399,8 +401,24 @@ func TestShadowCommitCrashSafety(t *testing.T) {
 		if err := vnode.WriteFile(f, oldData); err != nil {
 			t.Fatal(err)
 		}
-		fid := mustFid(t, f)
+		return dev, l, mustFid(t, f)
+	}
 
+	// Dry run: count the device writes a full install takes, so the sweep
+	// below covers every crash offset through the final write (crashAfter ==
+	// totalWrites is the no-crash control).
+	dev, l, fid := setup()
+	before := dev.Stats().Writes
+	if err := l.InstallFileVersion(RootPath(), fid, KFile, newData, vv.New().Bump(2), 1); err != nil {
+		t.Fatal(err)
+	}
+	totalWrites := int(dev.Stats().Writes - before)
+	if totalWrites < 4 {
+		t.Fatalf("install took only %d writes; fault sweep would be vacuous", totalWrites)
+	}
+
+	for crashAfter := 0; crashAfter <= totalWrites; crashAfter++ {
+		dev, l, fid := setup()
 		dev.FaultAfterWrites(crashAfter)
 		installErr := l.InstallFileVersion(RootPath(), fid, KFile, newData, vv.New().Bump(2), 1)
 		crashed := dev.Faulted()
@@ -427,12 +445,19 @@ func TestShadowCommitCrashSafety(t *testing.T) {
 		if installErr == nil && !crashed && !newOK {
 			t.Fatalf("crashAfter=%d: install reported success but old data survives", crashAfter)
 		}
-		// No shadow litter after recovery.
-		ds, err := l2.DirEntries(RootPath())
-		if err != nil {
-			t.Fatal(err)
+		// The recovered replica must satisfy every Ficus invariant,
+		// including "no leftover shadow files".
+		if problems, err := l2.Check(); err != nil {
+			t.Fatalf("crashAfter=%d: ficus check: %v", crashAfter, err)
+		} else if len(problems) != 0 {
+			t.Fatalf("crashAfter=%d: ficus check found: %v", crashAfter, problems)
 		}
-		_ = ds
+		// And the substrate itself must pass fsck.
+		if problems, err := fs2.Check(); err != nil {
+			t.Fatalf("crashAfter=%d: fsck: %v", crashAfter, err)
+		} else if len(problems) != 0 {
+			t.Fatalf("crashAfter=%d: fsck found: %v", crashAfter, problems)
+		}
 	}
 }
 

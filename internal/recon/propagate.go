@@ -2,9 +2,11 @@ package recon
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/ids"
 	"repro/internal/physical"
+	"repro/internal/retry"
 	"repro/internal/vv"
 )
 
@@ -13,9 +15,22 @@ import (
 // queued for a later attempt).
 type PeerFinder func(ids.ReplicaID) Peer
 
-// PropagateOnce runs one pass of the update propagation daemon (paper
-// §3.2): "An update propagation daemon consults this [new-version] cache to
-// see what new replica versions should be propagated in, and performs the
+// PropagateConfig tunes one propagation pass.
+type PropagateConfig struct {
+	// Policy classifies per-entry errors and spaces the retries of failed
+	// entries across later passes.  Zero value: retry.Default().
+	Policy retry.Policy
+}
+
+// PropagateOnce runs one pass of the update propagation daemon under the
+// default retry policy (see Propagate).
+func PropagateOnce(local *physical.Layer, find PeerFinder) (Stats, error) {
+	return Propagate(local, find, PropagateConfig{Policy: retry.Default()})
+}
+
+// Propagate runs one pass of the update propagation daemon (paper §3.2):
+// "An update propagation daemon consults this [new-version] cache to see
+// what new replica versions should be propagated in, and performs the
 // propagation when it deems it appropriate to expend the effort."
 //
 // For each pending notification the daemon pulls the announced file from
@@ -24,29 +39,67 @@ type PeerFinder func(ids.ReplicaID) Peer
 //   - remote dominates        -> install via the single-file atomic commit
 //   - equal or local dominates -> drop the notification (stale news)
 //   - concurrent              -> report a conflict to the owner and drop
-//   - origin unreachable       -> keep the entry for a later pass
+//   - origin unreachable       -> keep the entry, backed off for later
+//
+// Partial operation is the normal status: a failure on one entry never
+// starves the rest of the pass.  Failed entries stay in the new-version
+// cache with their attempt count bumped and their next attempt deferred
+// under the policy's backoff, so a flapping origin is polled ever more
+// rarely instead of on every pass.  Transient failures are reported only
+// through Stats (Deferred/Failures); the returned error aggregates
+// permanent, corruption-class errors alone.
 //
 // Directories are propagated by replaying operations, not by copying
 // ("simply copying directory contents is incorrect"), so a notification
 // about a directory triggers a directory reconciliation against the origin.
-func PropagateOnce(local *physical.Layer, find PeerFinder) (Stats, error) {
+func Propagate(local *physical.Layer, find PeerFinder, cfg PropagateConfig) (Stats, error) {
+	if cfg.Policy.MaxAttempts == 0 && cfg.Policy.BaseBackoff == 0 {
+		cfg.Policy = retry.Default()
+	}
+	now := local.AdvanceDaemonTick()
 	var stats Stats
+	var errs []error
 	for _, nv := range local.PendingVersions() {
+		if nv.NotBefore > now {
+			stats.Deferred++ // backing off; not due this pass
+			continue
+		}
+		backoff := func() uint64 {
+			return now + cfg.Policy.Backoff(nv.Attempts+1, propagationKey(nv))
+		}
 		peer := find(nv.Origin)
 		if peer == nil {
-			continue // unreachable: retry later
+			// Origin unreachable (or health-gated): no attempt made.
+			stats.Deferred++
+			local.DeferPending(nv.File, backoff())
+			continue
 		}
 		done, err := propagateOne(local, peer, nv, &stats)
 		if err != nil {
-			return stats, err
+			stats.Failures++
+			local.DeferPending(nv.File, backoff())
+			if !cfg.Policy.IsTransient(err) {
+				errs = append(errs, fmt.Errorf("propagate %v from replica %d: %w", nv.File, nv.Origin, err))
+			}
+			continue
 		}
 		if done {
 			local.DropPending(nv.File)
 		}
 	}
-	return stats, nil
+	return stats, errors.Join(errs...)
 }
 
+// propagationKey seeds the backoff jitter so distinct files retrying after
+// the same outage spread across later passes instead of stampeding.
+func propagationKey(nv physical.NewVersion) uint64 {
+	return nv.File.Seq ^ uint64(nv.File.Issuer)<<32 ^ uint64(nv.Origin)<<48
+}
+
+// propagateOne attempts one new-version cache entry.  done means the entry
+// is finished (installed, stale, conflicting, or obsolete) and may be
+// dropped; err reports an attempt that failed — the caller classifies it
+// and keeps the entry pending.
 func propagateOne(local *physical.Layer, peer Peer, nv physical.NewVersion, stats *Stats) (bool, error) {
 	rinfo, err := peer.FileInfo(nv.Dir, nv.File)
 	if err != nil {
@@ -55,7 +108,7 @@ func propagateOne(local *physical.Layer, peer Peer, nv physical.NewVersion, stat
 			// tombstone will arrive through directory reconciliation.
 			return true, nil
 		}
-		return false, nil // transient: keep pending
+		return false, err
 	}
 	if rinfo.Aux.Type.IsDir() {
 		childPath := append(append([]ids.FileID(nil), nv.Dir...), nv.File)

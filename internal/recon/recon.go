@@ -53,6 +53,8 @@ type Stats struct {
 	Conflicts      int // concurrent file updates detected and reported
 	NameRepairs    int // same-name entry pairs coexisting after auto-repair
 	Skipped        int // subtrees skipped (not stored on one side)
+	Deferred       int // propagation entries postponed (backoff or origin unavailable)
+	Failures       int // per-entry propagation attempts that failed this pass
 }
 
 // Add accumulates.
@@ -65,6 +67,8 @@ func (s *Stats) Add(t Stats) {
 	s.Conflicts += t.Conflicts
 	s.NameRepairs += t.NameRepairs
 	s.Skipped += t.Skipped
+	s.Deferred += t.Deferred
+	s.Failures += t.Failures
 }
 
 // Changed reports whether the pass modified the local replica.
@@ -74,8 +78,8 @@ func (s Stats) Changed() bool {
 
 // String renders the stats compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("dirs=%d created=%d adopted=%d deleted=%d pulled=%d conflicts=%d repairs=%d skipped=%d",
-		s.DirsVisited, s.DirsCreated, s.EntriesAdopted, s.EntriesDeleted, s.FilesPulled, s.Conflicts, s.NameRepairs, s.Skipped)
+	return fmt.Sprintf("dirs=%d created=%d adopted=%d deleted=%d pulled=%d conflicts=%d repairs=%d skipped=%d deferred=%d failures=%d",
+		s.DirsVisited, s.DirsCreated, s.EntriesAdopted, s.EntriesDeleted, s.FilesPulled, s.Conflicts, s.NameRepairs, s.Skipped, s.Deferred, s.Failures)
 }
 
 // ReconcileVolume reconciles the local replica's entire tree against the

@@ -14,12 +14,12 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
-	"fmt"
 	"sync"
 
 	"repro/internal/ids"
 	"repro/internal/physical"
 	"repro/internal/recon"
+	"repro/internal/retry"
 	"repro/internal/simnet"
 	"repro/internal/vv"
 )
@@ -34,6 +34,17 @@ var (
 	// ErrNoReplica reports that the peer host stores no such volume replica.
 	ErrNoReplica = errors.New("repl: no such volume replica at peer")
 )
+
+// unreachableError marks a transport failure: it matches ErrUnreachable
+// via Is and keeps the transport cause on the Unwrap chain, so callers
+// (and retry.Transient) can still see simnet.ErrUnreachable underneath.
+type unreachableError struct{ cause error }
+
+func (e *unreachableError) Error() string { return ErrUnreachable.Error() + ": " + e.cause.Error() }
+
+func (e *unreachableError) Is(target error) bool { return target == ErrUnreachable }
+
+func (e *unreachableError) Unwrap() error { return e.cause }
 
 type opCode int
 
@@ -192,18 +203,32 @@ func errResponse(err error) response {
 }
 
 // Client is a recon.Peer backed by RPC to a remote host's repl server.
+//
+// Every repl operation is an idempotent pull (reads of remote replica
+// state), so the client transparently retries transport failures under its
+// retry policy: a link whose requests or replies are occasionally lost —
+// including the at-most-once ambiguity of a reply lost after the handler
+// ran — degrades to extra traffic instead of a failed daemon pass.
 type Client struct {
-	host *simnet.Host
-	addr simnet.Addr
-	vr   ids.VolumeReplicaHandle
+	host   *simnet.Host
+	addr   simnet.Addr
+	vr     ids.VolumeReplicaHandle
+	policy retry.Policy
 }
 
 var _ recon.Peer = (*Client)(nil)
 
 // NewClient builds a peer for the volume replica vr served at addr,
-// issuing calls from host.
+// issuing calls from host, retrying under retry.Default().
 func NewClient(host *simnet.Host, addr simnet.Addr, vr ids.VolumeReplicaHandle) *Client {
-	return &Client{host: host, addr: addr, vr: vr}
+	return &Client{host: host, addr: addr, vr: vr, policy: retry.Default()}
+}
+
+// WithRetry returns the client configured with a different retry policy
+// (MaxAttempts: 1 disables in-call retries).
+func (c *Client) WithRetry(p retry.Policy) *Client {
+	c.policy = p
+	return c
 }
 
 // Addr returns the peer host address.
@@ -219,9 +244,17 @@ func (c *Client) call(req request) (*response, error) {
 	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
 		return nil, err
 	}
-	respBytes, err := c.host.Call(c.addr, Service, buf.Bytes())
+	var respBytes []byte
+	err := c.policy.Do(func() error {
+		var err error
+		respBytes, err = c.host.Call(c.addr, Service, buf.Bytes())
+		if err != nil {
+			return &unreachableError{cause: err}
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		return nil, err
 	}
 	var resp response
 	if err := gob.NewDecoder(bytes.NewReader(respBytes)).Decode(&resp); err != nil {
@@ -275,15 +308,24 @@ func (c *Client) FileData(dirPath []ids.FileID, fid ids.FileID) ([]byte, physica
 	return resp.Data, physical.FileState{Aux: fromWireAux(resp.Aux), Size: resp.Size}, nil
 }
 
-// ListReplicas asks which replicas of vol the host at addr serves.
+// ListReplicas asks which replicas of vol the host at addr serves (an
+// idempotent probe, retried under the default policy).
 func ListReplicas(host *simnet.Host, addr simnet.Addr, vol ids.VolumeHandle) ([]ids.ReplicaID, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&request{Op: opListReplicas, Vol: vol}); err != nil {
 		return nil, err
 	}
-	respBytes, err := host.Call(addr, Service, buf.Bytes())
+	var respBytes []byte
+	err := retry.Default().Do(func() error {
+		var err error
+		respBytes, err = host.Call(addr, Service, buf.Bytes())
+		if err != nil {
+			return &unreachableError{cause: err}
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		return nil, err
 	}
 	var resp response
 	if err := gob.NewDecoder(bytes.NewReader(respBytes)).Decode(&resp); err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/physical"
 	"repro/internal/recon"
+	"repro/internal/retry"
 	"repro/internal/simnet"
 	"repro/internal/ufs"
 	"repro/internal/ufsvn"
@@ -234,4 +235,55 @@ func TestServerRejectsGarbage(t *testing.T) {
 	_ = respBytes // any non-panicking response is fine; decode check below
 	c := NewClient(r.net.Host("a"), "b", r.lB.VolumeReplica())
 	_ = c
+}
+
+func TestClientRetriesThroughInjectedFaults(t *testing.T) {
+	r := newRig(t)
+	writeFile(t, r.lB, "f", "x")
+	// Two scripted request losses: the default policy's three attempts
+	// ride through them.
+	r.net.ScriptFaults("a", "b", simnet.FaultRequestLost, simnet.FaultRequestLost)
+	if err := r.client.Ping(); err != nil {
+		t.Fatalf("retry did not mask two scripted faults: %v", err)
+	}
+	// Reply loss: the server executed the op, the reply vanished — a
+	// retried idempotent pull still succeeds.
+	r.net.ScriptFaults("a", "b", simnet.FaultReplyLost)
+	ds, err := r.client.DirEntries(physical.RootPath())
+	if err != nil {
+		t.Fatalf("reply-loss not masked: %v", err)
+	}
+	if len(ds.Entries) != 1 {
+		t.Fatalf("entries %v", ds.Entries)
+	}
+	if s := r.net.Stats(); s.RPCFaultsInjected != 2 || s.RPCRepliesLost != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestClientRetryExhaustionStaysUnreachable(t *testing.T) {
+	r := newRig(t)
+	// More scripted faults than attempts: the call fails, and the error
+	// still matches both repl.ErrUnreachable and simnet.ErrUnreachable.
+	r.net.ScriptFaults("a", "b",
+		simnet.FaultRequestLost, simnet.FaultRequestLost, simnet.FaultRequestLost)
+	err := r.client.Ping()
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want repl.ErrUnreachable", err)
+	}
+	if !errors.Is(err, simnet.ErrUnreachable) {
+		t.Fatalf("err = %v must keep the transport cause on the chain", err)
+	}
+}
+
+func TestClientNoRetryAcrossPartition(t *testing.T) {
+	r := newRig(t)
+	r.net.Partition([]simnet.Addr{"a"}, []simnet.Addr{"b"})
+	r.net.ResetStats()
+	if err := r.client.WithRetry(retry.Policy{MaxAttempts: 1}).Ping(); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if s := r.net.Stats(); s.RPCs != 1 {
+		t.Fatalf("MaxAttempts=1 made %d calls", s.RPCs)
+	}
 }

@@ -1,0 +1,153 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func TestTransientClassification(t *testing.T) {
+	if Transient(nil) {
+		t.Fatal("nil classified transient")
+	}
+	if !Transient(fmt.Errorf("wrapped: %w", simnet.ErrUnreachable)) {
+		t.Fatal("unreachable not transient")
+	}
+	if Transient(errors.New("disk on fire")) {
+		t.Fatal("unknown error classified transient")
+	}
+	if Transient(simnet.ErrNoService) {
+		t.Fatal("missing service is a config error, not transient")
+	}
+}
+
+type flaggedErr struct{ transient bool }
+
+func (e *flaggedErr) Error() string   { return "flagged" }
+func (e *flaggedErr) Transient() bool { return e.transient }
+
+func TestTransientInterfaceOptIn(t *testing.T) {
+	if !Transient(fmt.Errorf("x: %w", &flaggedErr{transient: true})) {
+		t.Fatal("opt-in transient ignored")
+	}
+	if Transient(&flaggedErr{transient: false}) {
+		t.Fatal("opt-out ignored")
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := Policy{BaseBackoff: 1, MaxBackoff: 8}
+	prev := uint64(0)
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := p.Backoff(attempt, 42)
+		if d < 1 {
+			t.Fatalf("attempt %d: zero backoff", attempt)
+		}
+		// Cap: never more than MaxBackoff + jitter (MaxBackoff/2).
+		if d > 8+4 {
+			t.Fatalf("attempt %d: backoff %d exceeds cap+jitter", attempt, d)
+		}
+		if attempt <= 3 && d < prev/3 {
+			t.Fatalf("attempt %d: backoff shrank too fast (%d after %d)", attempt, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestBackoffDeterministicAndJittered(t *testing.T) {
+	p := Default()
+	if p.Backoff(3, 7) != p.Backoff(3, 7) {
+		t.Fatal("backoff not deterministic")
+	}
+	// Across many keys the jitter must actually vary.
+	seen := map[uint64]bool{}
+	for key := uint64(0); key < 64; key++ {
+		seen[p.Backoff(4, key)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter never varies across keys")
+	}
+}
+
+func TestDoRetriesTransientOnly(t *testing.T) {
+	p := Policy{MaxAttempts: 3}
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("try %d: %w", calls, simnet.ErrUnreachable)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+
+	calls = 0
+	perm := errors.New("permanent")
+	err = p.Do(func() error { calls++; return perm })
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("permanent error retried: err=%v calls=%d", err, calls)
+	}
+
+	calls = 0
+	err = p.Do(func() error { calls++; return simnet.ErrUnreachable })
+	if !errors.Is(err, simnet.ErrUnreachable) || calls != 3 {
+		t.Fatalf("exhaustion: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestTrackerStateMachine(t *testing.T) {
+	tr := NewTracker(3, 4)
+	const peer = "h1"
+	if tr.State(peer) != Healthy || !tr.ShouldProbe(peer, 0) {
+		t.Fatal("fresh peer not healthy/probable")
+	}
+	tr.Fail(peer, 0)
+	if tr.State(peer) != Suspect {
+		t.Fatalf("after 1 failure: %v", tr.State(peer))
+	}
+	if !tr.ShouldProbe(peer, 1) {
+		t.Fatal("suspect peer must still be probed")
+	}
+	tr.Fail(peer, 1)
+	tr.Fail(peer, 2)
+	if tr.State(peer) != Dead {
+		t.Fatalf("after 3 failures: %v", tr.State(peer))
+	}
+	// Dead: skipped until the cool-down expires.
+	if tr.ShouldProbe(peer, 3) {
+		t.Fatal("dead peer probed before cool-down")
+	}
+	if !tr.ShouldProbe(peer, 6) {
+		t.Fatal("dead peer not reprobed after cool-down")
+	}
+	// The reprobe rescheduled the window: immediately after, skip again.
+	if tr.ShouldProbe(peer, 7) {
+		t.Fatal("second probe inside one cool-down window")
+	}
+	// Recovery: one success and the peer is fully healthy.
+	tr.OK(peer)
+	if tr.State(peer) != Healthy || !tr.ShouldProbe(peer, 8) {
+		t.Fatal("OK did not reset health")
+	}
+}
+
+func TestTrackerStatesAreIndependent(t *testing.T) {
+	tr := NewTracker(1, 10)
+	tr.Fail("a", 0)
+	if tr.State("a") != Dead {
+		t.Fatal("deadAfter=1 should kill on first failure")
+	}
+	if tr.State("b") != Healthy || !tr.ShouldProbe("b", 0) {
+		t.Fatal("unrelated peer affected")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Healthy.String() != "healthy" || Suspect.String() != "suspect" || Dead.String() != "dead" {
+		t.Fatal("state strings")
+	}
+}

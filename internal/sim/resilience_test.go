@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/ids"
 	"repro/internal/logical"
+	"repro/internal/physical"
 	"repro/internal/vnode"
 )
 
@@ -104,6 +106,83 @@ func TestPropagationAloneConvergesWithoutLoss(t *testing.T) {
 		}
 		if len(ents) != 10 {
 			t.Fatalf("replica %d: %d entries after propagation alone", i, len(ents))
+		}
+	}
+}
+
+// TestDuplicateNotificationsAreIdempotent forces every update-notification
+// datagram to be delivered twice and checks the at-least-once delivery
+// story: duplicates coalesce in the new-version cache (one pending entry
+// per file, one pull per remote host), and a duplicate that straggles in
+// after the version was already installed is stale news — dropped without
+// pulling any data.
+func TestDuplicateNotificationsAreIdempotent(t *testing.T) {
+	c, err := New(Config{Hosts: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Net.SetDatagramDuplicateRate(1.0) // every notification arrives twice
+
+	root, err := c.Mount(0, logical.FirstAvailable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := root.Create("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vnode.WriteFile(f, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.Getattr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := ids.ParseFileID(a.FileID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if c.Net.Stats().DatagramsDuplicated == 0 {
+		t.Fatal("test needs duplicated datagrams to be meaningful")
+	}
+	for i := 1; i < 3; i++ {
+		pend := c.Replica(i).PendingVersions()
+		seen := make(map[ids.FileID]bool)
+		for _, nv := range pend {
+			if seen[nv.File] {
+				t.Fatalf("host %d: file %v queued twice — duplicates must coalesce", i, nv.File)
+			}
+			seen[nv.File] = true
+		}
+		if !seen[fid] {
+			t.Fatalf("host %d: no pending entry for %v", i, fid)
+		}
+	}
+
+	stats, err := c.PropagateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FilesPulled != 2 {
+		t.Fatalf("pulled %d file versions, want exactly 2 (one per remote host)", stats.FilesPulled)
+	}
+
+	// A duplicate arriving after the pull already installed the version is
+	// stale news: the entry drains without another pull.
+	c.Replica(1).NoteNewVersion(physical.RootPath(), fid, c.Locs[0].ID)
+	stats, err = c.PropagateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FilesPulled != 0 {
+		t.Fatalf("stale re-announcement caused %d pulls, want 0", stats.FilesPulled)
+	}
+	for i := 1; i < 3; i++ {
+		for _, nv := range c.Replica(i).PendingVersions() {
+			if nv.File == fid {
+				t.Fatalf("host %d: stale entry for %v not drained", i, fid)
+			}
 		}
 	}
 }

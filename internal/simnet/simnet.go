@@ -14,6 +14,14 @@
 //     ("an asynchronous multicast datagram is sent to all available
 //     replicas", §2.5); these are silently dropped across partitions and
 //     may additionally be dropped at a configurable rate.
+//
+// Beyond binary partitions the network carries a scriptable fault plane:
+// probabilistic RPC failure, per-link one-shot fault schedules, a
+// reply-loss mode in which the handler executes but the caller still sees
+// ErrUnreachable (the classic at-most-once ambiguity), and datagram
+// duplication and reordering.  Every probabilistic decision draws from the
+// single seeded RNG, so a run with faults enabled is exactly as
+// reproducible as one without.
 package simnet
 
 import (
@@ -51,6 +59,36 @@ type Stats struct {
 	Datagrams          uint64 // datagram deliveries attempted (per destination)
 	DatagramsDropped   uint64 // dropped by partition, down host, or loss rate
 	DatagramsDelivered uint64
+
+	// Fault-plane activity.
+	RPCFaultsInjected   uint64 // calls failed by the fault plane before the handler ran
+	RPCRepliesLost      uint64 // calls whose handler ran but whose reply was dropped
+	DatagramsDuplicated uint64 // extra deliveries created by duplication
+	MulticastsReordered uint64 // multicast calls delivered in permuted order
+}
+
+// FaultKind selects what one scripted fault does to an RPC.
+type FaultKind int
+
+const (
+	// FaultRequestLost drops the call before the handler runs; the caller
+	// sees ErrUnreachable and the server never learns of the request.
+	FaultRequestLost FaultKind = iota
+	// FaultReplyLost runs the handler to completion but drops the reply;
+	// the caller sees ErrUnreachable even though the operation executed —
+	// the at-most-once ambiguity a client must tolerate (retry is only
+	// safe for idempotent operations).
+	FaultReplyLost
+)
+
+// link identifies one directed sender->receiver pair.
+type link struct{ from, to Addr }
+
+// linkFaults is the per-link fault script and rates; zero value = no faults.
+type linkFaults struct {
+	failRate      float64     // probabilistic request loss
+	replyLossRate float64     // probabilistic reply loss
+	script        []FaultKind // one-shot faults, consumed FIFO by matching calls
 }
 
 // Network connects hosts.  All methods are safe for concurrent use.
@@ -61,6 +99,13 @@ type Network struct {
 	rng      *rand.Rand
 	lossRate float64 // additional datagram loss probability
 	stats    Stats
+
+	// Fault plane (see SetRPCFaultRate etc.).
+	rpcFailRate   float64
+	replyLossRate float64
+	dupRate       float64
+	reorderRate   float64
+	links         map[link]*linkFaults
 }
 
 // New creates an empty, fully connected network.  The seed drives datagram
@@ -70,6 +115,7 @@ func New(seed int64) *Network {
 		hosts: make(map[Addr]*Host),
 		group: make(map[Addr]int),
 		rng:   rand.New(rand.NewSource(seed)),
+		links: make(map[link]*linkFaults),
 	}
 }
 
@@ -79,6 +125,110 @@ func (n *Network) SetDatagramLossRate(p float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.lossRate = p
+}
+
+// SetRPCFaultRate makes every RPC fail independently with probability p
+// before its handler runs (request lost in transit), on every link.
+func (n *Network) SetRPCFaultRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rpcFailRate = p
+}
+
+// SetReplyLossRate makes every RPC whose handler ran lose its reply with
+// probability p: the server state changes, the caller sees ErrUnreachable.
+func (n *Network) SetReplyLossRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.replyLossRate = p
+}
+
+// SetDatagramDuplicateRate makes each delivered datagram arrive twice with
+// probability p (duplicate delivery, as UDP permits).
+func (n *Network) SetDatagramDuplicateRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dupRate = p
+}
+
+// SetDatagramReorderRate makes each multicast deliver to its destinations
+// in a random permutation with probability p (per multicast call).
+func (n *Network) SetDatagramReorderRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reorderRate = p
+}
+
+// SetLinkRPCFaultRate sets a request-loss probability for the directed
+// link from -> to, in addition to the global rate.
+func (n *Network) SetLinkRPCFaultRate(from, to Addr, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkFor(from, to).failRate = p
+}
+
+// SetLinkReplyLossRate sets a reply-loss probability for the directed link
+// from -> to, in addition to the global rate.
+func (n *Network) SetLinkReplyLossRate(from, to Addr, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkFor(from, to).replyLossRate = p
+}
+
+// ScriptFaults appends one-shot faults to the directed link from -> to:
+// each subsequent matching RPC consumes (and suffers) the next scheduled
+// fault until the script is exhausted.  Deterministic by construction —
+// no RNG involved.
+func (n *Network) ScriptFaults(from, to Addr, kinds ...FaultKind) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lf := n.linkFor(from, to)
+	lf.script = append(lf.script, kinds...)
+}
+
+// ClearFaults removes every scripted and probabilistic fault (global and
+// per-link); partitions and host crashes are untouched.
+func (n *Network) ClearFaults() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rpcFailRate, n.replyLossRate, n.dupRate, n.reorderRate = 0, 0, 0, 0
+	n.lossRate = 0
+	n.links = make(map[link]*linkFaults)
+}
+
+func (n *Network) linkFor(from, to Addr) *linkFaults {
+	lf, ok := n.links[link{from, to}]
+	if !ok {
+		lf = &linkFaults{}
+		n.links[link{from, to}] = lf
+	}
+	return lf
+}
+
+// rpcFaultLocked decides the fate of one RPC about to be dispatched on
+// from -> to: scripted faults fire first (FIFO), then probabilistic ones.
+// Returns (faulted, kind).
+func (n *Network) rpcFaultLocked(from, to Addr) (bool, FaultKind) {
+	if lf, ok := n.links[link{from, to}]; ok {
+		if len(lf.script) > 0 {
+			k := lf.script[0]
+			lf.script = lf.script[1:]
+			return true, k
+		}
+		if lf.failRate > 0 && n.rng.Float64() < lf.failRate {
+			return true, FaultRequestLost
+		}
+		if lf.replyLossRate > 0 && n.rng.Float64() < lf.replyLossRate {
+			return true, FaultReplyLost
+		}
+	}
+	if n.rpcFailRate > 0 && n.rng.Float64() < n.rpcFailRate {
+		return true, FaultRequestLost
+	}
+	if n.replyLossRate > 0 && n.rng.Float64() < n.replyLossRate {
+		return true, FaultReplyLost
+	}
+	return false, 0
 }
 
 // Host attaches (or returns) the host at addr.
@@ -229,7 +379,8 @@ func (h *Host) HandleDatagram(port string, fn DatagramHandler) {
 
 // Call performs a synchronous RPC to service on dst.  It fails with
 // ErrUnreachable when the hosts cannot currently communicate.  A host can
-// always call itself, even while partitioned from everyone else.
+// always call itself, even while partitioned from everyone else; loopback
+// calls are exempt from the fault plane.
 func (h *Host) Call(dst Addr, service string, req []byte) ([]byte, error) {
 	h.net.mu.Lock()
 	h.net.stats.RPCs++
@@ -250,15 +401,31 @@ func (h *Host) Call(dst Addr, service string, req []byte) ([]byte, error) {
 		h.net.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s on %s", ErrNoService, service, dst)
 	}
+	var faulted bool
+	var kind FaultKind
+	if dst != h.addr {
+		faulted, kind = h.net.rpcFaultLocked(h.addr, dst)
+	}
+	if faulted && kind == FaultRequestLost {
+		h.net.stats.RPCFailures++
+		h.net.stats.RPCFaultsInjected++
+		h.net.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s -> %s (injected request loss)", ErrUnreachable, h.addr, dst)
+	}
 	h.net.mu.Unlock()
 
 	resp, err := fn(req)
 
 	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	if faulted { // FaultReplyLost: the handler ran, the caller learns nothing
+		h.net.stats.RPCFailures++
+		h.net.stats.RPCRepliesLost++
+		return nil, fmt.Errorf("%w: %s -> %s (injected reply loss)", ErrUnreachable, h.addr, dst)
+	}
 	if err == nil {
 		h.net.stats.RPCBytes += uint64(len(req) + len(resp))
 	}
-	h.net.mu.Unlock()
 	return resp, err
 }
 
@@ -267,7 +434,22 @@ func (h *Host) Call(dst Addr, service string, req []byte) ([]byte, error) {
 // forget semantics of the paper's update notification (§2.5).  Delivery is
 // synchronous in the caller's goroutine to keep simulations deterministic;
 // handlers must be fast and must not call back into the sender.
+//
+// Under the fault plane a delivery may additionally be duplicated (the
+// handler fires twice) and the destination order of one multicast may be
+// permuted — receivers must treat notifications as idempotent, unordered
+// hints, which is exactly the contract of the paper's new-version cache.
 func (h *Host) Multicast(port string, payload []byte, dsts []Addr) {
+	h.net.mu.Lock()
+	if h.net.reorderRate > 0 && len(dsts) > 1 && h.net.rng.Float64() < h.net.reorderRate {
+		shuffled := append([]Addr(nil), dsts...)
+		h.net.rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		dsts = shuffled
+		h.net.stats.MulticastsReordered++
+	}
+	h.net.mu.Unlock()
 	for _, dst := range dsts {
 		h.net.mu.Lock()
 		h.net.stats.Datagrams++
@@ -285,8 +467,15 @@ func (h *Host) Multicast(port string, payload []byte, dsts []Addr) {
 			h.net.mu.Unlock()
 			continue
 		}
+		copies := 1
+		if h.net.dupRate > 0 && h.net.rng.Float64() < h.net.dupRate {
+			copies = 2
+			h.net.stats.DatagramsDuplicated++
+		}
 		h.net.stats.DatagramsDelivered++
 		h.net.mu.Unlock()
-		fn(h.addr, payload)
+		for i := 0; i < copies; i++ {
+			fn(h.addr, payload)
+		}
 	}
 }

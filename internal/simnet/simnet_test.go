@@ -211,3 +211,157 @@ func TestHostIdempotentAttach(t *testing.T) {
 		t.Fatalf("addrs %v", n.Addrs())
 	}
 }
+
+// --- Fault plane --------------------------------------------------------
+
+func TestRPCFaultRateAndDeterminism(t *testing.T) {
+	run := func(seed int64) (ok, failed int) {
+		n := New(seed)
+		a := n.Host("a")
+		n.Host("b").HandleRPC("echo", func(req []byte) ([]byte, error) { return req, nil })
+		n.SetRPCFaultRate(0.3)
+		for i := 0; i < 1000; i++ {
+			if _, err := a.Call("b", "echo", nil); err != nil {
+				if !errors.Is(err, ErrUnreachable) {
+					t.Fatalf("fault surfaced as %v, want ErrUnreachable", err)
+				}
+				failed++
+			} else {
+				ok++
+			}
+		}
+		return
+	}
+	ok, failed := run(7)
+	if failed < 200 || failed > 400 {
+		t.Fatalf("failed %d of 1000 at 30%% fault rate", failed)
+	}
+	ok2, failed2 := run(7)
+	if ok != ok2 || failed != failed2 {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d", ok, failed, ok2, failed2)
+	}
+}
+
+func TestReplyLossRunsHandler(t *testing.T) {
+	n := New(1)
+	a := n.Host("a")
+	executed := 0
+	n.Host("b").HandleRPC("op", func(req []byte) ([]byte, error) { executed++; return []byte("done"), nil })
+	n.ScriptFaults("a", "b", FaultReplyLost)
+	if _, err := a.Call("b", "op", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("reply loss surfaced as %v", err)
+	}
+	if executed != 1 {
+		t.Fatalf("handler ran %d times, want 1 (reply-loss executes the op)", executed)
+	}
+	// The script is exhausted: the next call goes through.
+	if _, err := a.Call("b", "op", nil); err != nil {
+		t.Fatalf("after script drained: %v", err)
+	}
+	if executed != 2 {
+		t.Fatalf("executed %d", executed)
+	}
+	s := n.Stats()
+	if s.RPCRepliesLost != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestScriptedRequestLossSkipsHandler(t *testing.T) {
+	n := New(1)
+	a := n.Host("a")
+	executed := 0
+	n.Host("b").HandleRPC("op", func(req []byte) ([]byte, error) { executed++; return nil, nil })
+	n.ScriptFaults("a", "b", FaultRequestLost, FaultRequestLost)
+	for i := 0; i < 2; i++ {
+		if _, err := a.Call("b", "op", nil); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if executed != 0 {
+		t.Fatalf("handler ran %d times during request loss", executed)
+	}
+	// Scripted faults are directional: b -> a is unaffected.
+	a.HandleRPC("op", func(req []byte) ([]byte, error) { return nil, nil })
+	if _, err := n.Host("b").Call("a", "op", nil); err != nil {
+		t.Fatalf("reverse direction faulted: %v", err)
+	}
+	if s := n.Stats(); s.RPCFaultsInjected != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLinkFaultRateIsPerLink(t *testing.T) {
+	n := New(3)
+	a := n.Host("a")
+	for _, name := range []Addr{"b", "c"} {
+		n.Host(name).HandleRPC("echo", func(req []byte) ([]byte, error) { return req, nil })
+	}
+	n.SetLinkRPCFaultRate("a", "b", 1.0)
+	if _, err := a.Call("b", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("faulted link: %v", err)
+	}
+	if _, err := a.Call("c", "echo", nil); err != nil {
+		t.Fatalf("clean link: %v", err)
+	}
+	n.ClearFaults()
+	if _, err := a.Call("b", "echo", nil); err != nil {
+		t.Fatalf("after ClearFaults: %v", err)
+	}
+}
+
+func TestSelfCallExemptFromFaults(t *testing.T) {
+	n := New(1)
+	a := n.Host("a")
+	a.HandleRPC("echo", func(req []byte) ([]byte, error) { return req, nil })
+	n.SetRPCFaultRate(1.0)
+	n.SetReplyLossRate(1.0)
+	if _, err := a.Call("a", "echo", nil); err != nil {
+		t.Fatalf("loopback faulted: %v", err)
+	}
+}
+
+func TestDatagramDuplication(t *testing.T) {
+	n := New(1)
+	a := n.Host("a")
+	got := 0
+	n.Host("b").HandleDatagram("p", func(Addr, []byte) { got++ })
+	n.SetDatagramDuplicateRate(1.0)
+	a.Multicast("p", nil, []Addr{"b"})
+	if got != 2 {
+		t.Fatalf("deliveries %d, want 2 (duplicated)", got)
+	}
+	if s := n.Stats(); s.DatagramsDuplicated != 1 || s.DatagramsDelivered != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDatagramReordering(t *testing.T) {
+	n := New(5)
+	a := n.Host("a")
+	var order []Addr
+	for _, name := range []Addr{"b", "c", "d", "e"} {
+		name := name
+		n.Host(name).HandleDatagram("p", func(Addr, []byte) { order = append(order, name) })
+	}
+	n.SetDatagramReorderRate(1.0)
+	permuted := false
+	for i := 0; i < 20 && !permuted; i++ {
+		order = order[:0]
+		a.Multicast("p", nil, []Addr{"b", "c", "d", "e"})
+		if len(order) != 4 {
+			t.Fatalf("deliveries %v", order)
+		}
+		for j, name := range []Addr{"b", "c", "d", "e"} {
+			if order[j] != name {
+				permuted = true
+			}
+		}
+	}
+	if !permuted {
+		t.Fatal("20 multicasts at reorder rate 1.0, never permuted")
+	}
+	if s := n.Stats(); s.MulticastsReordered == 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}

@@ -1,0 +1,146 @@
+package ufs
+
+// Mount-time crash recovery.  The allocator write orderings guarantee that
+// a crash can only leak resources or leave counters stale — never corrupt
+// reachable data:
+//
+//   - ialloc sets the inode bitmap bit before initializing the inode, so a
+//     crash between the two leaves an allocated-but-free ghost bit;
+//   - balloc grabs the block bitmap bit before the block is attached to any
+//     inode, so a crash leaves allocated-but-unreferenced blocks;
+//   - the remove/free paths detach directory entries before releasing the
+//     inode and zero the inode before clearing its bitmap bit, so a crash
+//     leaves unreachable inodes or ghost bits — never a live entry naming
+//     recycled storage.
+//
+// recoverLocked undoes exactly those leaks, in the same order fsck would:
+// drop directory entries that point at free inodes, reclaim inodes
+// unreachable from the root, reset link counts to the surviving reference
+// counts, and rebuild both allocation bitmaps from the inode table.  After
+// it runs, Check reports a clean volume.
+func (fs *FS) recoverLocked() error {
+	// Pass 1: walk the tree from the root, dropping entries that name free
+	// inodes and collecting reference counts and reachability.
+	linkRefs := make(map[Ino]uint16)
+	reachable := make(map[Ino]bool)
+	var walk func(dir Ino) error
+	walk = func(dir Ino) error {
+		if reachable[dir] {
+			return nil
+		}
+		reachable[dir] = true
+		type ent struct {
+			name string
+			ino  Ino
+		}
+		var ents []ent
+		if err := fs.dirScanLocked(dir, func(_ uint64, ino Ino, name string) bool {
+			ents = append(ents, ent{name, ino})
+			return false
+		}); err != nil {
+			return err
+		}
+		for _, e := range ents {
+			din, err := fs.ic.get(e.ino)
+			if err != nil {
+				return err
+			}
+			if din.Type == TypeFree {
+				if _, err := fs.dirRemoveLocked(dir, e.name); err != nil {
+					return err
+				}
+				continue
+			}
+			switch e.name {
+			case ".":
+				linkRefs[dir]++
+			case "..":
+				linkRefs[e.ino]++
+			default:
+				linkRefs[e.ino]++
+				if din.Type == TypeDir {
+					if err := walk(e.ino); err != nil {
+						return err
+					}
+				} else {
+					reachable[e.ino] = true
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(rootIno); err != nil {
+		return err
+	}
+
+	// Pass 2: reclaim unreachable inodes, reset stale link counts, and
+	// rebuild the inode bitmap from the table.
+	for i := uint32(1); i < fs.sb.NInodes; i++ {
+		ino := Ino(i)
+		din, err := fs.ic.get(ino)
+		if err != nil {
+			return err
+		}
+		if din.Type != TypeFree {
+			if !reachable[ino] {
+				if err := fs.writeInodeLocked(ino, dinode{}); err != nil {
+					return err
+				}
+				fs.ic.drop(ino)
+				din = dinode{}
+			} else if din.Nlink != linkRefs[ino] {
+				din.Nlink = linkRefs[ino]
+				if err := fs.writeInodeLocked(ino, din); err != nil {
+					return err
+				}
+			}
+		}
+		want := din.Type != TypeFree
+		used, err := fs.bmapTest(inoBitmap, i)
+		if err != nil {
+			return err
+		}
+		if used != want {
+			if err := fs.bmapSet(inoBitmap, i, want); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pass 3: rebuild the block bitmap from the surviving inodes' block
+	// trees (leaked blocks lose their bits; blocks owned by an inode that
+	// was mid-free at the crash get them back).
+	refs := make(map[uint32]bool)
+	for i := uint32(1); i < fs.sb.NInodes; i++ {
+		din, err := fs.ic.get(Ino(i))
+		if err != nil {
+			return err
+		}
+		if din.Type == TypeFree {
+			continue
+		}
+		if err := fs.walkBlocks(&din, func(bn uint32) { refs[bn] = true }); err != nil {
+			return err
+		}
+	}
+	for bn := fs.sb.DataStart; bn < fs.sb.NBlocks; bn++ {
+		used, err := fs.bmapTest(blkBitmap, bn)
+		if err != nil {
+			return err
+		}
+		if used != refs[bn] {
+			if err := fs.bmapSet(blkBitmap, bn, refs[bn]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Recover runs crash recovery on a mounted filesystem (see recoverLocked).
+// Mount invokes it automatically; it is exported so tests can re-run it.
+func (fs *FS) Recover() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.recoverLocked()
+}

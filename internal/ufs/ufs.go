@@ -272,7 +272,11 @@ func Mount(dev *disk.Device, opts *Options) (*FS, error) {
 	if int(sb.NBlocks) != dev.Blocks() {
 		return nil, fmt.Errorf("ufs: superblock says %d blocks, device has %d", sb.NBlocks, dev.Blocks())
 	}
-	return newFS(dev, sb, opts), nil
+	fs := newFS(dev, sb, opts)
+	if err := fs.Recover(); err != nil {
+		return nil, fmt.Errorf("ufs: crash recovery: %w", err)
+	}
+	return fs, nil
 }
 
 func newFS(dev *disk.Device, sb superblock, opts *Options) *FS {
