@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet chaos
+.PHONY: all build test check race vet lint invariants chaos ci
 
 all: build test
 
@@ -13,8 +13,19 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint builds and runs ficusvet, the repo-specific analyzer suite
+# (determinism, vvalias, errclass — see DESIGN.md §8).
+lint:
+	$(GO) build -o /dev/null ./cmd/ficusvet
+	$(GO) run ./cmd/ficusvet ./...
+
 race:
 	$(GO) test -race ./...
+
+# invariants re-runs the suite with the runtime invariant checks armed
+# (internal/invariant; free when the env var is unset).
+invariants:
+	FICUS_INVARIANTS=1 $(GO) test -count=1 ./...
 
 # chaos runs the whole-system property tests, including the flaky-link
 # variant that keeps the fault plane enabled through final convergence.
@@ -22,4 +33,9 @@ chaos:
 	$(GO) test -race -run 'TestChaos' -v .
 
 # check is the full gate: static analysis plus the race-enabled suite.
-check: vet race
+check: vet lint race invariants
+
+# ci is the single gate scripts/ci.sh runs; identical to what check does
+# plus a plain build, in one shell script usable outside make.
+ci:
+	./scripts/ci.sh

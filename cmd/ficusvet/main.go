@@ -1,0 +1,76 @@
+// Command ficusvet runs the repo-specific static analyzers over the module
+// (see internal/analysis).  Like go vet it prints one line per finding and
+// exits nonzero when anything is flagged; "make lint" and "make check" run
+// it as a gate.
+//
+// Usage:
+//
+//	ficusvet [-list] [-run name1,name2] [patterns ...]
+//
+// Patterns default to ./... (the whole module, testdata excluded).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzers to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *run != "" {
+		var err error
+		analyzers, err = analysis.ByName(*run)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	ld, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := ld.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	cwd, _ := os.Getwd()
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ficusvet:", err)
+	os.Exit(1)
+}

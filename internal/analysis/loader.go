@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package of the module
+// under analysis.
+type Package struct {
+	// Path is the import path (module path + directory suffix).
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Fset is the file set shared by every package of one Loader.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+
+	// suppress maps file base name -> line -> analyzer names suppressed on
+	// that line by a //ficusvet: comment ("" suppresses every analyzer).
+	suppress map[string]map[int][]string
+}
+
+// Loader parses and type-checks packages of a single module without
+// go/packages: module-internal imports are resolved against the module
+// directory tree, everything else (the standard library) through the
+// go/importer source importer.  The loader memoizes packages, so a package
+// reached both by pattern and by import is checked once.
+type Loader struct {
+	fset    *token.FileSet
+	modPath string
+	modRoot string
+	std     types.Importer
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // import-cycle detection
+}
+
+// NewLoader builds a loader for the module containing dir, located by
+// walking up to the nearest go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := moduleName(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		modPath: modPath,
+		modRoot: root,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// moduleName extracts the module path from a go.mod file.
+func moduleName(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Fset returns the loader's shared file set.
+func (ld *Loader) Fset() *token.FileSet { return ld.fset }
+
+// ModRoot returns the module root directory.
+func (ld *Loader) ModRoot() string { return ld.modRoot }
+
+// Load resolves patterns to packages.  Supported patterns: "./..." (every
+// package under the module root, skipping testdata and hidden directories),
+// a directory path (absolute or relative to the process working directory),
+// or a module-internal import path.
+func (ld *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			expanded, err := ld.expandAll()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range expanded {
+				add(d)
+			}
+		case pat == ld.modPath || strings.HasPrefix(pat, ld.modPath+"/"):
+			add(filepath.Join(ld.modRoot, strings.TrimPrefix(strings.TrimPrefix(pat, ld.modPath), "/")))
+		default:
+			abs, err := filepath.Abs(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(abs)
+		}
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := ld.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil { // nil: directory holds no non-test Go files
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// expandAll lists every directory under the module root holding Go files.
+func (ld *Loader) expandAll() ([]string, error) {
+	set := make(map[string]bool)
+	err := filepath.WalkDir(ld.modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != ld.modRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			set[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(set))
+	for d := range set {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// pathOf maps an absolute package directory to its import path.
+func (ld *Loader) pathOf(dir string) (string, error) {
+	rel, err := filepath.Rel(ld.modRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, ld.modRoot)
+	}
+	if rel == "." {
+		return ld.modPath, nil
+	}
+	return ld.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir parses and type-checks the package in dir (memoized).  Test files
+// are excluded: the analyzers guard the shipped replication stack, and
+// skipping _test.go keeps external test packages out of the type-checker.
+func (ld *Loader) loadDir(dir string) (*Package, error) {
+	path, err := ld.pathOf(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.pkgs[path] = nil
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		return ld.importPath(ipath, dir)
+	})}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:     path,
+		Dir:      dir,
+		Fset:     ld.fset,
+		Files:    files,
+		Types:    tpkg,
+		Info:     info,
+		suppress: collectSuppressions(ld.fset, files),
+	}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importPath resolves one import: module-internal paths through the loader,
+// everything else through the standard-library source importer.
+func (ld *Loader) importPath(path, fromDir string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		sub := strings.TrimPrefix(strings.TrimPrefix(path, ld.modPath), "/")
+		pkg, err := ld.loadDir(filepath.Join(ld.modRoot, filepath.FromSlash(sub)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,10 @@
+// Package clockok is a ficusvet test fixture OUTSIDE the determinism
+// analyzer's scope (no sim/simnet/core/recon/repl/physical/avail/workload
+// path segment): wall-clock use here is legal and must produce no
+// diagnostics.
+package clockok
+
+import "time"
+
+// Stamp may use real time: this package is not simulation-critical.
+func Stamp() int64 { return time.Now().UnixNano() }

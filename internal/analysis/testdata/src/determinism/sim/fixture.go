@@ -1,0 +1,81 @@
+// Package sim is a ficusvet test fixture: its import path contains the
+// "sim" segment, putting it in the determinism analyzer's scope.  The
+// bad functions below must each produce exactly one diagnostic; the good
+// ones must produce none.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- known-bad -----------------------------------------------------------
+
+func badWallClock() int64 {
+	return time.Now().UnixNano() // want: time.Now
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want: time.Sleep
+}
+
+func badGlobalRand() int {
+	return rand.Intn(6) // want: global rand.Intn
+}
+
+func badMapRangeToWriter(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want: iteration order reaches Fprintf
+	}
+}
+
+func badMapRangeCollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want: collected slice never sorted
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// --- known-good ----------------------------------------------------------
+
+func goodSeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodAggregation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // order-insensitive: no diagnostic
+	}
+	return total
+}
+
+func goodSuppressed(w io.Writer, m map[string]struct{}) {
+	//ficusvet:sorted -- the single-entry map below cannot disorder
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}
+
+func goodMethodNamedNow() {
+	var c fakeClock
+	_ = c.Now() // a method named Now is not time.Now
+}
+
+type fakeClock struct{ tick int64 }
+
+func (c fakeClock) Now() int64 { return c.tick }

@@ -1,0 +1,67 @@
+// Package recon is a ficusvet test fixture for the errclass analyzer (the
+// "recon" path segment puts it in the retry-aware scope): wrapping without
+// %w or comparing interface errors with == severs the chain that
+// transient/permanent retry classification walks.
+package recon
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errStale = errors.New("recon: stale replica")
+
+type errno int
+
+func (e errno) Error() string { return "errno" }
+
+const enoent errno = 2
+
+// --- known-bad -----------------------------------------------------------
+
+func badWrapV(err error) error {
+	return fmt.Errorf("pull failed: %v", err) // want: %v loses the chain
+}
+
+func badWrapS(err error) error {
+	return fmt.Errorf("pull failed: %s", err) // want: %s loses the chain
+}
+
+func badSentinelCompare(err error) bool {
+	return err == errStale // want: use errors.Is
+}
+
+func badEOFCompare(err error) bool {
+	return err != io.EOF // want: use errors.Is
+}
+
+// --- known-good ----------------------------------------------------------
+
+func goodWrapW(err error) error {
+	return fmt.Errorf("pull failed: %w", err)
+}
+
+func goodDoubleWrap(err error) error {
+	return fmt.Errorf("%w: %w", errStale, err)
+}
+
+func goodErrorsIs(err error) bool {
+	return errors.Is(err, errStale)
+}
+
+func goodNilCheck(err error) bool {
+	return err == nil || err != nil
+}
+
+func goodConcreteCompare(e errno) bool {
+	return e == enoent // concrete comparable error values: == is exact
+}
+
+func goodNonErrorVerb(n int, err error) error {
+	return fmt.Errorf("attempt %d: %w", n, err)
+}
+
+func goodSuppressed(err error) bool {
+	return err == errStale //ficusvet:ignore errclass
+}

@@ -1,0 +1,65 @@
+// Package store is a ficusvet test fixture for the vvalias analyzer: a
+// vv.Vector parameter stored without Clone aliases the caller's map.
+package store
+
+import (
+	"repro/internal/ids"
+	"repro/internal/vv"
+)
+
+type replicaState struct {
+	vec  vv.Vector
+	name string
+}
+
+var globalVV vv.Vector
+
+// --- known-bad -----------------------------------------------------------
+
+func badFieldStore(s *replicaState, v vv.Vector) {
+	s.vec = v // want: field store without Clone
+}
+
+func badGlobalStore(v vv.Vector) {
+	globalVV = v // want: package variable store without Clone
+}
+
+func badCompositeLit(v vv.Vector) *replicaState {
+	return &replicaState{vec: v, name: "r"} // want: composite literal field
+}
+
+func badMapStore(cache map[ids.FileID]vv.Vector, fid ids.FileID, v vv.Vector) {
+	cache[fid] = v // want: container element store
+}
+
+func badTaintedLocal(s *replicaState, v vv.Vector) {
+	alias := v
+	s.vec = alias // want: taint flows through the local
+}
+
+func badStructParamField(s *replicaState, other replicaState) {
+	s.vec = other.vec // want: field of a parameter is still the caller's map
+}
+
+// --- known-good ----------------------------------------------------------
+
+func goodCloneStore(s *replicaState, v vv.Vector) {
+	s.vec = v.Clone()
+}
+
+func goodMergeStore(s *replicaState, v vv.Vector) {
+	s.vec = vv.Merge(s.vec, v) // Merge allocates a fresh vector
+}
+
+func goodLocalUse(v vv.Vector) uint64 {
+	local := v // reading through an alias is fine; only stores escape
+	return local.Total()
+}
+
+func goodCompositeClone(v vv.Vector) *replicaState {
+	return &replicaState{vec: v.Clone()}
+}
+
+func goodFreshVector(s *replicaState, r ids.ReplicaID) {
+	s.vec = vv.New().Bump(r) // fresh map, no caller aliasing
+}

@@ -519,6 +519,10 @@ func (h *Host) Fsck() ([]string, error) {
 		reps = append(reps, lr)
 	}
 	h.mu.Unlock()
+	// Deterministic report order regardless of map iteration.
+	sort.Slice(reps, func(i, j int) bool {
+		return vrhLess(reps[i].layer.VolumeReplica(), reps[j].layer.VolumeReplica())
+	})
 	var out []string
 	for _, lr := range reps {
 		vr := lr.layer.VolumeReplica()
@@ -622,4 +626,20 @@ func (h *Host) ReconcileOnce() (recon.Stats, error) {
 		}
 	}
 	return total, nil
+}
+
+// vhLess orders volume handles deterministically (allocator, then volume).
+func vhLess(a, b ids.VolumeHandle) bool {
+	if a.Allocator != b.Allocator {
+		return a.Allocator < b.Allocator
+	}
+	return a.Volume < b.Volume
+}
+
+// vrhLess orders volume replica handles deterministically.
+func vrhLess(a, b ids.VolumeReplicaHandle) bool {
+	if a.Vol != b.Vol {
+		return vhLess(a.Vol, b.Vol)
+	}
+	return a.Replica < b.Replica
 }

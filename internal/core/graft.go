@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/ids"
 	"repro/internal/logical"
@@ -194,6 +195,7 @@ func (h *Host) GraftedVolumes() []ids.VolumeHandle {
 	for v := range h.grafts {
 		out = append(out, v)
 	}
+	sort.Slice(out, func(i, j int) bool { return vhLess(out[i], out[j]) })
 	return out
 }
 

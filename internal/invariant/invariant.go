@@ -1,0 +1,60 @@
+// Package invariant is the runtime companion to cmd/ficusvet: cheap,
+// env-gated assertion hooks for properties the static analyzers cannot
+// prove — version-vector monotonicity, Compare antisymmetry, new-version
+// cache hygiene.  The hooks are disabled unless FICUS_INVARIANTS=1 is set
+// in the environment, and call sites guard with Enabled() so a production
+// run pays one inlinable boolean load per hook.
+//
+// A violated invariant panics with a *Violation: the bug is a corrupted
+// replication state, and continuing would propagate the corruption to peer
+// replicas.  The test suite runs with the hooks armed (make check / make
+// ci), turning every existing test into an invariant probe.
+package invariant
+
+import (
+	"fmt"
+	"os"
+)
+
+// enabled is latched once at startup: the hooks sit on hot paths (every
+// version-vector compare), so they gate on a plain bool, not an env lookup.
+var enabled = os.Getenv("FICUS_INVARIANTS") == "1"
+
+// Enabled reports whether invariant checking is armed.  Call sites with
+// non-trivial check setup should guard with it:
+//
+//	if invariant.Enabled() {
+//	    invariant.Checkf(expensiveProperty(), "...")
+//	}
+func Enabled() bool { return enabled }
+
+// ForceForTest overrides the gate and returns a restore function; tests
+// use it to exercise both the armed and disarmed paths without re-execing
+// with a different environment.
+func ForceForTest(v bool) (restore func()) {
+	old := enabled
+	enabled = v
+	return func() { enabled = old }
+}
+
+// Violation is the panic value of a failed invariant.
+type Violation struct {
+	Msg string
+}
+
+func (v *Violation) Error() string { return "invariant violated: " + v.Msg }
+
+// Failf reports a violated invariant unconditionally (the caller has
+// already established the violation and that checking is enabled).
+func Failf(format string, args ...any) {
+	panic(&Violation{Msg: fmt.Sprintf(format, args...)})
+}
+
+// Checkf asserts cond when checking is enabled.  The arguments are
+// evaluated eagerly; hot paths should guard with Enabled() first.
+func Checkf(cond bool, format string, args ...any) {
+	if !enabled || cond {
+		return
+	}
+	Failf(format, args...)
+}

@@ -1,0 +1,57 @@
+package invariant
+
+import "testing"
+
+func TestCheckfDisabledNeverFires(t *testing.T) {
+	defer ForceForTest(false)()
+	// A false condition must be ignored while disarmed.
+	Checkf(false, "should not fire")
+}
+
+func TestCheckfEnabledFires(t *testing.T) {
+	defer ForceForTest(true)()
+	defer func() {
+		r := recover()
+		v, ok := r.(*Violation)
+		if !ok {
+			t.Fatalf("panic value = %v (%T), want *Violation", r, r)
+		}
+		want := "invariant violated: counter 3 regressed to 2"
+		if v.Error() != want {
+			t.Fatalf("Error() = %q, want %q", v.Error(), want)
+		}
+	}()
+	Checkf(false, "counter %d regressed to %d", 3, 2)
+	t.Fatal("Checkf returned on a false condition while armed")
+}
+
+func TestCheckfEnabledTrueConditionPasses(t *testing.T) {
+	defer ForceForTest(true)()
+	Checkf(true, "should not fire")
+}
+
+// BenchmarkCheckfDisabled documents the disarmed cost: one branch on a
+// package bool, no allocation (the varargs are the caller's only cost, and
+// constant args do not escape).
+func BenchmarkCheckfDisabled(b *testing.B) {
+	defer ForceForTest(false)()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Checkf(i < 0, "never")
+	}
+}
+
+// BenchmarkEnabledGate documents the recommended hot-path guard.
+func BenchmarkEnabledGate(b *testing.B) {
+	defer ForceForTest(false)()
+	b.ReportAllocs()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if Enabled() {
+			n++
+		}
+	}
+	if n != 0 {
+		b.Fatal("gate leaked")
+	}
+}

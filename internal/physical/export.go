@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/ids"
+	"repro/internal/invariant"
 	"repro/internal/vnode"
 	"repro/internal/vv"
 )
@@ -502,6 +503,13 @@ func (l *Layer) NextID() (ids.FileID, error) {
 func (l *Layer) NoteNewVersion(dirPath []ids.FileID, file ids.FileID, origin ids.ReplicaID) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// A cache entry must name a live remote replica the daemon could pull
+	// from: never the zero (unset) id, never ourselves — we already hold
+	// our own updates, and a self-entry would make the daemon pull from a
+	// replica that by definition has nothing newer.
+	invariant.Checkf(origin != 0 && origin != l.replica,
+		"physical: new-version cache entry for %s names origin %d (local replica %d); entries must name a live remote replica",
+		file, origin, l.replica)
 	k := nvcKey{file: file}
 	nv, ok := l.nvc[k]
 	if !ok {

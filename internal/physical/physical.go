@@ -197,7 +197,7 @@ func (l *Layer) writeMetaLocked() error {
 func (l *Layer) readMetaLocked() error {
 	f, err := l.root.Lookup(metaFileName)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrNotFicus, err)
+		return fmt.Errorf("%w: %w", ErrNotFicus, err)
 	}
 	data, err := vnode.ReadFile(f)
 	if err != nil {
@@ -207,11 +207,11 @@ func (l *Layer) readMetaLocked() error {
 	var rep uint32
 	var last uint64
 	if _, err := fmt.Sscanf(string(data), "%s\n%x\n%x\n", &volStr, &rep, &last); err != nil {
-		return fmt.Errorf("%w: bad meta: %v", ErrNotFicus, err)
+		return fmt.Errorf("%w: bad meta: %w", ErrNotFicus, err)
 	}
 	vh, err := ids.ParseVolumeHandle(volStr)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrNotFicus, err)
+		return fmt.Errorf("%w: %w", ErrNotFicus, err)
 	}
 	l.vol = vh
 	l.replica = ids.ReplicaID(rep)

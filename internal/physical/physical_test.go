@@ -350,7 +350,9 @@ func TestInstallFileVersionShadowCommit(t *testing.T) {
 	f, _ := root.Create("f", true)
 	vnode.WriteFile(f, []byte("old version"))
 	fid := mustFid(t, f)
-	newVV := vv.New().Bump(2).Bump(2)
+	// A remote version that has seen our updates and advanced: dominates.
+	st0, _ := l.FileInfo(RootPath(), fid)
+	newVV := st0.Aux.VV.Clone().Bump(2).Bump(2)
 	if err := l.InstallFileVersion(RootPath(), fid, KFile, []byte("new version"), newVV, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -407,9 +409,19 @@ func TestShadowCommitCrashSafety(t *testing.T) {
 	// Dry run: count the device writes a full install takes, so the sweep
 	// below covers every crash offset through the final write (crashAfter ==
 	// totalWrites is the no-crash control).
+	// The propagated version has seen the local updates and advanced at
+	// replica 2, so it dominates the stored vector.
+	propagatedVV := func(l *Layer, fid ids.FileID) vv.Vector {
+		st, err := l.FileInfo(RootPath(), fid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Aux.VV.Clone().Bump(2)
+	}
+
 	dev, l, fid := setup()
 	before := dev.Stats().Writes
-	if err := l.InstallFileVersion(RootPath(), fid, KFile, newData, vv.New().Bump(2), 1); err != nil {
+	if err := l.InstallFileVersion(RootPath(), fid, KFile, newData, propagatedVV(l, fid), 1); err != nil {
 		t.Fatal(err)
 	}
 	totalWrites := int(dev.Stats().Writes - before)
@@ -419,8 +431,9 @@ func TestShadowCommitCrashSafety(t *testing.T) {
 
 	for crashAfter := 0; crashAfter <= totalWrites; crashAfter++ {
 		dev, l, fid := setup()
+		newVV := propagatedVV(l, fid)
 		dev.FaultAfterWrites(crashAfter)
-		installErr := l.InstallFileVersion(RootPath(), fid, KFile, newData, vv.New().Bump(2), 1)
+		installErr := l.InstallFileVersion(RootPath(), fid, KFile, newData, newVV, 1)
 		crashed := dev.Faulted()
 		dev.ClearFault()
 

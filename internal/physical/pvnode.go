@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"errors"
 	"io"
 	"strings"
 
@@ -197,7 +198,7 @@ func (v *pvnode) dirStateLocked() (vnode.Vnode, []Entry, error) {
 }
 
 func mapStoreErr(err error) error {
-	if err == ErrNotStored {
+	if errors.Is(err, ErrNotStored) {
 		return vnode.ENOSTOR
 	}
 	return err
@@ -416,7 +417,7 @@ func (v *pvnode) ReadAt(p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	n, err := df.ReadAt(p, off)
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		return n, io.EOF
 	}
 	return n, err

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"repro/internal/ids"
+	"repro/internal/invariant"
 	"repro/internal/vnode"
 	"repro/internal/vv"
 )
@@ -31,6 +32,18 @@ func (l *Layer) InstallFileVersion(dirPath []ids.FileID, fid ids.FileID, kind Ki
 	}
 	base := prefixData + fid.String()
 	shadow := base + suffixShadow
+
+	// Per-replica counter monotonicity: the caller has decided the new
+	// vector dominates (or is a conflict resolution merged+bumped above)
+	// the stored one, so no component — in particular not our own update
+	// counter, which only we originate — may move backwards.
+	if invariant.Enabled() {
+		if old, err := readAuxFile(cont, prefixAux+fid.String()); err == nil {
+			invariant.Checkf(newVV.DominatesOrEqual(old.VV),
+				"physical: installing version vector %s that does not dominate stored %s for file %s (replica %d counter would regress)",
+				newVV, old.VV, fid, l.replica)
+		}
+	}
 
 	// 1. Write the complete new version into the shadow.
 	sf, err := cont.Create(shadow, false)

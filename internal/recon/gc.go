@@ -3,6 +3,7 @@ package recon
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/ids"
 	"repro/internal/physical"
@@ -78,6 +79,7 @@ func gcDir(local *physical.Layer, peers []Peer, dirPath []ids.FileID) (int, erro
 			for eid := range candidate {
 				drop = append(drop, eid)
 			}
+			sort.Slice(drop, func(i, j int) bool { return fidLess(drop[i], drop[j]) })
 			n, err := local.DropTombstones(dirPath, drop)
 			if err != nil {
 				return collected, err
@@ -101,4 +103,14 @@ func gcDir(local *physical.Layer, peers []Peer, dirPath []ids.FileID) (int, erro
 		}
 	}
 	return collected, nil
+}
+
+// fidLess orders file ids deterministically (issuer, then sequence), so
+// tombstone collection touches the directory in the same order on every
+// replica and in every replayed run.
+func fidLess(a, b ids.FileID) bool {
+	if a.Issuer != b.Issuer {
+		return a.Issuer < b.Issuer
+	}
+	return a.Seq < b.Seq
 }

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
+	"sort"
 	"sync"
 
 	"repro/internal/ids"
@@ -42,7 +43,9 @@ type unreachableError struct{ cause error }
 
 func (e *unreachableError) Error() string { return ErrUnreachable.Error() + ": " + e.cause.Error() }
 
-func (e *unreachableError) Is(target error) bool { return target == ErrUnreachable }
+// In an Is implementation the sentinel identity test is the idiom —
+// errors.Is itself supplies the unwrapping.
+func (e *unreachableError) Is(target error) bool { return target == ErrUnreachable } //ficusvet:ignore errclass
 
 func (e *unreachableError) Unwrap() error { return e.cause }
 
@@ -93,11 +96,11 @@ type wireAux struct {
 }
 
 func toWireAux(a physical.Aux) wireAux {
-	return wireAux{Type: byte(a.Type), Nlink: a.Nlink, VV: a.VV, GraftVol: a.GraftVol}
+	return wireAux{Type: byte(a.Type), Nlink: a.Nlink, VV: a.VV.Clone(), GraftVol: a.GraftVol}
 }
 
 func fromWireAux(w wireAux) physical.Aux {
-	return physical.Aux{Type: physical.Kind(w.Type), Nlink: w.Nlink, VV: w.VV, GraftVol: w.GraftVol}
+	return physical.Aux{Type: physical.Kind(w.Type), Nlink: w.Nlink, VV: w.VV.Clone(), GraftVol: w.GraftVol}
 }
 
 // Server exports the volume replicas registered on one host.
@@ -159,6 +162,7 @@ func (s *Server) dispatch(req *request) response {
 			}
 		}
 		s.mu.Unlock()
+		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
 		return response{Replicas: reps}
 	}
 	l := s.layerFor(req.Vol, req.Replica)

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 )
 
@@ -249,7 +250,7 @@ func (n *Network) Host(addr Addr) *Host {
 	return h
 }
 
-// Addrs lists attached hosts in no particular order.
+// Addrs lists attached hosts in deterministic (sorted) order.
 func (n *Network) Addrs() []Addr {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -257,6 +258,7 @@ func (n *Network) Addrs() []Addr {
 	for a := range n.hosts {
 		out = append(out, a)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/ids"
+	"repro/internal/invariant"
 )
 
 // Order is the result of comparing two version vectors.
@@ -73,8 +74,32 @@ func (v Vector) Bump(r ids.ReplicaID) Vector {
 	return v
 }
 
-// Compare determines the relationship of v to w.
+// Compare determines the relationship of v to w.  With FICUS_INVARIANTS=1
+// the result is cross-checked against the mirrored comparison: dominance
+// must be antisymmetric or conflict detection is meaningless.
 func (v Vector) Compare(w Vector) Order {
+	o := v.compare(w)
+	if invariant.Enabled() {
+		m := w.compare(v)
+		invariant.Checkf(m == o.mirror(),
+			"vv: Compare not antisymmetric: %s vs %s gave %s, mirror gave %s", v, w, o, m)
+	}
+	return o
+}
+
+// mirror maps an Order to the result the swapped comparison must produce.
+func (o Order) mirror() Order {
+	switch o {
+	case Dominates:
+		return Dominated
+	case Dominated:
+		return Dominates
+	default:
+		return o
+	}
+}
+
+func (v Vector) compare(w Vector) Order {
 	vGreater, wGreater := false, false
 	for r, n := range v {
 		m := w[r]

@@ -1,0 +1,26 @@
+#!/bin/sh
+# ci.sh — the single CI gate for the repository.
+#
+# Runs, in order: build, ficusvet (repo-specific static analysis), go vet,
+# the race-enabled test suite, and the suite again with runtime invariants
+# armed (FICUS_INVARIANTS=1).  Any failure stops the gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> ficusvet ./..."
+go run ./cmd/ficusvet ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> FICUS_INVARIANTS=1 go test ./..."
+FICUS_INVARIANTS=1 go test -count=1 ./...
+
+echo "==> ci gate passed"
