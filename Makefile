@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet lint invariants chaos ci
+.PHONY: all build test check race vet lint invariants chaos bench ci
 
 all: build test
 
@@ -31,6 +31,11 @@ invariants:
 # variant that keeps the fault plane enabled through final convergence.
 chaos:
 	$(GO) test -race -run 'TestChaos' -v .
+
+# bench regenerates BENCH_PR3.json: the batched-propagation experiment
+# (E10) and the repl wire-codec microbenchmarks.
+bench:
+	sh scripts/bench.sh
 
 # check is the full gate: static analysis plus the race-enabled suite.
 check: vet lint race invariants

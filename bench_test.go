@@ -13,7 +13,11 @@ import (
 	"repro/internal/avail"
 	"repro/internal/baseline"
 	"repro/internal/exp"
+	"repro/internal/ids"
 	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/recon"
+	"repro/internal/retry"
 	"repro/internal/vnode"
 )
 
@@ -259,4 +263,164 @@ func BenchmarkEndToEndWriteRead(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchWrite writes name=data directly on a replica's physical layer (no
+// logical layer, no notifications), returning the FileID — the benchmark
+// controls exactly which replica originates every version.
+func benchWrite(b *testing.B, l *physical.Layer, name, data string) ids.FileID {
+	b.Helper()
+	root, err := l.Root()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := root.Create(name, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := vnode.WriteFile(f, []byte(data)); err != nil {
+		b.Fatal(err)
+	}
+	a, err := f.Getattr()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fid, err := ids.ParseFileID(a.FileID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fid
+}
+
+// BenchmarkE10BatchPropagation measures the batched conditional-pull
+// propagation pipeline against the sequential two-RPCs-per-file baseline
+// on a 4-host cluster with 256 pending entries spread over 3 origins.
+//
+//   - batch/fresh:         every entry dominated remotely — data must ship;
+//     one PullBatch RPC per origin replaces FileInfo+FileData per file.
+//   - batch/all-dominated:  every entry already local — the pass costs at
+//     most one RPC per origin and ships no file bytes.
+//   - sequential/fresh:     the pre-batching pipeline (per-entry RPCs, one
+//     worker) on the identical workload, for the wall-time and RPC deltas
+//     recorded in EXPERIMENTS.md row E10.
+func BenchmarkE10BatchPropagation(b *testing.B) {
+	const nFiles = 256
+	const nOrigins = 3 // hosts 1..3 originate; host 0 propagates
+
+	type fileRef struct {
+		name   string
+		origin int // host index
+		fid    ids.FileID
+	}
+
+	setup := func(b *testing.B) (*Cluster, []*physical.Layer, []fileRef) {
+		c, err := NewCluster(nOrigins+1, WithSeed(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		layers := make([]*physical.Layer, nOrigins+1)
+		for i := range layers {
+			layers[i] = c.Host(i).LocalReplicas()[0]
+		}
+		files := make([]fileRef, nFiles)
+		for i := range files {
+			origin := 1 + i%nOrigins
+			name := fmt.Sprintf("o%d-f%d", origin, i)
+			fid := benchWrite(b, layers[origin], name, fmt.Sprintf("seed %s", name))
+			files[i] = fileRef{name: name, origin: origin, fid: fid}
+		}
+		// Everybody learns the namespace, then all pending caches drain so
+		// the measured passes see exactly the workload we queue.
+		if err := c.Settle(50); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i <= nOrigins; i++ {
+			if _, err := c.Host(i).PropagateOnce(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c, layers, files
+	}
+
+	// rewriteAll makes every origin issue a new version of each of its
+	// files and queues the notifications on host 0's pending cache.
+	rewriteAll := func(b *testing.B, layers []*physical.Layer, files []fileRef, pass int) {
+		for _, f := range files {
+			l := layers[f.origin]
+			root, err := l.Root()
+			if err != nil {
+				b.Fatal(err)
+			}
+			vn, err := root.Lookup(f.name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := vnode.WriteFile(vn, []byte(fmt.Sprintf("%s pass %d", f.name, pass))); err != nil {
+				b.Fatal(err)
+			}
+			layers[0].NoteNewVersion(physical.RootPath(), f.fid, l.Replica())
+		}
+	}
+	noteAll := func(layers []*physical.Layer, files []fileRef) {
+		for _, f := range files {
+			layers[0].NoteNewVersion(physical.RootPath(), f.fid, layers[f.origin].Replica())
+		}
+	}
+
+	run := func(b *testing.B, cfg recon.PropagateConfig, prePulled bool) {
+		c, layers, files := setup(b)
+		var rpcs, wireBytes uint64
+		var pulled uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			rewriteAll(b, layers, files, i)
+			if prePulled {
+				// Pull everything up front, then re-announce: every entry
+				// in the measured pass is already dominated locally.
+				if _, err := c.Host(0).PropagateOnce(); err != nil {
+					b.Fatal(err)
+				}
+				noteAll(layers, files)
+			}
+			before := c.NetworkStats()
+			b.StartTimer()
+			stats, err := c.Host(0).PropagateOnceCfg(cfg)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			after := c.NetworkStats()
+			rpcs += after.RPCs - before.RPCs
+			wireBytes += after.RPCBytes - before.RPCBytes
+			pulled += uint64(stats.FilesPulled)
+			if prePulled {
+				if stats.FilesPulled != 0 {
+					b.Fatalf("all-dominated pass pulled %d files", stats.FilesPulled)
+				}
+				if got := after.RPCs - before.RPCs; got > nOrigins {
+					b.Fatalf("all-dominated pass cost %d RPCs, want <= 1 per origin (%d)", got, nOrigins)
+				}
+			} else if stats.FilesPulled != nFiles {
+				b.Fatalf("pulled %d files, want %d", stats.FilesPulled, nFiles)
+			}
+			if n := len(layers[0].PendingVersions()); n != 0 {
+				b.Fatalf("%d entries still pending after pass", n)
+			}
+			b.StartTimer()
+		}
+		b.StopTimer()
+		n := float64(b.N)
+		b.ReportMetric(float64(rpcs)/n, "rpcs/pass")
+		b.ReportMetric(float64(rpcs)/n/nFiles, "rpcs/file")
+		b.ReportMetric(float64(rpcs)/n/nOrigins, "rpcs/origin")
+		b.ReportMetric(float64(wireBytes)/n/nFiles, "wireBytes/file")
+		b.ReportMetric(float64(pulled)/n, "filesPulled/pass")
+	}
+
+	batchCfg := recon.PropagateConfig{Policy: retry.Default()}
+	seqCfg := recon.PropagateConfig{Policy: retry.Default(), DisableBatch: true, Workers: 1}
+	b.Run("batch/fresh", func(b *testing.B) { run(b, batchCfg, false) })
+	b.Run("batch/all-dominated", func(b *testing.B) { run(b, batchCfg, true) })
+	b.Run("sequential/fresh", func(b *testing.B) { run(b, seqCfg, false) })
 }

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/recon"
 )
 
 // treeOf renders host i's full namespace (names + file contents; conflict
@@ -400,5 +402,162 @@ func TestClusterGCEndToEnd(t *testing.T) {
 	probs, err := c.Fsck()
 	if err != nil || len(probs) != 0 {
 		t.Fatalf("fsck: %v %v", probs, err)
+	}
+}
+
+// TestChaosBatchedPropagationUnderFaults exercises the batched conditional
+// pull path alone (no reconciliation safety net) under an adversarial RPC
+// plane: request loss, and lost replies — the server executed the batch,
+// the client retried it, so the whole batch replays.  The workload itself
+// runs fault-free: a faulty write can legitimately fail over mid-reply-loss
+// and apply at two replicas (a real conflict, covered by the flaky-links
+// test above); here every host writes distinct names cleanly, so the
+// propagation plane must converge with ZERO conflicts — a batch replay
+// that re-installed a version it already had would surface as a spurious
+// conflict or a failed pass.  Notification loss also stays off because
+// propagation by itself cannot recover a dropped new-version notice; that
+// is reconciliation's job (§3.3).
+func TestChaosBatchedPropagationUnderFaults(t *testing.T) {
+	const hosts = 3
+	var faultsSeen, replaysSeen uint64
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c, err := NewCluster(hosts, WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mounts := make([]*Mount, hosts)
+			for i := range mounts {
+				if mounts[i], err = c.Mount(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Fault-free write phase: each host owns its names, so nothing
+			// here can conflict.  Notifications pile up in the pending
+			// caches; no propagation runs yet.
+			for step := 0; step < 60; step++ {
+				h := rng.Intn(hosts)
+				name := fmt.Sprintf("/h%d-f%d", h, rng.Intn(6))
+				if err := mounts[h].WriteFile(name, []byte(fmt.Sprintf("h%d s%d", h, step))); err != nil {
+					t.Fatalf("write %s: %v", name, err)
+				}
+			}
+
+			// Converge by propagation alone under the fault plane — no
+			// Reconcile calls from here on.  Propagation is quiescent when
+			// every replica's pending new-version cache has drained: each
+			// entry ends in an install, a stale drop, or a conflict report;
+			// transiently failed entries stay pending under backoff and must
+			// eventually drain despite the fault plane.
+			pending := func() int {
+				n := 0
+				for i := 0; i < hosts; i++ {
+					for _, l := range c.Host(i).LocalReplicas() {
+						n += len(l.PendingVersions())
+					}
+				}
+				return n
+			}
+			if pending() == 0 {
+				t.Fatal("write phase queued no pending versions")
+			}
+			c.ResetNetworkStats() // count propagation traffic only
+			c.InjectFaults(FaultConfig{RPCFailRate: 0.2, ReplyLossRate: 0.25})
+			pulled := 0
+			drained := false
+			for round := 0; round < 300 && !drained; round++ {
+				s, err := c.Propagate()
+				if err != nil {
+					t.Fatalf("propagate: %v", err)
+				}
+				pulled += s.FilesPulled
+				drained = pending() == 0
+			}
+			if !drained {
+				t.Fatalf("%d entries still pending after 300 propagation passes under RPC faults", pending())
+			}
+			if pulled == 0 {
+				t.Fatal("propagation drained without pulling anything")
+			}
+
+			// Verification reads run fault-free; the propagation above did not.
+			ns := c.NetworkStats()
+			c.ClearFaults()
+			ref := treeOf(t, c, 0, true)
+			for i := 1; i < hosts; i++ {
+				if got := treeOf(t, c, i, true); got != ref {
+					t.Fatalf("diverged after propagation-only convergence:\n--- host 0:\n%s\n--- host %d:\n%s", ref, i, got)
+				}
+			}
+			if n := len(c.Conflicts()); n != 0 {
+				t.Fatalf("%d conflicts from non-conflicting workload (batch replay bug?)", n)
+			}
+			// Batching keeps the propagation phase to a handful of RPCs, so
+			// a single seed can dodge a fault kind; the cross-seed totals
+			// must show both request loss and reply loss (replay) happened.
+			faultsSeen += ns.RPCFaultsInjected
+			replaysSeen += ns.RPCRepliesLost
+			probs, err := c.Fsck()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(probs) != 0 {
+				t.Fatalf("fsck problems:\n%s", strings.Join(probs, "\n"))
+			}
+		})
+	}
+	if faultsSeen == 0 || replaysSeen == 0 {
+		t.Fatalf("fault plane idle across all seeds: faults=%d, lost replies=%d", faultsSeen, replaysSeen)
+	}
+}
+
+// TestPropagationDeterministicUnderFaults pins the concurrency contract of
+// the batched propagation pipeline: with the same cluster seed, the same
+// injected fault rates, and the same workload, two runs must produce the
+// exact same per-host recon.Stats sequence — worker-pool scheduling and
+// per-link fault draws may interleave differently in time, but must never
+// change any observable outcome.
+func TestPropagationDeterministicUnderFaults(t *testing.T) {
+	const hosts = 3
+	run := func() []recon.Stats {
+		c, err := NewCluster(hosts, WithSeed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.InjectFaults(FaultConfig{RPCFailRate: 0.15, ReplyLossRate: 0.15})
+		mounts := make([]*Mount, hosts)
+		for i := range mounts {
+			if mounts[i], err = c.Mount(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < hosts; i++ {
+			for j := 0; j < 8; j++ {
+				name := fmt.Sprintf("/h%d-f%d", i, j)
+				// A write may fail under the fault plane; the failure draw
+				// itself is seeded, so both runs fail identically.
+				_ = mounts[i].WriteFile(name, []byte(name))
+			}
+		}
+		var trace []recon.Stats
+		for pass := 0; pass < 12; pass++ {
+			for i := 0; i < hosts; i++ {
+				s, _ := c.Host(i).PropagateOnce() // transient errors defer; stats still count
+				trace = append(trace, s)
+			}
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pass %d host %d diverged between identical runs:\n%v\nvs\n%v",
+				i/hosts, i%hosts, a[i], b[i])
+		}
 	}
 }

@@ -40,6 +40,14 @@ func badMapRangeCollectUnsorted(m map[string]int) []string {
 	return keys
 }
 
+func badConcurrentMerge(w io.Writer, results map[string][]string) {
+	for origin, lines := range results { // worker-pool merge: goroutine body still sinks
+		go func(o string, ls []string) {
+			fmt.Fprintf(w, "%s: %d\n", o, len(ls)) // want: iteration order reaches Fprintf
+		}(origin, lines)
+	}
+}
+
 // --- known-good ----------------------------------------------------------
 
 func goodSeededRand(seed int64) int {
@@ -68,6 +76,20 @@ func goodSuppressed(w io.Writer, m map[string]struct{}) {
 	//ficusvet:sorted -- the single-entry map below cannot disorder
 	for k := range m {
 		fmt.Fprintln(w, k)
+	}
+}
+
+// goodWorkerPoolMerge is the shipped propagation-pipeline shape: workers
+// write into an index-addressed slice (no sink inside the range body), and
+// a sequential reduce walks a sorted key list.
+func goodWorkerPoolMerge(w io.Writer, results map[string][]string) {
+	origins := make([]string, 0, len(results))
+	for o := range results {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	for _, o := range origins {
+		fmt.Fprintf(w, "%s: %d\n", o, len(results[o]))
 	}
 }
 

@@ -453,9 +453,14 @@ func (h *Host) advanceTick() uint64 {
 // local replica.  Every remote contact feeds the health tracker.  With
 // gated set, peers the tracker considers dead are skipped without any
 // network traffic until their cool-down expires — the propagation daemon
-// uses this so a flapping or long-dead host is not hammered every pass.
+// uses this so a flapping or long-dead host is not hammered every pass —
+// and the peer is returned wrapped so the pulls themselves feed the
+// tracker: the batched pull is the probe, no separate Ping round trip.
 // Reconciliation and GC pass gated=false: correctness there depends on
-// actual reachability, and their probes are what revive a recovered peer.
+// actual reachability (a skipped peer must mean an unreachable peer), so
+// they pay an explicit Ping, which is also what revives a recovered peer.
+// Propagate calls the finder from worker goroutines; everything here is
+// mutex-protected.
 func (h *Host) peerFinder(local *physical.Layer, gated bool) recon.PeerFinder {
 	return func(origin ids.ReplicaID) recon.Peer {
 		h.mu.Lock()
@@ -472,10 +477,13 @@ func (h *Host) peerFinder(local *physical.Layer, gated bool) recon.PeerFinder {
 		if lr != nil {
 			return lr.layer
 		}
-		if gated && !h.health.ShouldProbe(string(addr), now) {
-			return nil
-		}
 		c := repl.NewClient(h.snHost, addr, ids.VolumeReplicaHandle{Vol: local.Volume(), Replica: origin})
+		if gated {
+			if !h.health.ShouldProbe(string(addr), now) {
+				return nil
+			}
+			return &healthPeer{c: c, h: h, now: now}
+		}
 		if err := c.Ping(); err != nil {
 			if retry.Transient(err) {
 				h.health.Fail(string(addr), now)
@@ -485,6 +493,55 @@ func (h *Host) peerFinder(local *physical.Layer, gated bool) recon.PeerFinder {
 		h.health.OK(string(addr))
 		return c
 	}
+}
+
+// healthPeer funnels the outcome of every propagation pull into the host's
+// health tracker.  A transport-class failure (peer unreachable after
+// retries) marks the peer down; any answered call — even one reporting a
+// peer-side error — proves the host alive.
+type healthPeer struct {
+	c   *repl.Client
+	h   *Host
+	now uint64
+}
+
+var (
+	_ recon.Peer        = (*healthPeer)(nil)
+	_ recon.BatchPuller = (*healthPeer)(nil)
+)
+
+func (p *healthPeer) note(err error) {
+	if err != nil && errors.Is(err, repl.ErrUnreachable) {
+		p.h.health.Fail(string(p.c.Addr()), p.now)
+		return
+	}
+	p.h.health.OK(string(p.c.Addr()))
+}
+
+func (p *healthPeer) Replica() ids.ReplicaID { return p.c.Replica() }
+
+func (p *healthPeer) DirEntries(dirPath []ids.FileID) (physical.DirState, error) {
+	ds, err := p.c.DirEntries(dirPath)
+	p.note(err)
+	return ds, err
+}
+
+func (p *healthPeer) FileInfo(dirPath []ids.FileID, fid ids.FileID) (physical.FileState, error) {
+	st, err := p.c.FileInfo(dirPath, fid)
+	p.note(err)
+	return st, err
+}
+
+func (p *healthPeer) FileData(dirPath []ids.FileID, fid ids.FileID) ([]byte, physical.FileState, error) {
+	data, st, err := p.c.FileData(dirPath, fid)
+	p.note(err)
+	return data, st, err
+}
+
+func (p *healthPeer) PullBatch(reqs []physical.PullRequest) ([]physical.PullResult, error) {
+	res, err := p.c.PullBatch(reqs)
+	p.note(err)
+	return res, err
 }
 
 // PeerHealth reports the tracked health of the host at addr.
@@ -497,10 +554,17 @@ func (h *Host) PeerHealth(addr simnet.Addr) retry.State {
 // Per-entry transient failures are absorbed into the returned Stats
 // (Deferred/Failures); only permanent, corruption-class errors surface.
 func (h *Host) PropagateOnce() (recon.Stats, error) {
+	return h.PropagateOnceCfg(recon.PropagateConfig{Policy: retry.Default()})
+}
+
+// PropagateOnceCfg is PropagateOnce under an explicit propagation
+// configuration (worker count, batch disable, retry policy) — used by the
+// benchmarks to compare pipeline shapes.
+func (h *Host) PropagateOnceCfg(cfg recon.PropagateConfig) (recon.Stats, error) {
 	h.advanceTick()
 	var total recon.Stats
 	for _, layer := range h.LocalReplicas() {
-		stats, err := recon.PropagateOnce(layer, h.peerFinder(layer, true))
+		stats, err := recon.Propagate(layer, h.peerFinder(layer, true), cfg)
 		total.Add(stats)
 		if err != nil {
 			return total, err

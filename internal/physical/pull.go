@@ -1,0 +1,129 @@
+package physical
+
+import (
+	"errors"
+
+	"repro/internal/ids"
+	"repro/internal/vv"
+)
+
+// Conditional batched pulls (the throughput path of update propagation).
+//
+// The paper's propagation daemon pulls one announced version at a time,
+// costing a FileInfo and a FileData round trip per file.  PullBatch folds
+// both halves of the version-vector protocol into the serving side: the
+// puller ships its local vector along with each request, and the server
+// answers per entry with exactly one of {data, stale, concurrent,
+// not-stored} — file bytes cross the wire only when the remote version
+// actually dominates.
+
+// PullStatus classifies one entry of a batched conditional pull.
+type PullStatus byte
+
+// Per-entry outcomes of a conditional pull.
+const (
+	// PullData: the remote version dominates (or the puller stores no
+	// copy); Data/Aux/Size carry the full version to install.
+	PullData PullStatus = iota + 1
+	// PullStale: the puller's vector dominates or equals — stale news,
+	// nothing shipped.
+	PullStale
+	// PullConcurrent: the histories are concurrent; RemoteVV carries the
+	// remote vector so the puller can report the conflict to the owner.
+	PullConcurrent
+	// PullNotStored: this replica stores no copy of the file.
+	PullNotStored
+	// PullIsDir: the entry names a directory; directories propagate by
+	// operation replay (directory reconciliation), never by copy.
+	PullIsDir
+	// PullError: the attempt failed on the serving side; Err explains.
+	PullError
+)
+
+// String renders the status.
+func (s PullStatus) String() string {
+	switch s {
+	case PullData:
+		return "data"
+	case PullStale:
+		return "stale"
+	case PullConcurrent:
+		return "concurrent"
+	case PullNotStored:
+		return "not-stored"
+	case PullIsDir:
+		return "is-dir"
+	case PullError:
+		return "error"
+	default:
+		return "invalid"
+	}
+}
+
+// PullRequest asks for one file's new version, conditional on the puller's
+// current vector: the server ships data only if its version dominates
+// LocalVV.  HasLocal false means the puller stores no copy (ship
+// unconditionally).
+type PullRequest struct {
+	Dir      []ids.FileID
+	File     ids.FileID
+	LocalVV  vv.Vector
+	HasLocal bool
+}
+
+// PullResult is the per-entry answer to a PullRequest.
+type PullResult struct {
+	Status   PullStatus
+	Data     []byte    // PullData only
+	Aux      Aux       // PullData (install attributes) and PullIsDir (kind)
+	Size     uint64    // PullData only
+	RemoteVV vv.Vector // PullConcurrent only
+	Err      error     // PullError only
+}
+
+// PullBatch answers a batch of conditional pull requests against this
+// replica.  Failures are strictly per-entry (PullError); the call itself
+// never fails, so one unreadable file cannot starve the rest of a batch.
+// *physical.Layer and repl.Client both provide this, which is what lets
+// the propagation pipeline batch co-resident and remote origins alike.
+func (l *Layer) PullBatch(reqs []PullRequest) ([]PullResult, error) {
+	out := make([]PullResult, len(reqs))
+	for i := range reqs {
+		out[i] = l.pullOne(&reqs[i])
+	}
+	return out, nil
+}
+
+func (l *Layer) pullOne(req *PullRequest) PullResult {
+	st, err := l.FileInfo(req.Dir, req.File)
+	if err != nil {
+		if errors.Is(err, ErrNotStored) {
+			return PullResult{Status: PullNotStored}
+		}
+		return PullResult{Status: PullError, Err: err}
+	}
+	if st.Aux.Type.IsDir() {
+		return PullResult{Status: PullIsDir, Aux: st.Aux}
+	}
+	if req.HasLocal {
+		switch req.LocalVV.Compare(st.Aux.VV) {
+		case vv.Dominated:
+			// Remote (this side) dominates: ship.
+		case vv.Concurrent:
+			return PullResult{Status: PullConcurrent, RemoteVV: st.Aux.VV.Clone()}
+		default:
+			return PullResult{Status: PullStale}
+		}
+	}
+	// Ship the version that exists NOW: FileData re-reads the attributes
+	// with the data, so a file that advanced since the comparison above is
+	// shipped whole under its own (still dominating) vector.
+	data, dst, err := l.FileData(req.Dir, req.File)
+	if err != nil {
+		if errors.Is(err, ErrNotStored) {
+			return PullResult{Status: PullNotStored}
+		}
+		return PullResult{Status: PullError, Err: err}
+	}
+	return PullResult{Status: PullData, Data: data, Aux: dst.Aux, Size: dst.Size}
+}

@@ -3,6 +3,8 @@ package recon
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/ids"
 	"repro/internal/physical"
@@ -12,18 +14,39 @@ import (
 
 // PeerFinder locates a pull source for a given replica; nil means the
 // replica is currently unreachable (its new-version cache entries stay
-// queued for a later attempt).
+// queued for a later attempt).  Propagate calls the finder from its worker
+// goroutines — at most once per origin per pass — so implementations must
+// be safe for concurrent use.
 type PeerFinder func(ids.ReplicaID) Peer
+
+// BatchPuller is the batched fast path of a propagation peer: one call
+// answers a whole batch of conditional pulls, shipping file data only for
+// entries whose remote version dominates the local vector.  *physical.Layer
+// (co-resident origin) and repl.Client (remote origin, one RPC per batch)
+// both provide it.  Peers without it — or passes with DisableBatch set —
+// fall back to the per-file FileInfo/FileData protocol.
+type BatchPuller interface {
+	PullBatch([]physical.PullRequest) ([]physical.PullResult, error)
+}
+
+var _ BatchPuller = (*physical.Layer)(nil)
 
 // PropagateConfig tunes one propagation pass.
 type PropagateConfig struct {
 	// Policy classifies per-entry errors and spaces the retries of failed
 	// entries across later passes.  Zero value: retry.Default().
 	Policy retry.Policy
+	// Workers bounds how many origins are pulled concurrently (default 4).
+	// Results are always applied in sorted origin order, so the worker
+	// count affects wall time only, never the outcome.
+	Workers int
+	// DisableBatch forces the sequential per-file pull protocol even when
+	// the peer supports batched pulls (the benchmark baseline).
+	DisableBatch bool
 }
 
 // PropagateOnce runs one pass of the update propagation daemon under the
-// default retry policy (see Propagate).
+// default configuration (see Propagate).
 func PropagateOnce(local *physical.Layer, find PeerFinder) (Stats, error) {
 	return Propagate(local, find, PropagateConfig{Policy: retry.Default()})
 }
@@ -33,13 +56,22 @@ func PropagateOnce(local *physical.Layer, find PeerFinder) (Stats, error) {
 // what new replica versions should be propagated in, and performs the
 // propagation when it deems it appropriate to expend the effort."
 //
-// For each pending notification the daemon pulls the announced file from
-// the originating replica:
+// The pass pulls each pending notification from its originating replica:
 //
-//   - remote dominates        -> install via the single-file atomic commit
+//   - remote dominates         -> install via the single-file atomic commit
 //   - equal or local dominates -> drop the notification (stale news)
-//   - concurrent              -> report a conflict to the owner and drop
+//   - concurrent               -> report a conflict to the owner and drop
 //   - origin unreachable       -> keep the entry, backed off for later
+//
+// Due entries are grouped by origin: each origin is consulted once via the
+// finder and pulled with a single batched conditional pull (peers without
+// the batch op fall back to per-file pulls).  Origins run through a bounded
+// worker pool, but every state change to the local replica's daemon
+// machinery — drops, deferrals, conflict reports, stats, the error join —
+// is applied by a sequential reduce in sorted origin order, preserving
+// entry order within each origin.  Two passes over the same state therefore
+// produce identical Stats, conflict logs, and backoff schedules regardless
+// of worker interleaving.
 //
 // Partial operation is the normal status: a failure on one entry never
 // starves the rest of the pass.  Failed entries stay in the new-version
@@ -51,40 +83,115 @@ func PropagateOnce(local *physical.Layer, find PeerFinder) (Stats, error) {
 //
 // Directories are propagated by replaying operations, not by copying
 // ("simply copying directory contents is incorrect"), so a notification
-// about a directory triggers a directory reconciliation against the origin.
+// about a directory triggers a directory reconciliation against the origin
+// (run in the sequential reduce, since it mutates shared subtrees).
 func Propagate(local *physical.Layer, find PeerFinder, cfg PropagateConfig) (Stats, error) {
 	if cfg.Policy.MaxAttempts == 0 && cfg.Policy.BaseBackoff == 0 {
 		cfg.Policy = retry.Default()
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
 	now := local.AdvanceDaemonTick()
 	var stats Stats
 	var errs []error
+
+	// Split the due entries by origin.  Entries still backing off are
+	// deferred without consulting the finder at all.
+	byOrigin := make(map[ids.ReplicaID][]physical.NewVersion)
 	for _, nv := range local.PendingVersions() {
 		if nv.NotBefore > now {
 			stats.Deferred++ // backing off; not due this pass
 			continue
 		}
-		backoff := func() uint64 {
-			return now + cfg.Policy.Backoff(nv.Attempts+1, propagationKey(nv))
+		byOrigin[nv.Origin] = append(byOrigin[nv.Origin], nv)
+	}
+	origins := make([]ids.ReplicaID, 0, len(byOrigin))
+	for origin := range byOrigin {
+		origins = append(origins, origin)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+
+	// Pull each origin on the worker pool.  Workers only read remote state
+	// and install file versions (individually atomic and commutative across
+	// distinct files); all daemon bookkeeping waits for the reduce below.
+	results := make([]originResult, len(origins))
+	if len(origins) > 0 {
+		if workers > len(origins) {
+			workers = len(origins)
 		}
-		peer := find(nv.Origin)
-		if peer == nil {
+		idxCh := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					results[i] = runOrigin(local, find, byOrigin[origins[i]], cfg.DisableBatch)
+				}
+			}()
+		}
+		for i := range origins {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+	}
+
+	// Deterministic merge: sorted origin order, entry order within each.
+	fail := func(nv physical.NewVersion, err error) {
+		stats.Failures++
+		local.DeferPending(nv.File, now+cfg.Policy.Backoff(nv.Attempts+1, propagationKey(nv)))
+		if !cfg.Policy.IsTransient(err) {
+			errs = append(errs, fmt.Errorf("propagate %v from replica %d: %w", nv.File, nv.Origin, err))
+		}
+	}
+	for oi, origin := range origins {
+		entries := byOrigin[origin]
+		res := results[oi]
+		if res.peer == nil {
 			// Origin unreachable (or health-gated): no attempt made.
-			stats.Deferred++
-			local.DeferPending(nv.File, backoff())
-			continue
-		}
-		done, err := propagateOne(local, peer, nv, &stats)
-		if err != nil {
-			stats.Failures++
-			local.DeferPending(nv.File, backoff())
-			if !cfg.Policy.IsTransient(err) {
-				errs = append(errs, fmt.Errorf("propagate %v from replica %d: %w", nv.File, nv.Origin, err))
+			for _, nv := range entries {
+				stats.Deferred++
+				local.DeferPending(nv.File, now+cfg.Policy.Backoff(nv.Attempts+1, propagationKey(nv)))
 			}
 			continue
 		}
-		if done {
-			local.DropPending(nv.File)
+		for i, nv := range entries {
+			out := res.outcomes[i]
+			switch out.kind {
+			case outInstalled:
+				stats.FilesPulled++
+				local.DropPending(nv.File)
+			case outDrop:
+				local.DropPending(nv.File)
+			case outSkipped:
+				stats.Skipped++
+				local.DropPending(nv.File)
+			case outConflict:
+				stats.Conflicts++
+				local.ReportConflict(physical.Conflict{
+					File:     nv.File,
+					Dir:      append([]ids.FileID(nil), nv.Dir...),
+					LocalVV:  out.localVV.Clone(),
+					RemoteVV: out.remoteVV.Clone(),
+					Remote:   res.peer.Replica(),
+					Note:     "concurrent update detected during update propagation",
+				})
+				local.DropPending(nv.File)
+			case outIsDir:
+				childPath := append(append([]ids.FileID(nil), nv.Dir...), nv.File)
+				sub, err := ReconcileSubtree(local, res.peer, childPath)
+				stats.Add(sub)
+				if err != nil {
+					fail(nv, err)
+				} else {
+					local.DropPending(nv.File)
+				}
+			default: // outFailed
+				fail(nv, out.err)
+			}
 		}
 	}
 	return stats, errors.Join(errs...)
@@ -96,56 +203,167 @@ func propagationKey(nv physical.NewVersion) uint64 {
 	return nv.File.Seq ^ uint64(nv.File.Issuer)<<32 ^ uint64(nv.Origin)<<48
 }
 
-// propagateOne attempts one new-version cache entry.  done means the entry
-// is finished (installed, stale, conflicting, or obsolete) and may be
-// dropped; err reports an attempt that failed — the caller classifies it
-// and keeps the entry pending.
-func propagateOne(local *physical.Layer, peer Peer, nv physical.NewVersion, stats *Stats) (bool, error) {
+type outcomeKind byte
+
+const (
+	outFailed    outcomeKind = iota // attempt failed; err explains
+	outInstalled                    // version installed
+	outDrop                         // stale news or remote tombstone; just drop
+	outSkipped                      // data or container vanished; drop and count Skipped
+	outConflict                     // concurrent histories; report to the owner
+	outIsDir                        // directory: reconcile the subtree in the reduce
+)
+
+// entryOutcome is one entry's result as computed on the worker, applied
+// later by the sequential reduce.
+type entryOutcome struct {
+	kind     outcomeKind
+	err      error     // outFailed
+	localVV  vv.Vector // outConflict
+	remoteVV vv.Vector // outConflict
+}
+
+// originResult carries one origin's pull results back to the reduce.  A nil
+// peer means the finder had no route to the origin.
+type originResult struct {
+	peer     Peer
+	outcomes []entryOutcome
+}
+
+// runOrigin pulls one origin's due entries on a worker goroutine.
+func runOrigin(local *physical.Layer, find PeerFinder, entries []physical.NewVersion, disableBatch bool) originResult {
+	peer := find(entries[0].Origin)
+	if peer == nil {
+		return originResult{}
+	}
+	res := originResult{peer: peer, outcomes: make([]entryOutcome, len(entries))}
+	if bp, ok := peer.(BatchPuller); ok && !disableBatch {
+		runOriginBatched(local, bp, entries, res.outcomes)
+	} else {
+		for i, nv := range entries {
+			res.outcomes[i] = attemptSequential(local, peer, nv)
+		}
+	}
+	return res
+}
+
+// runOriginBatched issues one conditional pull for the whole batch: each
+// request carries the local vector, and the origin ships data only for
+// entries it dominates.  A transport-level batch failure fails every entry
+// that was in the batch (each keeps its own backoff schedule).
+func runOriginBatched(local *physical.Layer, bp BatchPuller, entries []physical.NewVersion, outcomes []entryOutcome) {
+	reqs := make([]physical.PullRequest, 0, len(entries))
+	reqIdx := make([]int, 0, len(entries))
+	locals := make([]vv.Vector, len(entries))
+	for i, nv := range entries {
+		linfo, err := local.FileInfo(nv.Dir, nv.File)
+		switch {
+		case err == nil:
+			locals[i] = linfo.Aux.VV
+			reqs = append(reqs, physical.PullRequest{Dir: nv.Dir, File: nv.File, LocalVV: linfo.Aux.VV, HasLocal: true})
+		case errors.Is(err, physical.ErrNotStored):
+			reqs = append(reqs, physical.PullRequest{Dir: nv.Dir, File: nv.File})
+		default:
+			outcomes[i] = entryOutcome{kind: outFailed, err: err}
+			continue
+		}
+		reqIdx = append(reqIdx, i)
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	results, err := bp.PullBatch(reqs)
+	if err == nil && len(results) != len(reqs) {
+		err = fmt.Errorf("pull batch: %d answers for %d requests", len(results), len(reqs))
+	}
+	if err != nil {
+		for _, i := range reqIdx {
+			outcomes[i] = entryOutcome{kind: outFailed, err: err}
+		}
+		return
+	}
+	for k := range results {
+		r := &results[k]
+		i := reqIdx[k]
+		nv := entries[i]
+		switch r.Status {
+		case physical.PullData:
+			err := local.InstallFileVersion(nv.Dir, nv.File, r.Aux.Type, r.Data, r.Aux.VV, r.Aux.Nlink)
+			switch {
+			case err == nil:
+				outcomes[i] = entryOutcome{kind: outInstalled}
+			case errors.Is(err, physical.ErrNotStored):
+				// The containing directory is not stored locally (yet);
+				// subtree reconciliation will materialize it first.
+				outcomes[i] = entryOutcome{kind: outSkipped}
+			default:
+				outcomes[i] = entryOutcome{kind: outFailed, err: err}
+			}
+		case physical.PullStale, physical.PullNotStored:
+			// Stale news, or the origin no longer stores the file (the
+			// tombstone will arrive through directory reconciliation).
+			outcomes[i] = entryOutcome{kind: outDrop}
+		case physical.PullConcurrent:
+			outcomes[i] = entryOutcome{kind: outConflict, localVV: locals[i], remoteVV: r.RemoteVV}
+		case physical.PullIsDir:
+			outcomes[i] = entryOutcome{kind: outIsDir}
+		case physical.PullError:
+			outcomes[i] = entryOutcome{kind: outFailed, err: r.Err}
+		default:
+			outcomes[i] = entryOutcome{kind: outFailed, err: fmt.Errorf("pull batch: invalid status %d", r.Status)}
+		}
+	}
+}
+
+// attemptSequential is the per-file protocol for peers without the batch
+// op: a FileInfo to compare vectors, then a FileData when the remote
+// dominates — the original two-round-trip pull.
+func attemptSequential(local *physical.Layer, peer Peer, nv physical.NewVersion) entryOutcome {
 	rinfo, err := peer.FileInfo(nv.Dir, nv.File)
 	if err != nil {
 		if errors.Is(err, physical.ErrNotStored) {
-			// The origin no longer stores the file (e.g. removed); the
-			// tombstone will arrive through directory reconciliation.
-			return true, nil
+			return entryOutcome{kind: outDrop}
 		}
-		return false, err
+		return entryOutcome{kind: outFailed, err: err}
 	}
 	if rinfo.Aux.Type.IsDir() {
-		childPath := append(append([]ids.FileID(nil), nv.Dir...), nv.File)
-		sub, err := ReconcileSubtree(local, peer, childPath)
-		stats.Add(sub)
-		return err == nil, err
+		return entryOutcome{kind: outIsDir}
 	}
 	linfo, err := local.FileInfo(nv.Dir, nv.File)
 	if err != nil {
 		if errors.Is(err, physical.ErrNotStored) {
-			if err := pullFile(local, peer, nv.Dir, nv.File, rinfo, stats); err != nil {
-				return false, err
-			}
-			return true, nil
+			return pullOutcome(local, peer, nv)
 		}
-		return false, err
+		return entryOutcome{kind: outFailed, err: err}
 	}
 	switch linfo.Aux.VV.Compare(rinfo.Aux.VV) {
 	case vv.Dominated:
-		if err := pullFile(local, peer, nv.Dir, nv.File, rinfo, stats); err != nil {
-			return false, err
-		}
-		return true, nil
+		return pullOutcome(local, peer, nv)
 	case vv.Concurrent:
-		stats.Conflicts++
-		local.ReportConflict(physical.Conflict{
-			File:     nv.File,
-			Dir:      append([]ids.FileID(nil), nv.Dir...),
-			LocalVV:  linfo.Aux.VV.Clone(),
-			RemoteVV: rinfo.Aux.VV.Clone(),
-			Remote:   peer.Replica(),
-			Note:     "concurrent update detected during update propagation",
-		})
-		return true, nil
+		return entryOutcome{kind: outConflict, localVV: linfo.Aux.VV, remoteVV: rinfo.Aux.VV}
 	default:
-		return true, nil // stale news
+		return entryOutcome{kind: outDrop} // stale news
 	}
+}
+
+// pullOutcome fetches and installs one file version via the per-file
+// protocol, installing under the attributes that came WITH the data (the
+// file may have advanced between FileInfo and FileData).
+func pullOutcome(local *physical.Layer, peer Peer, nv physical.NewVersion) entryOutcome {
+	data, rst, err := peer.FileData(nv.Dir, nv.File)
+	if err != nil {
+		if errors.Is(err, physical.ErrNotStored) {
+			return entryOutcome{kind: outSkipped}
+		}
+		return entryOutcome{kind: outFailed, err: err}
+	}
+	if err := local.InstallFileVersion(nv.Dir, nv.File, rst.Aux.Type, data, rst.Aux.VV, rst.Aux.Nlink); err != nil {
+		if errors.Is(err, physical.ErrNotStored) {
+			return entryOutcome{kind: outSkipped}
+		}
+		return entryOutcome{kind: outFailed, err: err}
+	}
+	return entryOutcome{kind: outInstalled}
 }
 
 // Resolve installs a conflict resolution: newData becomes the file's

@@ -1,0 +1,241 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/physical"
+	"repro/internal/vv"
+)
+
+func sampleRequest() *request {
+	return &request{
+		Op:      opPullBatch,
+		Vol:     ids.VolumeHandle{Allocator: 3, Volume: 9},
+		Replica: 2,
+		Dir:     []ids.FileID{ids.RootFileID, {Issuer: 1, Seq: 5}},
+		File:    ids.FileID{Issuer: 2, Seq: 77},
+		Pulls: []physical.PullRequest{
+			{Dir: []ids.FileID{ids.RootFileID}, File: ids.FileID{Issuer: 1, Seq: 2},
+				LocalVV: vv.Vector{1: 4, 2: 1}, HasLocal: true},
+			{Dir: nil, File: ids.FileID{Issuer: 3, Seq: 8}},
+		},
+	}
+}
+
+func sampleResponse() *response {
+	return &response{
+		Class: classOK,
+		Entries: []physical.Entry{
+			{EID: ids.FileID{Issuer: 1, Seq: 2}, Name: "hello", Child: ids.FileID{Issuer: 1, Seq: 3},
+				Kind: physical.KDir, Deleted: false, Value: "v"},
+			{EID: ids.FileID{Issuer: 2, Seq: 9}, Name: "gone", Child: ids.FileID{Issuer: 2, Seq: 10},
+				Kind: physical.KFile, Deleted: true},
+		},
+		VV:       vv.Vector{1: 7},
+		Aux:      physical.Aux{Type: physical.KGraft, Nlink: 2, VV: vv.Vector{2: 3}, GraftVol: ids.VolumeHandle{Allocator: 8, Volume: 1}},
+		Size:     4096,
+		Data:     []byte("payload bytes"),
+		Replicas: []ids.ReplicaID{1, 2, 5},
+		Pulls: []wirePull{
+			{Status: byte(physical.PullData), Data: []byte("file contents"),
+				Aux: physical.Aux{Type: physical.KFile, Nlink: 1, VV: vv.Vector{1: 2, 3: 4}}, Size: 13},
+			{Status: byte(physical.PullStale)},
+			{Status: byte(physical.PullConcurrent), RemoteVV: vv.Vector{4: 4}},
+			{Status: byte(physical.PullError), Class: classPermanent, Err: "disk exploded"},
+		},
+	}
+}
+
+// TestCodecRequestRoundTrip: decode(encode(x)) re-encodes byte-identically
+// (the encoding is canonical), and the fields survive.
+func TestCodecRequestRoundTrip(t *testing.T) {
+	req := sampleRequest()
+	enc := req.encode(nil)
+	dec, err := decodeRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Op != req.Op || dec.Vol != req.Vol || dec.Replica != req.Replica || dec.File != req.File {
+		t.Fatalf("scalar fields: %+v vs %+v", dec, req)
+	}
+	if len(dec.Dir) != 2 || dec.Dir[1] != req.Dir[1] {
+		t.Fatalf("dir path: %v", dec.Dir)
+	}
+	if len(dec.Pulls) != 2 || !dec.Pulls[0].LocalVV.Equal(req.Pulls[0].LocalVV) ||
+		!dec.Pulls[0].HasLocal || dec.Pulls[1].HasLocal {
+		t.Fatalf("pulls: %+v", dec.Pulls)
+	}
+	if enc2 := dec.encode(nil); !bytes.Equal(enc, enc2) {
+		t.Fatalf("re-encoding differs:\n%x\n%x", enc, enc2)
+	}
+	// The zero request round-trips too.
+	zero := &request{}
+	dz, err := decodeRequest(zero.encode(nil))
+	if err != nil || dz.Op != 0 || len(dz.Pulls) != 0 {
+		t.Fatalf("zero request: %+v %v", dz, err)
+	}
+}
+
+func TestCodecResponseRoundTrip(t *testing.T) {
+	resp := sampleResponse()
+	enc := resp.encode(nil)
+	dec, err := decodeResponse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Size != resp.Size || string(dec.Data) != string(resp.Data) || len(dec.Replicas) != 3 {
+		t.Fatalf("fields: %+v", dec)
+	}
+	if len(dec.Entries) != 2 || dec.Entries[0].Name != "hello" || !dec.Entries[1].Deleted ||
+		dec.Entries[0].Kind != physical.KDir {
+		t.Fatalf("entries: %+v", dec.Entries)
+	}
+	if !dec.Aux.VV.Equal(resp.Aux.VV) || dec.Aux.GraftVol != resp.Aux.GraftVol {
+		t.Fatalf("aux: %+v", dec.Aux)
+	}
+	if len(dec.Pulls) != 4 || string(dec.Pulls[0].Data) != "file contents" ||
+		dec.Pulls[3].Err != "disk exploded" || !dec.Pulls[2].RemoteVV.Equal(vv.Vector{4: 4}) {
+		t.Fatalf("pulls: %+v", dec.Pulls)
+	}
+	if enc2 := dec.encode(nil); !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoding differs")
+	}
+}
+
+// TestCodecRejectsCorruption: every truncation of a valid message and a few
+// corruptions fail with an error, never a panic or a hang.
+func TestCodecRejectsCorruption(t *testing.T) {
+	reqEnc := sampleRequest().encode(nil)
+	for n := 0; n < len(reqEnc); n++ {
+		if _, err := decodeRequest(reqEnc[:n]); err == nil {
+			t.Fatalf("request truncated to %d bytes decoded successfully", n)
+		}
+	}
+	respEnc := sampleResponse().encode(nil)
+	for n := 0; n < len(respEnc); n++ {
+		if _, err := decodeResponse(respEnc[:n]); err == nil {
+			t.Fatalf("response truncated to %d bytes decoded successfully", n)
+		}
+	}
+	// Wrong wire version.
+	bad := append([]byte{wireVersion + 1}, reqEnc[1:]...)
+	if _, err := decodeRequest(bad); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	// Trailing garbage.
+	if _, err := decodeResponse(append(respEnc[:len(respEnc):len(respEnc)], 0xff)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// A count field inflated far past the message must fail before any
+	// huge allocation (the count/remaining cap).
+	huge := []byte{wireVersion, byte(opPullBatch)}
+	huge = appendVol(huge, ids.VolumeHandle{})
+	huge = appendU32(huge, 0)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0x7f) // dir count ~ 34 billion
+	if _, err := decodeRequest(huge); err == nil {
+		t.Fatal("absurd count accepted")
+	}
+}
+
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(sampleRequest().encode(nil))
+	f.Add((&request{}).encode(nil))
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := decodeRequest(b)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode again cleanly.
+		if _, err := decodeRequest(req.encode(nil)); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(sampleResponse().encode(nil))
+	f.Add((&response{}).encode(nil))
+	f.Add([]byte{wireVersion})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		resp, err := decodeResponse(b)
+		if err != nil {
+			return
+		}
+		if _, err := decodeResponse(resp.encode(nil)); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+// gobResponse mirrors the pre-codec wire struct so the microbench can
+// compare against what the per-call gob encoder used to cost.
+type gobResponse struct {
+	Err       string
+	NotStored bool
+	Entries   []physical.Entry
+	VV        vv.Vector
+	Aux       physical.Aux
+	Size      uint64
+	Data      []byte
+}
+
+func BenchmarkCodecResponse(b *testing.B) {
+	resp := sampleResponse()
+	enc := resp.encode(nil)
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = resp.encode(buf[:0])
+		}
+		b.ReportMetric(float64(len(buf)), "wireBytes")
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeResponse(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The old transport: a fresh gob encoder per message re-ships type
+	// metadata every call.
+	g := &gobResponse{Err: "", Entries: resp.Entries, VV: resp.VV, Aux: resp.Aux, Size: resp.Size, Data: resp.Data}
+	b.Run("gob-encode-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+				b.Fatal(err)
+			}
+			n = buf.Len()
+		}
+		b.ReportMetric(float64(n), "wireBytes")
+	})
+}
+
+func BenchmarkCodecRequest(b *testing.B) {
+	req := sampleRequest()
+	enc := req.encode(nil)
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = req.encode(buf[:0])
+		}
+		b.ReportMetric(float64(len(buf)), "wireBytes")
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeRequest(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

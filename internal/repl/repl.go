@@ -8,12 +8,16 @@
 // physical-to-physical back channel reconciliation runs over.  (In the real
 // Ficus this traffic ran through customized user-level daemons; the
 // separation of data path and reconciliation path is faithful.)
+//
+// Messages use the compact hand-rolled codec in codec.go.  Peer-side
+// failures travel with a class tag (transient / permanent / not-stored /
+// no-replica) and are rebuilt as errors of the matching kind client-side,
+// so retry classification works identically for local and remote failures.
 package repl
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -49,7 +53,63 @@ func (e *unreachableError) Is(target error) bool { return target == ErrUnreachab
 
 func (e *unreachableError) Unwrap() error { return e.cause }
 
-type opCode int
+// peerError is a failure that happened at the peer, rebuilt from the wire:
+// the class tag decides transience, so retry.Policy.IsTransient classifies
+// a remote transient failure exactly as it would a local one.
+type peerError struct {
+	msg       string
+	transient bool
+}
+
+func (e *peerError) Error() string { return "repl: peer error: " + e.msg }
+
+// Transient implements the retry package's classification interface.
+func (e *peerError) Transient() bool { return e.transient }
+
+// noReplicaError matches ErrNoReplica and classifies as transient: a
+// replica the peer does not (currently) serve — mid-autograft, or just
+// unregistered — should defer the work item, not poison the daemon pass.
+type noReplicaError struct{}
+
+func (noReplicaError) Error() string { return ErrNoReplica.Error() }
+
+func (noReplicaError) Is(target error) bool { return target == ErrNoReplica } //ficusvet:ignore errclass
+
+func (noReplicaError) Transient() bool { return true }
+
+// classOf maps a peer-side error onto its wire class.
+func classOf(err error) byte {
+	switch {
+	case err == nil:
+		return classOK
+	case errors.Is(err, physical.ErrNotStored):
+		return classNotStored
+	case errors.Is(err, ErrNoReplica):
+		return classNoReplica
+	case retry.Transient(err):
+		return classTransient
+	default:
+		return classPermanent
+	}
+}
+
+// errFromClass rebuilds the client-side error for a wire class.
+func errFromClass(class byte, msg string) error {
+	switch class {
+	case classOK:
+		return nil
+	case classNotStored:
+		return physical.ErrNotStored
+	case classNoReplica:
+		return noReplicaError{}
+	case classTransient:
+		return &peerError{msg: msg, transient: true}
+	default:
+		return &peerError{msg: msg}
+	}
+}
+
+type opCode byte
 
 const (
 	opPing opCode = iota
@@ -57,6 +117,7 @@ const (
 	opFileInfo
 	opFileData
 	opListReplicas
+	opPullBatch
 )
 
 type request struct {
@@ -65,42 +126,31 @@ type request struct {
 	Replica ids.ReplicaID
 	Dir     []ids.FileID
 	File    ids.FileID
-}
-
-type wireEntry struct {
-	EID     ids.FileID
-	Name    string
-	Child   ids.FileID
-	Kind    byte
-	Deleted bool
-	Value   string
+	Pulls   []physical.PullRequest // opPullBatch only
 }
 
 type response struct {
-	Err       string // "" = ok
-	NotStored bool
-	NoReplica bool
-	Entries   []wireEntry
-	VV        vv.Vector
-	Aux       wireAux
-	Size      uint64
-	Data      []byte
-	Replicas  []ids.ReplicaID
-}
-
-type wireAux struct {
-	Type     byte
-	Nlink    uint32
+	Class    byte   // classOK = success; otherwise the error class
+	Err      string // message for classTransient/classPermanent
+	Entries  []physical.Entry
 	VV       vv.Vector
-	GraftVol ids.VolumeHandle
+	Aux      physical.Aux
+	Size     uint64
+	Data     []byte
+	Replicas []ids.ReplicaID
+	Pulls    []wirePull // opPullBatch only; one per request entry
 }
 
-func toWireAux(a physical.Aux) wireAux {
-	return wireAux{Type: byte(a.Type), Nlink: a.Nlink, VV: a.VV.Clone(), GraftVol: a.GraftVol}
-}
-
-func fromWireAux(w wireAux) physical.Aux {
-	return physical.Aux{Type: physical.Kind(w.Type), Nlink: w.Nlink, VV: w.VV.Clone(), GraftVol: w.GraftVol}
+// wirePull is one batched-pull answer on the wire: physical.PullResult
+// with the error flattened to (class, message).
+type wirePull struct {
+	Status   byte
+	Class    byte
+	Err      string
+	Data     []byte
+	Aux      physical.Aux
+	Size     uint64
+	RemoteVV vv.Vector
 }
 
 // Server exports the volume replicas registered on one host.
@@ -137,19 +187,13 @@ func (s *Server) layerFor(vol ids.VolumeHandle, r ids.ReplicaID) *physical.Layer
 }
 
 func (s *Server) handle(reqBytes []byte) ([]byte, error) {
-	var req request
-	if err := gob.NewDecoder(bytes.NewReader(reqBytes)).Decode(&req); err != nil {
-		return marshal(response{Err: "bad request"})
+	req, err := decodeRequest(reqBytes)
+	if err != nil {
+		bad := response{Class: classPermanent, Err: "bad request"}
+		return bad.encode(nil), nil
 	}
-	return marshal(s.dispatch(&req))
-}
-
-func marshal(resp response) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	resp := s.dispatch(req)
+	return resp.encode(nil), nil
 }
 
 func (s *Server) dispatch(req *request) response {
@@ -167,7 +211,7 @@ func (s *Server) dispatch(req *request) response {
 	}
 	l := s.layerFor(req.Vol, req.Replica)
 	if l == nil {
-		return response{NoReplica: true}
+		return response{Class: classNoReplica}
 	}
 	switch req.Op {
 	case opPing:
@@ -177,36 +221,48 @@ func (s *Server) dispatch(req *request) response {
 		if err != nil {
 			return errResponse(err)
 		}
-		wes := make([]wireEntry, len(ds.Entries))
-		for i, e := range ds.Entries {
-			wes[i] = wireEntry{EID: e.EID, Name: e.Name, Child: e.Child, Kind: byte(e.Kind), Deleted: e.Deleted, Value: e.Value}
-		}
-		return response{Entries: wes, VV: ds.VV, Aux: toWireAux(ds.Aux)}
+		return response{Entries: ds.Entries, VV: ds.VV, Aux: ds.Aux}
 	case opFileInfo:
 		st, err := l.FileInfo(req.Dir, req.File)
 		if err != nil {
 			return errResponse(err)
 		}
-		return response{Aux: toWireAux(st.Aux), Size: st.Size}
+		return response{Aux: st.Aux, Size: st.Size}
 	case opFileData:
 		data, st, err := l.FileData(req.Dir, req.File)
 		if err != nil {
 			return errResponse(err)
 		}
-		return response{Data: data, Aux: toWireAux(st.Aux), Size: st.Size}
+		return response{Data: data, Aux: st.Aux, Size: st.Size}
+	case opPullBatch:
+		// The layer answers per entry and never fails the whole batch.
+		results, _ := l.PullBatch(req.Pulls)
+		wps := make([]wirePull, len(results))
+		for i := range results {
+			r := &results[i]
+			wps[i] = wirePull{Status: byte(r.Status), Data: r.Data, Aux: r.Aux, Size: r.Size, RemoteVV: r.RemoteVV}
+			if r.Err != nil {
+				wps[i].Class = classOf(r.Err)
+				wps[i].Err = r.Err.Error()
+			}
+		}
+		return response{Pulls: wps}
 	default:
-		return response{Err: "unknown op"}
+		return response{Class: classPermanent, Err: "unknown op"}
 	}
 }
 
 func errResponse(err error) response {
-	if errors.Is(err, physical.ErrNotStored) {
-		return response{NotStored: true}
+	class := classOf(err)
+	resp := response{Class: class}
+	if class == classTransient || class == classPermanent {
+		resp.Err = err.Error()
 	}
-	return response{Err: err.Error()}
+	return resp
 }
 
-// Client is a recon.Peer backed by RPC to a remote host's repl server.
+// Client is a recon.Peer (and recon.BatchPuller) backed by RPC to a remote
+// host's repl server.
 //
 // Every repl operation is an idempotent pull (reads of remote replica
 // state), so the client transparently retries transport failures under its
@@ -220,7 +276,10 @@ type Client struct {
 	policy retry.Policy
 }
 
-var _ recon.Peer = (*Client)(nil)
+var (
+	_ recon.Peer        = (*Client)(nil)
+	_ recon.BatchPuller = (*Client)(nil)
+)
 
 // NewClient builds a peer for the volume replica vr served at addr,
 // issuing calls from host, retrying under retry.Default().
@@ -228,11 +287,13 @@ func NewClient(host *simnet.Host, addr simnet.Addr, vr ids.VolumeReplicaHandle) 
 	return &Client{host: host, addr: addr, vr: vr, policy: retry.Default()}
 }
 
-// WithRetry returns the client configured with a different retry policy
-// (MaxAttempts: 1 disables in-call retries).
+// WithRetry returns a copy of the client configured with a different retry
+// policy (MaxAttempts: 1 disables in-call retries).  The receiver is left
+// untouched, so a shared client never changes policy under other callers.
 func (c *Client) WithRetry(p retry.Policy) *Client {
-	c.policy = p
-	return c
+	cp := *c
+	cp.policy = p
+	return &cp
 }
 
 // Addr returns the peer host address.
@@ -241,102 +302,123 @@ func (c *Client) Addr() simnet.Addr { return c.addr }
 // Replica implements recon.Peer.
 func (c *Client) Replica() ids.ReplicaID { return c.vr.Replica }
 
-func (c *Client) call(req request) (*response, error) {
+func (c *Client) call(req *request) (*response, error) {
 	req.Vol = c.vr.Vol
 	req.Replica = c.vr.Replica
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
-		return nil, err
-	}
+	buf := getBuf()
+	*buf = req.encode((*buf)[:0])
 	var respBytes []byte
 	err := c.policy.Do(func() error {
 		var err error
-		respBytes, err = c.host.Call(c.addr, Service, buf.Bytes())
+		respBytes, err = c.host.Call(c.addr, Service, *buf)
 		if err != nil {
 			return &unreachableError{cause: err}
 		}
 		return nil
 	})
+	putBuf(buf)
 	if err != nil {
 		return nil, err
 	}
-	var resp response
-	if err := gob.NewDecoder(bytes.NewReader(respBytes)).Decode(&resp); err != nil {
+	resp, err := decodeResponse(respBytes)
+	if err != nil {
 		return nil, err
 	}
-	switch {
-	case resp.NotStored:
-		return nil, physical.ErrNotStored
-	case resp.NoReplica:
-		return nil, ErrNoReplica
-	case resp.Err != "":
-		return nil, errors.New("repl: peer error: " + resp.Err)
+	if resp.Class != classOK {
+		return nil, errFromClass(resp.Class, resp.Err)
 	}
-	return &resp, nil
+	return resp, nil
 }
 
 // Ping verifies the peer host serves this volume replica.
 func (c *Client) Ping() error {
-	_, err := c.call(request{Op: opPing})
+	_, err := c.call(&request{Op: opPing})
 	return err
 }
 
 // DirEntries implements recon.Peer.
 func (c *Client) DirEntries(dirPath []ids.FileID) (physical.DirState, error) {
-	resp, err := c.call(request{Op: opDirEntries, Dir: dirPath})
+	resp, err := c.call(&request{Op: opDirEntries, Dir: dirPath})
 	if err != nil {
 		return physical.DirState{}, err
 	}
-	entries := make([]physical.Entry, len(resp.Entries))
-	for i, w := range resp.Entries {
-		entries[i] = physical.Entry{EID: w.EID, Name: w.Name, Child: w.Child, Kind: physical.Kind(w.Kind), Deleted: w.Deleted, Value: w.Value}
-	}
-	return physical.DirState{Entries: entries, VV: resp.VV, Aux: fromWireAux(resp.Aux)}, nil
+	return physical.DirState{Entries: resp.Entries, VV: resp.VV, Aux: resp.Aux}, nil
 }
 
 // FileInfo implements recon.Peer.
 func (c *Client) FileInfo(dirPath []ids.FileID, fid ids.FileID) (physical.FileState, error) {
-	resp, err := c.call(request{Op: opFileInfo, Dir: dirPath, File: fid})
+	resp, err := c.call(&request{Op: opFileInfo, Dir: dirPath, File: fid})
 	if err != nil {
 		return physical.FileState{}, err
 	}
-	return physical.FileState{Aux: fromWireAux(resp.Aux), Size: resp.Size}, nil
+	return physical.FileState{Aux: resp.Aux, Size: resp.Size}, nil
 }
 
 // FileData implements recon.Peer.
 func (c *Client) FileData(dirPath []ids.FileID, fid ids.FileID) ([]byte, physical.FileState, error) {
-	resp, err := c.call(request{Op: opFileData, Dir: dirPath, File: fid})
+	resp, err := c.call(&request{Op: opFileData, Dir: dirPath, File: fid})
 	if err != nil {
 		return nil, physical.FileState{}, err
 	}
-	return resp.Data, physical.FileState{Aux: fromWireAux(resp.Aux), Size: resp.Size}, nil
+	return resp.Data, physical.FileState{Aux: resp.Aux, Size: resp.Size}, nil
+}
+
+// PullBatch implements recon.BatchPuller: one RPC answers the whole batch
+// of conditional pulls, with per-entry errors rebuilt from their wire
+// class.  A transport failure (after retries) fails the whole call.
+func (c *Client) PullBatch(reqs []physical.PullRequest) ([]physical.PullResult, error) {
+	resp, err := c.call(&request{Op: opPullBatch, Pulls: reqs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Pulls) != len(reqs) {
+		return nil, fmt.Errorf("repl: pull batch: sent %d entries, got %d answers", len(reqs), len(resp.Pulls))
+	}
+	out := make([]physical.PullResult, len(resp.Pulls))
+	for i := range resp.Pulls {
+		w := &resp.Pulls[i]
+		out[i] = physical.PullResult{
+			Status:   physical.PullStatus(w.Status),
+			Data:     w.Data,
+			Aux:      w.Aux,
+			Size:     w.Size,
+			RemoteVV: w.RemoteVV,
+		}
+		if out[i].Status == physical.PullError {
+			out[i].Err = errFromClass(w.Class, w.Err)
+			if out[i].Err == nil {
+				out[i].Err = &peerError{msg: "unspecified pull error"}
+			}
+		}
+	}
+	return out, nil
 }
 
 // ListReplicas asks which replicas of vol the host at addr serves (an
 // idempotent probe, retried under the default policy).
 func ListReplicas(host *simnet.Host, addr simnet.Addr, vol ids.VolumeHandle) ([]ids.ReplicaID, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&request{Op: opListReplicas, Vol: vol}); err != nil {
-		return nil, err
-	}
+	req := request{Op: opListReplicas, Vol: vol}
+	buf := getBuf()
+	*buf = req.encode((*buf)[:0])
 	var respBytes []byte
 	err := retry.Default().Do(func() error {
 		var err error
-		respBytes, err = host.Call(addr, Service, buf.Bytes())
+		respBytes, err = host.Call(addr, Service, *buf)
 		if err != nil {
 			return &unreachableError{cause: err}
 		}
 		return nil
 	})
+	putBuf(buf)
 	if err != nil {
 		return nil, err
 	}
-	var resp response
-	if err := gob.NewDecoder(bytes.NewReader(respBytes)).Decode(&resp); err != nil {
+	resp, err := decodeResponse(respBytes)
+	if err != nil {
 		return nil, err
 	}
-	if resp.Err != "" {
-		return nil, errors.New("repl: peer error: " + resp.Err)
+	if resp.Class != classOK {
+		return nil, errFromClass(resp.Class, resp.Err)
 	}
 	return resp.Replicas, nil
 }

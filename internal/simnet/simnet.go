@@ -19,9 +19,11 @@
 // probabilistic RPC failure, per-link one-shot fault schedules, a
 // reply-loss mode in which the handler executes but the caller still sees
 // ErrUnreachable (the classic at-most-once ambiguity), and datagram
-// duplication and reordering.  Every probabilistic decision draws from the
-// single seeded RNG, so a run with faults enabled is exactly as
-// reproducible as one without.
+// duplication and reordering.  Probabilistic RPC fault decisions draw from
+// a per-link RNG seeded from (network seed, link); datagram decisions draw
+// from the single network RNG.  A run with faults enabled is therefore
+// exactly as reproducible as one without — per link even under concurrent
+// callers on other links.
 package simnet
 
 import (
@@ -90,6 +92,13 @@ type linkFaults struct {
 	failRate      float64     // probabilistic request loss
 	replyLossRate float64     // probabilistic reply loss
 	script        []FaultKind // one-shot faults, consumed FIFO by matching calls
+
+	// rng drives every probabilistic RPC fault decision on this link.  It
+	// is seeded deterministically from (network seed, from, to), so the
+	// fault sequence a link suffers depends only on that link's own call
+	// order — concurrent callers on *distinct* links (the propagation
+	// pipeline's per-origin workers) cannot perturb each other's draws.
+	rng *rand.Rand
 }
 
 // Network connects hosts.  All methods are safe for concurrent use.
@@ -97,6 +106,7 @@ type Network struct {
 	mu       sync.Mutex
 	hosts    map[Addr]*Host
 	group    map[Addr]int // partition group; hosts communicate iff equal
+	seed     int64
 	rng      *rand.Rand
 	lossRate float64 // additional datagram loss probability
 	stats    Stats
@@ -115,6 +125,7 @@ func New(seed int64) *Network {
 	return &Network{
 		hosts: make(map[Addr]*Host),
 		group: make(map[Addr]int),
+		seed:  seed,
 		rng:   rand.New(rand.NewSource(seed)),
 		links: make(map[link]*linkFaults),
 	}
@@ -206,27 +217,61 @@ func (n *Network) linkFor(from, to Addr) *linkFaults {
 	return lf
 }
 
+// linkRNGLocked returns the directed link's private fault RNG, creating it
+// on first use.  The seed hashes (network seed, from, to) through a
+// splitmix64 finalizer, so each link replays its own independent,
+// reproducible stream.
+func (n *Network) linkRNGLocked(from, to Addr) *rand.Rand {
+	lf := n.linkFor(from, to)
+	if lf.rng == nil {
+		h := uint64(n.seed)
+		for _, b := range []byte(from) {
+			h = h*1099511628211 ^ uint64(b)
+		}
+		h ^= 0x9e3779b97f4a7c15
+		for _, b := range []byte(to) {
+			h = h*1099511628211 ^ uint64(b)
+		}
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+		lf.rng = rand.New(rand.NewSource(int64(h)))
+	}
+	return lf.rng
+}
+
 // rpcFaultLocked decides the fate of one RPC about to be dispatched on
 // from -> to: scripted faults fire first (FIFO), then probabilistic ones.
-// Returns (faulted, kind).
+// Probabilistic draws — including the global rates — come from the link's
+// own seeded RNG, so concurrent traffic on other links never shifts this
+// link's fault sequence.  Returns (faulted, kind).
 func (n *Network) rpcFaultLocked(from, to Addr) (bool, FaultKind) {
-	if lf, ok := n.links[link{from, to}]; ok {
-		if len(lf.script) > 0 {
-			k := lf.script[0]
-			lf.script = lf.script[1:]
-			return true, k
-		}
-		if lf.failRate > 0 && n.rng.Float64() < lf.failRate {
-			return true, FaultRequestLost
-		}
-		if lf.replyLossRate > 0 && n.rng.Float64() < lf.replyLossRate {
-			return true, FaultReplyLost
-		}
+	if lf, ok := n.links[link{from, to}]; ok && len(lf.script) > 0 {
+		k := lf.script[0]
+		lf.script = lf.script[1:]
+		return true, k
 	}
-	if n.rpcFailRate > 0 && n.rng.Float64() < n.rpcFailRate {
+	anyRate := n.rpcFailRate > 0 || n.replyLossRate > 0
+	if lf, ok := n.links[link{from, to}]; ok {
+		anyRate = anyRate || lf.failRate > 0 || lf.replyLossRate > 0
+	}
+	if !anyRate {
+		return false, 0
+	}
+	rng := n.linkRNGLocked(from, to)
+	lf := n.links[link{from, to}]
+	if lf.failRate > 0 && rng.Float64() < lf.failRate {
 		return true, FaultRequestLost
 	}
-	if n.replyLossRate > 0 && n.rng.Float64() < n.replyLossRate {
+	if lf.replyLossRate > 0 && rng.Float64() < lf.replyLossRate {
+		return true, FaultReplyLost
+	}
+	if n.rpcFailRate > 0 && rng.Float64() < n.rpcFailRate {
+		return true, FaultRequestLost
+	}
+	if n.replyLossRate > 0 && rng.Float64() < n.replyLossRate {
 		return true, FaultReplyLost
 	}
 	return false, 0

@@ -1,0 +1,34 @@
+#!/bin/sh
+# bench.sh — regenerate BENCH_PR3.json: the batched-propagation experiment
+# (E10) and the repl wire-codec microbenchmarks.
+#
+# E10 runs a fixed small iteration count (each pass is a full 256-file
+# propagation round on a 4-host cluster — the counting metrics are exact and
+# deterministic, only ns/op varies); the codec microbenchmarks use the normal
+# time-based iteration so ns/op is meaningful.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="BENCH_PR3.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> go test -bench BenchmarkE10 -benchtime 3x ."
+go test -run '^$' -bench 'BenchmarkE10' -benchtime 3x . | tee -a "$tmp"
+
+echo "==> go test -bench BenchmarkCodec ./internal/repl"
+go test -run '^$' -bench 'BenchmarkCodec' ./internal/repl | tee -a "$tmp"
+
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": ["; sep = "" }
+/^Benchmark/ {
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) printf ", \"%s\": %s", $(i+1), $i
+    printf "}"
+    sep = ",\n"
+}
+END { print ""; print "  ]"; print "}" }
+' "$tmp" > "$out"
+
+echo "==> wrote $out"

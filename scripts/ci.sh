@@ -17,6 +17,9 @@ go run ./cmd/ficusvet ./...
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> go test -race ./internal/recon ./internal/repl"
+go test -race -count=1 ./internal/recon ./internal/repl
+
 echo "==> go test -race ./..."
 go test -race ./...
 
