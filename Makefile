@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet lint invariants chaos bench ci
+.PHONY: all build test check race vet lint invariants chaos chaos-crash bench ci
 
 all: build test
 
@@ -31,6 +31,13 @@ invariants:
 # variant that keeps the fault plane enabled through final convergence.
 chaos:
 	$(GO) test -race -run 'TestChaos' -v .
+
+# chaos-crash runs the crash–restart convergence test with the runtime
+# invariant checks armed: random hosts power-fail and reboot
+# mid-propagation under RPC faults, and every replica must converge from
+# its durable on-disk state (DESIGN.md §10).
+chaos-crash:
+	FICUS_INVARIANTS=1 $(GO) test -race -count=1 -run 'TestChaosCrashRestartConvergence' -v .
 
 # bench regenerates BENCH_PR3.json: the batched-propagation experiment
 # (E10) and the repl wire-codec microbenchmarks.

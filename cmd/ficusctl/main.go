@@ -27,6 +27,11 @@
 //	faults <rpc> <reply> [dgloss] [dgdup] [reorder]
 //	                                     program the fault plane (rates 0..1)
 //	clearfaults                          remove all injected faults
+//	crash <host>                         power-fail a host (disks survive)
+//	restart <host>                       remount a crashed host from its disks
+//	pending                              dump each replica's new-version cache
+//	                                     and per-peer health
+//	diskfaults <host> <read> <write>     transient disk I/O error rates (0..1)
 //	# comment                            ignored
 //
 // Example:
@@ -98,10 +103,18 @@ type controller struct {
 	vols    map[string]ficus.Volume
 }
 
-func (c *controller) mount(hostArg string) (*ficus.Mount, int, error) {
-	h, err := strconv.Atoi(hostArg)
+func (c *controller) host(arg string) (int, error) {
+	h, err := strconv.Atoi(arg)
 	if err != nil || h < 0 || h >= c.cluster.NumHosts() {
-		return nil, 0, fmt.Errorf("bad host %q", hostArg)
+		return 0, fmt.Errorf("bad host %q", arg)
+	}
+	return h, nil
+}
+
+func (c *controller) mount(hostArg string) (*ficus.Mount, int, error) {
+	h, err := c.host(hostArg)
+	if err != nil {
+		return nil, 0, err
 	}
 	m, err := c.cluster.Mount(h)
 	return m, h, err
@@ -421,6 +434,71 @@ func (c *controller) exec(line string) error {
 		return nil
 	case "clearfaults":
 		c.cluster.ClearFaults()
+		return nil
+	case "crash":
+		if err := need(1); err != nil {
+			return err
+		}
+		h, err := c.host(args[0])
+		if err != nil {
+			return err
+		}
+		c.cluster.CrashHost(h)
+		fmt.Printf("host %d crashed (disks survive; restart to remount)\n", h)
+		return nil
+	case "restart":
+		if err := need(1); err != nil {
+			return err
+		}
+		h, err := c.host(args[0])
+		if err != nil {
+			return err
+		}
+		if err := c.cluster.RestartHost(h); err != nil {
+			return err
+		}
+		fmt.Printf("host %d restarted (rescan pending)\n", h)
+		return nil
+	case "pending":
+		for h := 0; h < c.cluster.NumHosts(); h++ {
+			if c.cluster.HostDown(h) {
+				fmt.Printf("host %d: down\n", h)
+				continue
+			}
+			pvs := c.cluster.PendingVersionsFor(h)
+			if len(pvs) == 0 {
+				fmt.Printf("host %d: nvc empty\n", h)
+			}
+			for _, pv := range pvs {
+				fmt.Printf("host %d vol=%s replica=%d file=%s origin=%d seen=%d attempts=%d notbefore=%d\n",
+					h, pv.Volume, pv.Replica, pv.File, pv.Origin, pv.Seen, pv.Attempts, pv.NotBefore)
+			}
+			for _, ph := range c.cluster.PeerHealthFor(h) {
+				fmt.Printf("host %d sees host %d: %s\n", h, ph.Peer, ph.State)
+			}
+		}
+		return nil
+	case "diskfaults":
+		if err := need(3); err != nil {
+			return err
+		}
+		h, err := c.host(args[0])
+		if err != nil {
+			return err
+		}
+		var rates [2]float64
+		for i, a := range args[1:3] {
+			r, err := strconv.ParseFloat(a, 64)
+			if err != nil || r < 0 || r > 1 {
+				return fmt.Errorf("bad rate %q (want 0..1)", a)
+			}
+			rates[i] = r
+		}
+		c.cluster.InjectDiskFaults(h, ficus.DiskFaultConfig{
+			Seed:         1,
+			ReadErrRate:  rates[0],
+			WriteErrRate: rates[1],
+		})
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)

@@ -1,0 +1,211 @@
+package ficus
+
+// Crash–restart chaos: random hosts power-fail and reboot mid-propagation
+// while the RPC fault plane is live.  A crash loses every in-memory
+// structure — mounts, caches, peer health, and any notification in flight —
+// but keeps the disks; a restart remounts from those disks, replays the
+// durable new-version cache journal, and owes one anti-entropy rescan.
+// Whatever interleaving the seed produces, the cluster must converge to
+// identical namespaces with no lost updates and every checker clean.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestChaosCrashRestartConvergence(t *testing.T) {
+	const hosts = 3
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c, err := NewCluster(hosts, WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.InjectFaults(FaultConfig{
+				RPCFailRate:      0.05,
+				ReplyLossRate:    0.05,
+				DatagramLossRate: 0.10,
+				DatagramDupRate:  0.05,
+				ReorderRate:      0.10,
+			})
+
+			// tolerate: chaos ops may fail for availability reasons — the
+			// issuing host is crashed, the target replica is crashed or cut
+			// off, a concurrent namespace raced us — never with
+			// corruption-class errors.
+			tolerate := func(err error) {
+				if err == nil {
+					return
+				}
+				if errors.Is(err, ErrUnavailable) || errors.Is(err, ErrNotExist) ||
+					errors.Is(err, ErrExist) || errors.Is(err, ErrConflict) ||
+					errors.Is(err, core.ErrHostDown) {
+					return
+				}
+				s := err.Error()
+				if strings.Contains(s, "not empty") || strings.Contains(s, "is a directory") ||
+					strings.Contains(s, "not a directory") || strings.Contains(s, "stale") ||
+					strings.Contains(s, "not stored") || strings.Contains(s, "unreachable") {
+					return
+				}
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			// mountOf: crash kills mounts, so take a fresh one per op.
+			mountOf := func(h int) *Mount {
+				m, err := c.Mount(h)
+				if err != nil {
+					tolerate(err)
+					return nil
+				}
+				return m
+			}
+			name := func() string { return fmt.Sprintf("f%d", rng.Intn(10)) }
+
+			// Keep files: committed on a host and settled cluster-wide
+			// before any crash of that host — these may never disappear.
+			keep := map[string]string{}
+			m0 := mountOf(0)
+			for i := 0; i < 3; i++ {
+				k := fmt.Sprintf("keep%d", i)
+				v := fmt.Sprintf("sacred %d", i)
+				if err := m0.WriteFile("/"+k, []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				keep["/"+k] = v
+			}
+			if err := c.Settle(20); err != nil {
+				t.Fatal(err)
+			}
+
+			crashes, restarts := 0, 0
+			for step := 0; step < 150; step++ {
+				h := rng.Intn(hosts)
+				switch rng.Intn(12) {
+				case 0, 1, 2, 3:
+					if m := mountOf(h); m != nil {
+						tolerate(m.WriteFile("/"+name(), []byte(fmt.Sprintf("h%d s%d", h, step))))
+					}
+				case 4:
+					if m := mountOf(h); m != nil {
+						_, err := m.ReadFile("/" + name())
+						tolerate(err)
+					}
+				case 5:
+					if m := mountOf(h); m != nil {
+						tolerate(m.Remove("/" + name()))
+					}
+				case 6, 7:
+					if _, err := c.Propagate(); err != nil {
+						t.Fatalf("propagate: %v", err)
+					}
+				case 8:
+					if _, err := c.Reconcile(); err != nil {
+						t.Fatalf("reconcile: %v", err)
+					}
+				case 9, 10: // power-fail a random up host (never all of them)
+					up := 0
+					for i := 0; i < hosts; i++ {
+						if !c.HostDown(i) {
+							up++
+						}
+					}
+					if up > 1 && !c.HostDown(h) {
+						c.CrashHost(h)
+						crashes++
+					}
+				case 11:
+					if c.HostDown(h) {
+						if err := c.RestartHost(h); err != nil {
+							t.Fatalf("restart %d: %v", h, err)
+						}
+						restarts++
+					}
+				}
+			}
+			if crashes == 0 {
+				t.Fatal("chaos run never crashed a host; broaden the schedule")
+			}
+
+			// Reboot the world, lift the faults, converge.
+			for i := 0; i < hosts; i++ {
+				if c.HostDown(i) {
+					if err := c.RestartHost(i); err != nil {
+						t.Fatalf("final restart %d: %v", i, err)
+					}
+				}
+			}
+			c.ClearFaults()
+			c.Heal()
+			if err := c.Settle(40); err != nil {
+				t.Fatal(err)
+			}
+
+			// Identical namespaces everywhere.
+			ref := treeOf(t, c, 0, false)
+			for i := 1; i < hosts; i++ {
+				if got := treeOf(t, c, i, false); got != ref {
+					t.Fatalf("namespace diverged between host 0 and host %d (crashes=%d restarts=%d):\n--- host 0:\n%s\n--- host %d:\n%s",
+						i, crashes, restarts, ref, i, got)
+				}
+			}
+
+			// Resolve conflicts (each logical file once per round), then
+			// even contents must agree.
+			for iter := 0; iter < 5 && len(c.Conflicts()) > 0; iter++ {
+				resolved := map[string]bool{}
+				for _, conf := range c.Conflicts() {
+					if resolved[conf.FileID] {
+						continue
+					}
+					resolved[conf.FileID] = true
+					if err := c.Resolve(conf, []byte("crash-chaos-resolved")); err != nil {
+						t.Fatalf("resolve: %v", err)
+					}
+				}
+				if err := c.Settle(30); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := len(c.Conflicts()); n != 0 {
+				t.Fatalf("%d conflicts survived resolution", n)
+			}
+			refFull := treeOf(t, c, 0, true)
+			for i := 1; i < hosts; i++ {
+				if got := treeOf(t, c, i, true); got != refFull {
+					t.Fatalf("contents diverged:\n--- host 0:\n%s\n--- host %d:\n%s", refFull, i, got)
+				}
+			}
+
+			// No lost updates: every keep-file is present with its settled
+			// contents on every host.
+			for i := 0; i < hosts; i++ {
+				m, err := c.Mount(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for path, want := range keep {
+					data, err := m.ReadFile(path)
+					if err != nil || string(data) != want {
+						t.Fatalf("host %d lost %s: %q, %v", i, path, data, err)
+					}
+				}
+			}
+
+			// Every replica structurally clean.
+			probs, err := c.Fsck()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(probs) != 0 {
+				t.Fatalf("fsck problems:\n%s", strings.Join(probs, "\n"))
+			}
+		})
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/disk"
 	"repro/internal/ids"
 	"repro/internal/logical"
 	"repro/internal/physical"
@@ -124,10 +125,28 @@ func (c *Cluster) Partition(groups ...[]int) { c.sim.Partition(groups...) }
 // Heal reconnects every host.
 func (c *Cluster) Heal() { c.sim.Heal() }
 
-// SetHostDown crashes or revives host i.
+// SetHostDown crashes or revives host i's *network* presence only: services
+// and in-memory state survive.  For the full power-failure model — state
+// lost, disks kept, remount on reboot — use CrashHost/RestartHost.
 func (c *Cluster) SetHostDown(i int, down bool) {
 	c.sim.Hosts[i].SimHost().SetDown(down)
 }
+
+// CrashHost power-fails host i: every service stops answering and all
+// in-memory state (mounts, caches, peer health) is lost, while its disks
+// survive for RestartHost.  Idempotent.
+func (c *Cluster) CrashHost(i int) { c.sim.Hosts[i].Crash() }
+
+// RestartHost reboots a crashed host: each volume replica is remounted from
+// its surviving disk (UFS crash recovery, then physical-layer recovery
+// including the durable new-version cache journal), services are
+// re-exported, and every remounted volume is flagged for one anti-entropy
+// rescan on the next daemon pass.  Mounts taken before the crash are dead;
+// call Mount again.
+func (c *Cluster) RestartHost(i int) error { return c.sim.Hosts[i].Restart() }
+
+// HostDown reports whether host i is currently crashed.
+func (c *Cluster) HostDown(i int) bool { return c.sim.Hosts[i].Down() }
 
 // SyncStats summarizes propagation/reconciliation work.
 type SyncStats struct {
@@ -324,6 +343,101 @@ func (c *Cluster) InjectFaults(f FaultConfig) {
 // ClearFaults removes every injected fault, global and per-link.
 func (c *Cluster) ClearFaults() { c.sim.Net.ClearFaults() }
 
+// DiskFaultConfig programs steady-state disk fault injection on one host:
+// seeded probabilities of a transient I/O error per read and per write.
+// Failed operations return a typed transient error, so the replication
+// stack's retry machinery treats a flaky platter like a flaky link.
+type DiskFaultConfig struct {
+	Seed         int64
+	ReadErrRate  float64
+	WriteErrRate float64
+}
+
+// InjectDiskFaults applies the profile to every disk behind host i's
+// replicas (crashed or mounted).  A zero config clears injection.
+func (c *Cluster) InjectDiskFaults(host int, f DiskFaultConfig) {
+	p := disk.FaultProfile{Seed: f.Seed, ReadErrRate: f.ReadErrRate, WriteErrRate: f.WriteErrRate}
+	for _, d := range c.sim.Hosts[host].Devices() {
+		d.InjectFaults(p)
+	}
+}
+
+// DiskStats sums I/O and fault counters across every disk of host i.
+type DiskStats struct {
+	Reads       uint64
+	Writes      uint64
+	ReadFaults  uint64 // reads failed with an injected transient error
+	WriteFaults uint64 // writes failed with an injected transient error
+	TornWrites  uint64 // crashing writes that persisted a partial block
+}
+
+// DiskStatsFor returns host i's aggregate disk counters.
+func (c *Cluster) DiskStatsFor(host int) DiskStats {
+	var out DiskStats
+	for _, d := range c.sim.Hosts[host].Devices() {
+		s := d.Stats()
+		out.Reads += s.Reads
+		out.Writes += s.Writes
+		out.ReadFaults += s.ReadFaults
+		out.WriteFaults += s.WriteFaults
+		out.TornWrites += s.TornWrites
+	}
+	return out
+}
+
+// PendingVersion is one durable new-version cache entry: a version this
+// replica has been told about but not yet pulled, with the propagation
+// daemon's retry bookkeeping.
+type PendingVersion struct {
+	Volume    string
+	Replica   ids.ReplicaID // local replica holding the entry
+	File      string
+	Origin    ids.ReplicaID
+	Seen      int // coalesced re-announcements
+	Attempts  int // failed pull attempts so far
+	NotBefore uint64
+}
+
+// PendingVersionsFor dumps every replica's new-version cache on host i, in
+// deterministic order.  Empty while the host is crashed (the entries live
+// on in the on-disk journal and reappear after RestartHost).
+func (c *Cluster) PendingVersionsFor(host int) []PendingVersion {
+	var out []PendingVersion
+	for _, l := range c.sim.Hosts[host].LocalReplicas() {
+		for _, nv := range l.PendingVersions() {
+			out = append(out, PendingVersion{
+				Volume:    l.Volume().String(),
+				Replica:   l.Replica(),
+				File:      nv.File.String(),
+				Origin:    nv.Origin,
+				Seen:      nv.Seen,
+				Attempts:  nv.Attempts,
+				NotBefore: nv.NotBefore,
+			})
+		}
+	}
+	return out
+}
+
+// PeerHealth is host i's view of one peer: healthy, suspect, or dead.
+type PeerHealth struct {
+	Peer  int // peer host index
+	State string
+}
+
+// PeerHealthFor reports host i's health verdict for every other host.
+func (c *Cluster) PeerHealthFor(host int) []PeerHealth {
+	var out []PeerHealth
+	for j := range c.sim.Hosts {
+		if j == host {
+			continue
+		}
+		st := c.sim.Hosts[host].PeerHealth(sim.HostName(j))
+		out = append(out, PeerHealth{Peer: j, State: st.String()})
+	}
+	return out
+}
+
 // NetStats summarizes network traffic.
 type NetStats struct {
 	RPCs               uint64
@@ -339,12 +453,22 @@ type NetStats struct {
 	RPCRepliesLost      uint64
 	DatagramsDuplicated uint64
 	MulticastsReordered uint64
+
+	// NotifyCodecErrors counts update-notification datagrams dropped by
+	// receiving hosts because they failed to decode (truncated or corrupt
+	// payloads), summed across the cluster.
+	NotifyCodecErrors uint64
 }
 
 // NetworkStats returns the simulated network's counters.
 func (c *Cluster) NetworkStats() NetStats {
 	s := c.sim.Net.Stats()
+	var codecErrs uint64
+	for _, h := range c.sim.Hosts {
+		codecErrs += h.NotifyCodecErrors()
+	}
 	return NetStats{
+		NotifyCodecErrors: codecErrs,
 		RPCs:                s.RPCs,
 		RPCFailures:         s.RPCFailures,
 		RPCBytes:            s.RPCBytes,

@@ -76,7 +76,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every ficusvet analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, VVAlias, ErrClass}
+	return []*Analyzer{Determinism, VVAlias, ErrClass, LockedCall}
 }
 
 // ByName resolves a comma-separated analyzer list.

@@ -75,6 +75,10 @@ func TestErrClassFixture(t *testing.T) {
 	runFixture(t, ErrClass, "errclass", "recon")
 }
 
+func TestLockedCallFixture(t *testing.T) {
+	runFixture(t, LockedCall, "lockedcall", "physical")
+}
+
 // TestRepoIsClean is the acceptance gate in test form: the analyzers must
 // report nothing on the repository itself.  A failure here means a new
 // violation slipped in — fix it (or, for a justified idiom, add a

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockedCall enforces the repo's lock-suffix convention in the physical
+// layer: a method named *Locked requires its receiver's mutex to be held.
+// The durable new-version cache journal made this load-bearing — a journal
+// append racing a compaction would interleave records and corrupt the
+// on-disk NVC — so a call to x.fooLocked(...) is flagged unless the calling
+// function (a) is itself named *Locked, (b) visibly locks x's mutex
+// (x.mu.Lock() / x...mu.RLock() anywhere in the body, covering the
+// lock-then-defer-unlock idiom), or (c) constructed x locally, in which
+// case no other goroutine can hold a reference yet (Format/Open build a
+// Layer privately before publishing it).
+var LockedCall = &Analyzer{
+	Name: "lockedcall",
+	Doc: "flag calls to *Locked methods from functions that neither hold the " +
+		"receiver's mutex nor own the receiver privately",
+	InScope: segScope("physical"),
+	Run:     runLockedCall,
+}
+
+func runLockedCall(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockedCalls(pass, fn)
+		}
+	}
+}
+
+func checkLockedCalls(pass *Pass, fn *ast.FuncDecl) {
+	// A *Locked function's own contract is that the caller holds the lock;
+	// calling further *Locked helpers inside it is the intended layering.
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// Objects whose mutex this function visibly locks: the root of x in
+	// any x(...).mu.Lock() or .RLock() call.  Position is deliberately
+	// ignored (the Lock may syntactically follow in a retry loop); the
+	// analyzer is a convention check, not a happens-before prover.
+	locked := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+			if obj := rootObject(info, sel.X); obj != nil {
+				locked[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !strings.HasSuffix(sel.Sel.Name, "Locked") {
+			return true
+		}
+		// Only method calls count: pkg.FooLocked qualified identifiers
+		// have no receiver to lock.
+		if s, ok := info.Selections[sel]; !ok || s.Kind() != types.MethodVal {
+			return true
+		}
+		obj := rootObject(info, sel.X)
+		if obj == nil || locked[obj] {
+			return true
+		}
+		if declaredWithin(obj, fn) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "call to %s without holding %s's lock: name the caller *Locked, lock %s.mu, or construct the receiver locally",
+			sel.Sel.Name, obj.Name(), obj.Name())
+		return true
+	})
+}
+
+// declaredWithin reports whether obj is declared inside fn's body — a
+// locally constructed, not-yet-published value (receivers and parameters
+// sit in the signature, outside the body, and do not qualify).
+func declaredWithin(obj types.Object, fn *ast.FuncDecl) bool {
+	return obj.Pos() >= fn.Body.Pos() && obj.Pos() <= fn.Body.End()
+}

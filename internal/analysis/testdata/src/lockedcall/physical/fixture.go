@@ -1,0 +1,63 @@
+// Package physical is a ficusvet test fixture for the lockedcall analyzer
+// (the "physical" path segment puts it in scope): methods named *Locked
+// require the receiver's mutex, and the journal append path makes that
+// convention load-bearing.
+package physical
+
+import "sync"
+
+type layer struct {
+	mu   sync.Mutex
+	recs int
+}
+
+func (l *layer) journalAppendLocked() { l.recs++ }
+
+func (l *layer) rewriteLocked() {
+	// *Locked calling *Locked: the outermost caller owns the lock.
+	l.journalAppendLocked()
+}
+
+// --- known-good ----------------------------------------------------------
+
+func (l *layer) noteGood() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.journalAppendLocked()
+}
+
+func (l *layer) noteGoodLoop() {
+	for i := 0; i < 2; i++ {
+		l.mu.Lock()
+		l.journalAppendLocked()
+		l.mu.Unlock()
+	}
+}
+
+func format() *layer {
+	// Locally constructed, unpublished: no other goroutine can hold a
+	// reference, so the lock is not needed yet.
+	l := &layer{}
+	l.journalAppendLocked()
+	return l
+}
+
+func (l *layer) noteSuppressed() {
+	l.journalAppendLocked() //ficusvet:ignore lockedcall
+}
+
+// --- known-bad -----------------------------------------------------------
+
+func (l *layer) noteBad() {
+	l.journalAppendLocked() // want: receiver's lock not held
+}
+
+func noteBadParam(l *layer) {
+	l.journalAppendLocked() // want: parameter, not locally constructed
+}
+
+func (l *layer) noteBadOtherLock(other *layer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	other.journalAppendLocked() // want: wrong object's lock
+}

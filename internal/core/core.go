@@ -15,8 +15,6 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"sort"
@@ -45,6 +43,9 @@ var (
 	ErrNoLocalReplica = errors.New("core: no local replica of volume")
 	// ErrUnknownVolume reports a volume with no known locations.
 	ErrUnknownVolume = errors.New("core: volume locations unknown")
+	// ErrHostDown reports an operation on a crashed host (Crash without a
+	// matching Restart).
+	ErrHostDown = errors.New("core: host is down")
 )
 
 // ReplicaLoc places one volume replica at a host.
@@ -80,6 +81,14 @@ type localReplica struct {
 	layer *physical.Layer
 	dev   *disk.Device
 	fs    *ufs.FS
+	opts  StorageOptions // resolved mount options, kept for Restart
+}
+
+// crashedReplica is what survives a host crash: the platter and the mount
+// options needed to bring it back.
+type crashedReplica struct {
+	dev  *disk.Device
+	opts StorageOptions
 }
 
 // graftEntry is one grafted (mounted) volume in the host's graft table.
@@ -103,6 +112,14 @@ type Host struct {
 	nextVol   ids.VolumeID
 	clock     uint64 // graft-pruning idle clock
 
+	// Crash–restart lifecycle: while down, the host answers nothing and
+	// its replicas live only as raw devices in crashed; after Restart each
+	// remounted volume owes one anti-entropy rescan (reconciliation covers
+	// the notifications that arrived while the host was down).
+	down    bool
+	crashed map[ids.VolumeReplicaHandle]*crashedReplica
+	rescan  map[ids.VolumeHandle]bool
+
 	// Peer health (healthy -> suspect -> dead with cool-down reprobe),
 	// fed by every daemon contact with a remote host.  The propagation
 	// daemon skips dead peers; the reconciliation protocol — the safety
@@ -110,8 +127,10 @@ type Host struct {
 	health     *retry.Tracker
 	daemonTick uint64 // one tick per daemon pass (propagate or reconcile)
 
-	// NotificationsSeen counts datagrams accepted into new-version caches.
+	// NotificationsSeen counts datagrams accepted into new-version caches;
+	// notifyCodecErrs counts datagrams dropped because they failed to decode.
 	notificationsSeen uint64
+	notifyCodecErrs   uint64
 }
 
 // notifyMsg is the update-notification datagram payload (§2.5).
@@ -134,6 +153,8 @@ func NewHost(net *simnet.Network, addr simnet.Addr, alloc ids.AllocatorID) *Host
 		replicas:  make(map[ids.VolumeReplicaHandle]*localReplica),
 		locations: make(map[ids.VolumeHandle]map[ids.ReplicaID]simnet.Addr),
 		grafts:    make(map[ids.VolumeHandle]*graftEntry),
+		crashed:   make(map[ids.VolumeReplicaHandle]*crashedReplica),
+		rescan:    make(map[ids.VolumeHandle]bool),
 		nextVol:   1,
 		health:    retry.NewTracker(3, 4),
 	}
@@ -167,7 +188,7 @@ func (h *Host) provision(vol ids.VolumeHandle, rid ids.ReplicaID, opts *StorageO
 	if err != nil {
 		return nil, err
 	}
-	lr := &localReplica{layer: layer, dev: dev, fs: fs}
+	lr := &localReplica{layer: layer, dev: dev, fs: fs, opts: o}
 	h.replSrv.Register(layer)
 	nfs.ServeOn(h.snHost, nfsService(layer.VolumeReplica()), layer, layer)
 	return lr, nil
@@ -178,6 +199,10 @@ func (h *Host) provision(vol ids.VolumeHandle, rid ids.ReplicaID, opts *StorageO
 // and the replica id; further replicas are added with AddReplica.
 func (h *Host) CreateVolume(opts *StorageOptions) (ids.VolumeHandle, ids.ReplicaID, error) {
 	h.mu.Lock()
+	if h.down {
+		h.mu.Unlock()
+		return ids.VolumeHandle{}, 0, ErrHostDown
+	}
 	vol := ids.VolumeHandle{Allocator: h.alloc, Volume: h.nextVol}
 	h.nextVol++
 	h.mu.Unlock()
@@ -200,6 +225,9 @@ func (h *Host) CreateVolume(opts *StorageOptions) (ids.VolumeHandle, ids.Replica
 // peer replica at seedAddr.  Per §3.1, this requires some replica of the
 // volume to be accessible.
 func (h *Host) AddReplica(vol ids.VolumeHandle, rid ids.ReplicaID, seed ReplicaLoc, opts *StorageOptions) error {
+	if h.Down() {
+		return ErrHostDown
+	}
 	lr, err := h.provision(vol, rid, opts)
 	if err != nil {
 		return err
@@ -346,6 +374,10 @@ func (h *Host) UFS(vr ids.VolumeReplicaHandle) *ufs.FS {
 // co-resident").
 func (h *Host) Mount(vol ids.VolumeHandle, policy logical.Policy) (*logical.Layer, error) {
 	h.mu.Lock()
+	if h.down {
+		h.mu.Unlock()
+		return nil, ErrHostDown
+	}
 	locs := h.locations[vol]
 	if len(locs) == 0 {
 		h.mu.Unlock()
@@ -396,10 +428,7 @@ func (h *Host) Mount(vol ids.VolumeHandle, policy logical.Policy) (*logical.Laye
 func (h *Host) notifier(vol ids.VolumeHandle) logical.Notifier {
 	return func(dir []ids.FileID, file ids.FileID, origin ids.ReplicaID) {
 		msg := notifyMsg{Vol: vol, Dir: dir, File: file, Origin: origin}
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(&msg); err != nil {
-			return
-		}
+		payload := encodeNotify(&msg)
 		h.mu.Lock()
 		seen := map[simnet.Addr]bool{}
 		var dsts []simnet.Addr
@@ -411,20 +440,23 @@ func (h *Host) notifier(vol ids.VolumeHandle) logical.Notifier {
 		}
 		h.mu.Unlock()
 		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
-		h.snHost.Multicast(NotifyPort, buf.Bytes(), dsts)
+		h.snHost.Multicast(NotifyPort, payload, dsts)
 	}
 }
 
 // onNotify feeds an incoming update notification into the new-version cache
 // of every local replica of the volume, except the originating replica
-// itself (it already has the new version).
+// itself (it already has the new version).  A datagram that fails to decode
+// is dropped — notifications are best-effort and reconciliation is the
+// backstop — but counted, never silently swallowed.
 func (h *Host) onNotify(from simnet.Addr, payload []byte) {
-	var msg notifyMsg
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
-		return
-	}
+	msg, err := decodeNotify(payload)
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if err != nil {
+		h.notifyCodecErrs++
+		return
+	}
 	for vr, lr := range h.replicas {
 		if vr.Vol == msg.Vol && vr.Replica != msg.Origin {
 			lr.layer.NoteNewVersion(msg.Dir, msg.File, msg.Origin)
@@ -438,6 +470,14 @@ func (h *Host) NotificationsSeen() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.notificationsSeen
+}
+
+// NotifyCodecErrors counts notification datagrams dropped because they
+// failed to decode (truncated or corrupt payloads).
+func (h *Host) NotifyCodecErrors() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.notifyCodecErrs
 }
 
 // advanceTick steps the host's virtual daemon clock (one tick per daemon
@@ -559,10 +599,15 @@ func (h *Host) PropagateOnce() (recon.Stats, error) {
 
 // PropagateOnceCfg is PropagateOnce under an explicit propagation
 // configuration (worker count, batch disable, retry policy) — used by the
-// benchmarks to compare pipeline shapes.
+// benchmarks to compare pipeline shapes.  A down host's daemons do not run:
+// the pass is a no-op.  Any post-restart rescan obligation is paid first,
+// before the pull pass.
 func (h *Host) PropagateOnceCfg(cfg recon.PropagateConfig) (recon.Stats, error) {
+	if h.Down() {
+		return recon.Stats{}, nil
+	}
 	h.advanceTick()
-	var total recon.Stats
+	total := h.recoveryRescan()
 	for _, layer := range h.LocalReplicas() {
 		stats, err := recon.Propagate(layer, h.peerFinder(layer, true), cfg)
 		total.Add(stats)
@@ -614,6 +659,9 @@ func (h *Host) Fsck() ([]string, error) {
 // Volumes with any unreachable replica are skipped.  Returns the number of
 // tombstones collected.
 func (h *Host) CollectGarbage() (int, error) {
+	if h.Down() {
+		return 0, nil
+	}
 	total := 0
 	for _, layer := range h.LocalReplicas() {
 		h.mu.Lock()
@@ -656,37 +704,23 @@ func (h *Host) CollectGarbage() (int, error) {
 // replica pulls from every known remote replica of its volume that is
 // currently reachable (§3.3).  Reconciliation is the safety net, so it is
 // never health-gated: every known peer is probed every pass, which is also
-// how a recovered peer's health state resets.
+// how a recovered peer's health state resets.  Per-peer failures (e.g. a
+// partition cutting in mid-pass) are normal life and absorbed.  A full pass
+// also discharges any post-restart rescan obligation, since it is a
+// superset of the rescan.  A down host's daemons do not run.
 func (h *Host) ReconcileOnce() (recon.Stats, error) {
+	if h.Down() {
+		return recon.Stats{}, nil
+	}
 	h.advanceTick()
 	var total recon.Stats
 	for _, layer := range h.LocalReplicas() {
-		h.mu.Lock()
-		locs := make(map[ids.ReplicaID]simnet.Addr, len(h.locations[layer.Volume()]))
-		for rid, addr := range h.locations[layer.Volume()] {
-			locs[rid] = addr
-		}
-		h.mu.Unlock()
-		rids := make([]ids.ReplicaID, 0, len(locs))
-		for rid := range locs {
-			rids = append(rids, rid)
-		}
-		sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
-		for _, rid := range rids {
-			if rid == layer.Replica() {
-				continue
-			}
-			peer := h.peerFinder(layer, false)(rid)
-			if peer == nil {
-				continue
-			}
-			stats, err := recon.ReconcileVolume(layer, peer)
-			total.Add(stats)
-			if err != nil {
-				// A peer failing mid-reconciliation (e.g. partition cut in)
-				// is normal life; move on to the next peer.
-				continue
-			}
+		stats, rescanMet := h.reconcileReplica(layer)
+		total.Add(stats)
+		if rescanMet {
+			h.mu.Lock()
+			delete(h.rescan, layer.Volume())
+			h.mu.Unlock()
 		}
 	}
 	return total, nil

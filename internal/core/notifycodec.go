@@ -1,0 +1,136 @@
+package core
+
+// Hand-rolled wire codec for update-notification datagrams, in the style of
+// the repl protocol codec (internal/repl/codec.go).  The previous gob
+// encoding re-shipped full type metadata on every datagram — a large fixed
+// tax on the smallest, most frequent message in the system (§2.5: one
+// best-effort datagram per update) — and both encode and decode failures
+// were silently swallowed.  The binary layout is a few dozen bytes, encoding
+// cannot fail, and decode failures (truncated or corrupt datagrams) are
+// counted by the receiving host instead of vanishing.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// notifyWireVersion leads every notification; bumping it invalidates old
+// peers loudly instead of misparsing them.
+const notifyWireVersion = 1
+
+func appendNotifyFID(dst []byte, f ids.FileID) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Issuer))
+	return binary.BigEndian.AppendUint64(dst, f.Seq)
+}
+
+// encodeNotify renders msg: version u8, vol (u32+u32), origin u32,
+// file fid(12), dir-path count uvarint + fids (12 each).
+func encodeNotify(msg *notifyMsg) []byte {
+	dst := make([]byte, 0, 30+12*len(msg.Dir))
+	dst = append(dst, notifyWireVersion)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(msg.Vol.Allocator))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(msg.Vol.Volume))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(msg.Origin))
+	dst = appendNotifyFID(dst, msg.File)
+	dst = binary.AppendUvarint(dst, uint64(len(msg.Dir)))
+	for _, f := range msg.Dir {
+		dst = appendNotifyFID(dst, f)
+	}
+	return dst
+}
+
+// notifyDecoder is a sticky-error bounds-checked reader (the repl decoder's
+// idiom): the first failure sticks and every later read returns zeros, so
+// decodeNotify runs the full field sequence and checks err once.
+type notifyDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *notifyDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("core: bad notification: "+format, args...)
+	}
+}
+
+func (d *notifyDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.fail("want %d bytes, have %d", n, len(d.b))
+		return nil
+	}
+	b := d.b[:n]
+	d.b = d.b[n:]
+	return b
+}
+
+func (d *notifyDecoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *notifyDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *notifyDecoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *notifyDecoder) fid() ids.FileID {
+	return ids.FileID{Issuer: ids.ReplicaID(d.u32()), Seq: d.u64()}
+}
+
+func decodeNotify(b []byte) (notifyMsg, error) {
+	d := &notifyDecoder{b: b}
+	if v := d.u8(); d.err == nil && v != notifyWireVersion {
+		d.fail("wire version %d, want %d", v, notifyWireVersion)
+	}
+	var msg notifyMsg
+	msg.Vol = ids.VolumeHandle{
+		Allocator: ids.AllocatorID(d.u32()),
+		Volume:    ids.VolumeID(d.u32()),
+	}
+	msg.Origin = ids.ReplicaID(d.u32())
+	msg.File = d.fid()
+	if d.err == nil {
+		n, used := binary.Uvarint(d.b)
+		if used <= 0 {
+			d.fail("bad dir-path count")
+		} else {
+			d.b = d.b[used:]
+			// Cap against the bytes actually remaining (12 per fid) before
+			// allocating, so a corrupt count cannot drive a huge allocation.
+			if n > uint64(len(d.b)/12) {
+				d.fail("dir-path count %d exceeds %d remaining bytes", n, len(d.b))
+			} else if n > 0 {
+				msg.Dir = make([]ids.FileID, n)
+				for i := range msg.Dir {
+					msg.Dir[i] = d.fid()
+				}
+			}
+		}
+	}
+	if d.err != nil {
+		return notifyMsg{}, d.err
+	}
+	if len(d.b) != 0 {
+		return notifyMsg{}, fmt.Errorf("core: bad notification: %d trailing bytes", len(d.b))
+	}
+	return msg, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/simnet"
+	"repro/internal/vnode"
+)
+
+func TestNotifyCodecRoundTrip(t *testing.T) {
+	cases := []notifyMsg{
+		{
+			Vol:    ids.VolumeHandle{Allocator: 7, Volume: 3},
+			File:   ids.FileID{Issuer: 2, Seq: 99},
+			Origin: 2,
+		},
+		{
+			Vol:  ids.VolumeHandle{Allocator: 1, Volume: 1},
+			File: ids.FileID{Issuer: 1, Seq: 1},
+			Dir: []ids.FileID{
+				{Issuer: 1, Seq: 0},
+				{Issuer: 4, Seq: 1 << 40},
+				{Issuer: 0xffffffff, Seq: ^uint64(0)},
+			},
+			Origin: 0xffffffff,
+		},
+	}
+	for i, want := range cases {
+		b := encodeNotify(&want)
+		got, err := decodeNotify(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestNotifyCodecRejectsCorruption(t *testing.T) {
+	msg := notifyMsg{
+		Vol:    ids.VolumeHandle{Allocator: 7, Volume: 3},
+		File:   ids.FileID{Issuer: 2, Seq: 99},
+		Dir:    []ids.FileID{{Issuer: 2, Seq: 1}},
+		Origin: 2,
+	}
+	good := encodeNotify(&msg)
+
+	// Every truncation of a valid payload must fail, not misparse.
+	for n := 0; n < len(good); n++ {
+		if _, err := decodeNotify(good[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", n)
+		}
+	}
+	// Trailing junk is rejected.
+	if _, err := decodeNotify(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Wrong wire version is rejected.
+	bad := append([]byte(nil), good...)
+	bad[0] = notifyWireVersion + 1
+	if _, err := decodeNotify(bad); err == nil {
+		t.Fatal("wrong wire version accepted")
+	}
+	// A dir-path count far beyond the remaining bytes must fail cleanly
+	// (no huge allocation): version + vol + origin + file, then count 2^40.
+	hdr := good[:1+4+4+4+12]
+	huge := append(append([]byte(nil), hdr...), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80)
+	if _, err := decodeNotify(huge); err == nil {
+		t.Fatal("overlong dir-path count accepted")
+	}
+}
+
+// TestNotifyCorruptDatagramCounted injects a garbage datagram on the notify
+// port and checks it is counted and dropped while real notifications keep
+// flowing.
+func TestNotifyCorruptDatagramCounted(t *testing.T) {
+	c := newCluster(t, 2)
+	h0, h1 := c.hosts[0], c.hosts[1]
+
+	h0.SimHost().Multicast(NotifyPort, []byte{0xde, 0xad, 0xbe, 0xef}, []simnet.Addr{h1.Addr()})
+	if got := h1.NotifyCodecErrors(); got != 1 {
+		t.Fatalf("NotifyCodecErrors = %d, want 1", got)
+	}
+	if got := h1.NotificationsSeen(); got != 0 {
+		t.Fatalf("NotificationsSeen = %d, want 0", got)
+	}
+
+	// A real update still notifies h1.
+	root := c.mount(t, 0)
+	f, err := root.Create("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vnode.WriteFile(f, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := h1.NotificationsSeen(); got == 0 {
+		t.Fatal("valid notification not seen after corrupt datagram")
+	}
+	if got := h1.NotifyCodecErrors(); got != 1 {
+		t.Fatalf("NotifyCodecErrors = %d after valid traffic, want 1", got)
+	}
+}

@@ -210,3 +210,120 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("stats %d, want %d", got, 8*200*2)
 	}
 }
+
+func TestScriptedFaults(t *testing.T) {
+	d := New(4)
+	d.ScriptFault(FaultWriteError, FaultReadError)
+	if err := d.Write(0, blockOf(1)); !errors.Is(err, ErrIO) {
+		t.Fatalf("scripted write fault: got %v, want ErrIO", err)
+	}
+	// The scripted write error is consumed; the retry succeeds.
+	if err := d.Write(0, blockOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, BlockSize)
+	if err := d.Read(0, p); !errors.Is(err, ErrIO) {
+		t.Fatalf("scripted read fault: got %v, want ErrIO", err)
+	}
+	if err := d.Read(0, p); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.ReadFaults != 1 || st.WriteFaults != 1 {
+		t.Fatalf("fault counters: %+v", st)
+	}
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("failed ops must not count as I/O: %+v", st)
+	}
+}
+
+func TestTransientFaultIsTransient(t *testing.T) {
+	d := New(1)
+	d.ScriptFault(FaultWriteError)
+	err := d.Write(0, blockOf(1))
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatalf("injected I/O error must classify as transient: %v", err)
+	}
+}
+
+func TestProbabilisticFaultsDeterministic(t *testing.T) {
+	run := func() (faults uint64) {
+		d := New(4)
+		d.InjectFaults(FaultProfile{Seed: 42, ReadErrRate: 0.3, WriteErrRate: 0.3})
+		p := blockOf(7)
+		q := make([]byte, BlockSize)
+		for i := 0; i < 200; i++ {
+			_ = d.Write(i%4, p)
+			_ = d.Read(i%4, q)
+		}
+		st := d.Stats()
+		return st.ReadFaults + st.WriteFaults
+	}
+	a, b := run(), run()
+	if a == 0 {
+		t.Fatal("rate 0.3 over 400 ops produced no faults")
+	}
+	if a != b {
+		t.Fatalf("same seed, different fault counts: %d vs %d", a, b)
+	}
+	d := New(4)
+	d.InjectFaults(FaultProfile{Seed: 42, ReadErrRate: 0.3, WriteErrRate: 0.3})
+	d.ClearInjectedFaults()
+	for i := 0; i < 50; i++ {
+		if err := d.Write(0, blockOf(1)); err != nil {
+			t.Fatalf("faults must stop after ClearInjectedFaults: %v", err)
+		}
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	d := New(2)
+	if err := d.Write(0, blockOf(0xaa)); err != nil {
+		t.Fatal(err)
+	}
+	d.FaultAfterWritesTorn(0, 100)
+	if err := d.Write(0, blockOf(0xbb)); !errors.Is(err, ErrFaulted) {
+		t.Fatalf("torn write must still crash the device: %v", err)
+	}
+	d.ClearFault()
+	p := make([]byte, BlockSize)
+	if err := d.Read(0, p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if p[i] != 0xbb {
+			t.Fatalf("byte %d: got %#x, want new data in torn prefix", i, p[i])
+		}
+	}
+	for i := 100; i < BlockSize; i++ {
+		if p[i] != 0xaa {
+			t.Fatalf("byte %d: got %#x, want old data past the tear", i, p[i])
+		}
+	}
+	if st := d.Stats(); st.TornWrites != 1 {
+		t.Fatalf("TornWrites = %d, want 1", st.TornWrites)
+	}
+}
+
+func TestImmediateFault(t *testing.T) {
+	d := New(2)
+	if err := d.Write(0, blockOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	d.Fault()
+	if err := d.Write(1, blockOf(2)); !errors.Is(err, ErrFaulted) {
+		t.Fatalf("write after Fault: %v", err)
+	}
+	p := make([]byte, BlockSize)
+	if err := d.Read(0, p); !errors.Is(err, ErrFaulted) {
+		t.Fatalf("read after Fault: %v", err)
+	}
+	d.ClearFault()
+	if err := d.Read(0, p); err != nil {
+		t.Fatalf("read after ClearFault: %v", err)
+	}
+	if !bytes.Equal(p, blockOf(1)) {
+		t.Fatal("pre-crash contents must survive the crash")
+	}
+}

@@ -28,13 +28,13 @@ func (l *Layer) Check() ([]string, error) {
 	if err != nil {
 		return []string{fmt.Sprintf("volume root container missing: %v", err)}, nil
 	}
-	if err := l.checkContainer(cont, ids.RootFileID, "/", &problems); err != nil {
+	if err := l.checkContainerLocked(cont, ids.RootFileID, "/", &problems); err != nil {
 		return problems, err
 	}
 	return problems, nil
 }
 
-func (l *Layer) checkContainer(cont vnode.Vnode, dirFid ids.FileID, path string, problems *[]string) error {
+func (l *Layer) checkContainerLocked(cont vnode.Vnode, dirFid ids.FileID, path string, problems *[]string) error {
 	report := func(format string, args ...any) {
 		*problems = append(*problems, fmt.Sprintf("%s: ", path)+fmt.Sprintf(format, args...))
 	}
@@ -139,7 +139,7 @@ func (l *Layer) checkContainer(cont vnode.Vnode, dirFid ids.FileID, path string,
 				report("entry %q: container lookup failed: %v", e.Name, err)
 				continue
 			}
-			if err := l.checkContainer(sub, e.Child, path+e.Name+"/", problems); err != nil {
+			if err := l.checkContainerLocked(sub, e.Child, path+e.Name+"/", problems); err != nil {
 				return err
 			}
 			continue

@@ -522,6 +522,7 @@ func (l *Layer) NoteNewVersion(dirPath []ids.FileID, file ids.FileID, origin ids
 	// backoff step high if the origin is flapping).
 	nv.NotBefore = 0
 	l.nvc[k] = nv
+	l.journalAppendLocked(encodeUpsert(nil, nv))
 }
 
 // DeferPending records a failed propagation attempt for file: the attempt
@@ -535,6 +536,7 @@ func (l *Layer) DeferPending(file ids.FileID, notBefore uint64) {
 		nv.Attempts++
 		nv.NotBefore = notBefore
 		l.nvc[k] = nv
+		l.journalAppendLocked(encodeUpsert(nil, nv))
 	}
 }
 
@@ -560,6 +562,10 @@ func (l *Layer) DaemonTick() uint64 {
 func (l *Layer) PendingVersions() []NewVersion {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.pendingVersionsLocked()
+}
+
+func (l *Layer) pendingVersionsLocked() []NewVersion {
 	out := make([]NewVersion, 0, len(l.nvc))
 	for _, nv := range l.nvc {
 		out = append(out, nv)
@@ -572,7 +578,11 @@ func (l *Layer) PendingVersions() []NewVersion {
 func (l *Layer) DropPending(file ids.FileID) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if _, ok := l.nvc[nvcKey{file: file}]; !ok {
+		return
+	}
 	delete(l.nvc, nvcKey{file: file})
+	l.journalAppendLocked(encodeDrop(nil, file))
 }
 
 // ReportConflict appends to the conflict log ("conflicting updates to

@@ -77,6 +77,12 @@ type Layer struct {
 	opens      map[ids.FileID]int
 	openTotal  uint64
 	daemonTick uint64 // virtual clock, one tick per propagation pass
+
+	// Durable new-version cache journal (journal.go).
+	nvcj        vnode.Vnode
+	nvcjSize    uint64
+	nvcjRecs    int
+	journalErrs uint64
 }
 
 type nvcKey struct {
@@ -130,6 +136,9 @@ func Format(store vnode.VFS, vol ids.VolumeHandle, replica ids.ReplicaID) (*Laye
 	if err := l.writeMetaLocked(); err != nil {
 		return nil, err
 	}
+	if err := l.initJournalLocked(); err != nil {
+		return nil, err
+	}
 	// Root container with empty directory and fresh attributes.
 	cont, err := root.Mkdir(prefixDir + ids.RootFileID.String())
 	if err != nil {
@@ -149,7 +158,8 @@ func Format(store vnode.VFS, vol ids.VolumeHandle, replica ids.ReplicaID) (*Laye
 }
 
 // Open mounts an existing volume replica, running crash recovery (shadow
-// cleanup) before returning.
+// cleanup) and replaying the durable new-version cache journal before
+// returning.
 func Open(store vnode.VFS) (*Layer, error) {
 	root, err := store.Root()
 	if err != nil {
@@ -162,6 +172,9 @@ func Open(store vnode.VFS) (*Layer, error) {
 		opens: make(map[ids.FileID]int),
 	}
 	if err := l.readMetaLocked(); err != nil {
+		return nil, err
+	}
+	if err := l.openJournalLocked(); err != nil {
 		return nil, err
 	}
 	if err := l.Recover(); err != nil {

@@ -186,6 +186,14 @@ func (t *Tracker) peer(key string) *peerHealth {
 	return ph
 }
 
+// Reset forgets all peer state (a rebooted kernel starts with no health
+// knowledge).
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers = make(map[string]*peerHealth)
+}
+
 // OK records a successful exchange with the peer: fully healthy again.
 func (t *Tracker) OK(key string) {
 	t.mu.Lock()

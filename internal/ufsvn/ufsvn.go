@@ -229,6 +229,9 @@ func mapErr(err error) error {
 	case errors.Is(err, ufs.ErrNotSymlink):
 		return vnode.EINVAL
 	default:
-		return fmt.Errorf("%w: %v", vnode.EIO, err)
+		// Keep the cause in the chain (not just its text): an injected
+		// transient disk error must stay errors.As-reachable so the retry
+		// machinery can classify a flaky platter like a flaky link.
+		return fmt.Errorf("%w: %w", vnode.EIO, err)
 	}
 }

@@ -1,9 +1,11 @@
 package ufsvn
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/disk"
+	"repro/internal/retry"
 	"repro/internal/ufs"
 	"repro/internal/vnode"
 	"repro/internal/vntest"
@@ -73,5 +75,55 @@ func TestCrossFSOpsRejected(t *testing.T) {
 	}
 	if err := ra.Rename("f", rb, "g"); vnode.AsErrno(err) != vnode.EXDEV {
 		t.Fatalf("cross-fs rename: %v", err)
+	}
+}
+
+// TestTransientDiskFaultStaysTransient injects a one-shot transient read
+// error under a vnode operation and checks the classification survives the
+// ufs -> ufsvn error mapping: the retry machinery must see a flaky platter
+// exactly like a flaky link.
+func TestTransientDiskFaultStaysTransient(t *testing.T) {
+	dev := disk.New(2048)
+	fs, err := ufs.Mkfs(dev, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vfs := New(fs)
+	root, _ := vfs.Root()
+	f, err := root.Create("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vnode.WriteFile(f, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	// Evict cached blocks so the next read really hits the platter.
+	fs2, err := ufs.Mount(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vfs2 := New(fs2)
+	root2, _ := vfs2.Root()
+
+	f2, err := root2.Lookup("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data blocks are not touched by mount-time recovery, so this read
+	// must hit the platter and trip the scripted fault.
+	dev.ScriptFault(disk.FaultReadError)
+	_, readErr := vnode.ReadFile(f2)
+	if readErr == nil {
+		t.Fatal("scripted read fault produced no error")
+	}
+	if !errors.Is(readErr, vnode.EIO) {
+		t.Fatalf("fault not mapped to EIO: %v", readErr)
+	}
+	if !retry.Transient(readErr) {
+		t.Fatalf("injected disk fault lost its transience through ufsvn: %v", readErr)
+	}
+	// One-shot: the retry succeeds.
+	if data, err := vnode.ReadFile(f2); err != nil || string(data) != "data" {
+		t.Fatalf("retry after transient fault: %q %v", data, err)
 	}
 }

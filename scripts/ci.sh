@@ -20,10 +20,16 @@ go vet ./...
 echo "==> go test -race ./internal/recon ./internal/repl"
 go test -race -count=1 ./internal/recon ./internal/repl
 
+echo "==> go test -race ./internal/core ./internal/physical"
+go test -race -count=1 ./internal/core ./internal/physical
+
 echo "==> go test -race ./..."
 go test -race ./...
 
 echo "==> FICUS_INVARIANTS=1 go test ./..."
 FICUS_INVARIANTS=1 go test -count=1 ./...
+
+echo "==> make chaos-crash"
+FICUS_INVARIANTS=1 go test -race -count=1 -run 'TestChaosCrashRestartConvergence' .
 
 echo "==> ci gate passed"
