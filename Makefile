@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet lint invariants chaos chaos-crash bench ci
+.PHONY: all build test check race vet lint invariants chaos chaos-crash chaos-scrub bench ci
 
 all: build test
 
@@ -38,6 +38,13 @@ chaos:
 # its durable on-disk state (DESIGN.md §10).
 chaos-crash:
 	FICUS_INVARIANTS=1 $(GO) test -race -count=1 -run 'TestChaosCrashRestartConvergence' -v .
+
+# chaos-scrub runs the silent-corruption convergence test with invariants
+# armed: at-rest bit rot lands on random replicas while hosts crash under
+# RPC faults, and the scrubber must detect, quarantine, and heal every
+# damaged copy from a peer with zero wrong-bytes files (DESIGN.md §11).
+chaos-scrub:
+	FICUS_INVARIANTS=1 $(GO) test -race -count=1 -run 'TestChaosScrubConvergence' -v .
 
 # bench regenerates BENCH_PR3.json: the batched-propagation experiment
 # (E10) and the repl wire-codec microbenchmarks.

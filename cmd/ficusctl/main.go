@@ -31,7 +31,13 @@
 //	restart <host>                       remount a crashed host from its disks
 //	pending                              dump each replica's new-version cache
 //	                                     and per-peer health
-//	diskfaults <host> <read> <write>     transient disk I/O error rates (0..1)
+//	diskfaults <host> <read> <write> [creadrate] [cwriterate]
+//	                                     transient disk I/O error rates and
+//	                                     silent-corruption rates (0..1)
+//	bitrot <host> <path> <off>           silently flip a stored data bit
+//	scrub [host]                         one integrity pass (verify + repair);
+//	                                     all hosts when no host given
+//	integrity [host]                     per-host corruption/repair counters
 //	# comment                            ignored
 //
 // Example:
@@ -486,8 +492,11 @@ func (c *controller) exec(line string) error {
 		if err != nil {
 			return err
 		}
-		var rates [2]float64
-		for i, a := range args[1:3] {
+		var rates [4]float64
+		if len(args) > 1+len(rates) {
+			return fmt.Errorf("diskfaults takes at most %d rates", len(rates))
+		}
+		for i, a := range args[1:] {
 			r, err := strconv.ParseFloat(a, 64)
 			if err != nil || r < 0 || r > 1 {
 				return fmt.Errorf("bad rate %q (want 0..1)", a)
@@ -495,10 +504,68 @@ func (c *controller) exec(line string) error {
 			rates[i] = r
 		}
 		c.cluster.InjectDiskFaults(h, ficus.DiskFaultConfig{
-			Seed:         1,
-			ReadErrRate:  rates[0],
-			WriteErrRate: rates[1],
+			Seed:             1,
+			ReadErrRate:      rates[0],
+			WriteErrRate:     rates[1],
+			CorruptReadRate:  rates[2],
+			CorruptWriteRate: rates[3],
 		})
+		return nil
+	case "bitrot":
+		if err := need(3); err != nil {
+			return err
+		}
+		h, err := c.host(args[0])
+		if err != nil {
+			return err
+		}
+		off, err := strconv.ParseUint(args[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad offset %q", args[2])
+		}
+		if err := c.cluster.InjectBitRot(h, args[1], off); err != nil {
+			return err
+		}
+		fmt.Printf("host %d %s: bit flipped at offset %d (silently)\n", h, args[1], off)
+		return nil
+	case "scrub":
+		var s ficus.ScrubStats
+		var err error
+		if len(args) > 0 {
+			var h int
+			if h, err = c.host(args[0]); err != nil {
+				return err
+			}
+			s, err = c.cluster.ScrubHost(h)
+		} else {
+			s, err = c.cluster.Scrub()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scrubbed: verified %d files (%d blocks), resealed %d, corrupt %d, cleared %d\n",
+			s.VerifiedFiles, s.VerifiedBlocks, s.Resealed, s.Corrupt, s.Cleared)
+		fmt.Printf("repair: attempted %d, repaired %d, deferred %d, gave up %d\n",
+			s.RepairAttempts, s.Repaired, s.RepairDeferred, s.GaveUp)
+		return nil
+	case "integrity":
+		lo, hi := 0, c.cluster.NumHosts()
+		if len(args) > 0 {
+			h, err := c.host(args[0])
+			if err != nil {
+				return err
+			}
+			lo, hi = h, h+1
+		}
+		for h := lo; h < hi; h++ {
+			d := c.cluster.DiskStatsFor(h)
+			s := c.cluster.IntegrityStatsFor(h)
+			fmt.Printf("host %d disk: corrupt-reads=%d corrupt-writes=%d torn=%d\n",
+				h, d.CorruptReads, d.CorruptWrites, d.TornWrites)
+			fmt.Printf("host %d scrub: scrubbed=%d blocks=%d resealed=%d detected=%d repaired=%d unrepairable=%d quarantined=%d\n",
+				h, s.ScrubbedFiles, s.ScrubbedBlocks, s.Resealed, s.CorruptionsDetected,
+				s.Repaired, s.Unrepairable, s.Quarantined)
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)

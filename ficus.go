@@ -344,19 +344,27 @@ func (c *Cluster) InjectFaults(f FaultConfig) {
 func (c *Cluster) ClearFaults() { c.sim.Net.ClearFaults() }
 
 // DiskFaultConfig programs steady-state disk fault injection on one host:
-// seeded probabilities of a transient I/O error per read and per write.
+// seeded probabilities of a transient I/O error per read and per write,
+// plus SILENT corruption — a read whose buffer is garbled after the fact,
+// or a write whose stored bytes are garbled, both reported as success.
 // Failed operations return a typed transient error, so the replication
-// stack's retry machinery treats a flaky platter like a flaky link.
+// stack's retry machinery treats a flaky platter like a flaky link;
+// corrupted operations are what the checksum scrubber exists to catch.
 type DiskFaultConfig struct {
-	Seed         int64
-	ReadErrRate  float64
-	WriteErrRate float64
+	Seed             int64
+	ReadErrRate      float64
+	WriteErrRate     float64
+	CorruptReadRate  float64 // silent garbling of a successful read
+	CorruptWriteRate float64 // silent garbling of the stored block on write
 }
 
 // InjectDiskFaults applies the profile to every disk behind host i's
 // replicas (crashed or mounted).  A zero config clears injection.
 func (c *Cluster) InjectDiskFaults(host int, f DiskFaultConfig) {
-	p := disk.FaultProfile{Seed: f.Seed, ReadErrRate: f.ReadErrRate, WriteErrRate: f.WriteErrRate}
+	p := disk.FaultProfile{
+		Seed: f.Seed, ReadErrRate: f.ReadErrRate, WriteErrRate: f.WriteErrRate,
+		CorruptReadRate: f.CorruptReadRate, CorruptWriteRate: f.CorruptWriteRate,
+	}
 	for _, d := range c.sim.Hosts[host].Devices() {
 		d.InjectFaults(p)
 	}
@@ -364,11 +372,13 @@ func (c *Cluster) InjectDiskFaults(host int, f DiskFaultConfig) {
 
 // DiskStats sums I/O and fault counters across every disk of host i.
 type DiskStats struct {
-	Reads       uint64
-	Writes      uint64
-	ReadFaults  uint64 // reads failed with an injected transient error
-	WriteFaults uint64 // writes failed with an injected transient error
-	TornWrites  uint64 // crashing writes that persisted a partial block
+	Reads         uint64
+	Writes        uint64
+	ReadFaults    uint64 // reads failed with an injected transient error
+	WriteFaults   uint64 // writes failed with an injected transient error
+	TornWrites    uint64 // crashing writes that persisted a partial block
+	CorruptReads  uint64 // reads silently garbled by injection
+	CorruptWrites uint64 // writes whose stored block was silently garbled
 }
 
 // DiskStatsFor returns host i's aggregate disk counters.
@@ -381,8 +391,85 @@ func (c *Cluster) DiskStatsFor(host int) DiskStats {
 		out.ReadFaults += s.ReadFaults
 		out.WriteFaults += s.WriteFaults
 		out.TornWrites += s.TornWrites
+		out.CorruptReads += s.CorruptReads
+		out.CorruptWrites += s.CorruptWrites
 	}
 	return out
+}
+
+// ScrubStats summarizes integrity-daemon work: the checksum sweep and the
+// quarantine-repair pass.
+type ScrubStats struct {
+	VerifiedFiles  int // file versions checked against a sealed sidecar
+	VerifiedBlocks int // block checksums compared
+	Resealed       int // unverifiable sidecars recomputed from local data
+	Corrupt        int // verification failures that entered quarantine
+	Cleared        int // quarantined files superseded in place
+	RepairAttempts int // due quarantined versions repair was attempted for
+	Repaired       int // versions healed from a peer this pass
+	RepairDeferred int // versions re-queued under backoff
+	GaveUp         int // rounds where every known peer definitively refused
+}
+
+func fromScrub(r core.ScrubResult) ScrubStats {
+	return ScrubStats{
+		VerifiedFiles:  r.Scrub.VerifiedFiles,
+		VerifiedBlocks: r.Scrub.VerifiedBlocks,
+		Resealed:       r.Scrub.Resealed,
+		Corrupt:        r.Scrub.Corrupt,
+		Cleared:        r.Scrub.Cleared,
+		RepairAttempts: r.Repair.Attempted,
+		Repaired:       r.Repair.Repaired,
+		RepairDeferred: r.Repair.Deferred,
+		GaveUp:         r.Repair.GaveUp,
+	}
+}
+
+// Scrub runs one integrity pass (checksum sweep + quarantine repair) on
+// every host.
+func (c *Cluster) Scrub() (ScrubStats, error) {
+	s, err := c.sim.ScrubAll()
+	return fromScrub(s), err
+}
+
+// ScrubHost runs one integrity pass on host i alone.
+func (c *Cluster) ScrubHost(host int) (ScrubStats, error) {
+	s, err := c.sim.Hosts[host].ScrubOnce()
+	return fromScrub(s), err
+}
+
+// IntegrityStats reports the cumulative integrity counters of one host
+// (Quarantined is a gauge: files currently quarantined).
+type IntegrityStats struct {
+	ScrubbedFiles       uint64
+	ScrubbedBlocks      uint64
+	Resealed            uint64
+	CorruptionsDetected uint64
+	Repaired            uint64
+	Unrepairable        uint64
+	Quarantined         uint64
+}
+
+// IntegrityStatsFor returns host i's aggregate integrity counters.
+func (c *Cluster) IntegrityStatsFor(host int) IntegrityStats {
+	s := c.sim.Hosts[host].IntegrityStats()
+	return IntegrityStats{
+		ScrubbedFiles:       s.ScrubbedFiles,
+		ScrubbedBlocks:      s.ScrubbedBlocks,
+		Resealed:            s.Resealed,
+		CorruptionsDetected: s.CorruptionsDetected,
+		Repaired:            s.Repaired,
+		Unrepairable:        s.Unrepairable,
+		Quarantined:         s.Quarantined,
+	}
+}
+
+// InjectBitRot silently flips one bit of the stored data byte at off in
+// host i's local copy of the file at path in the root volume, leaving the
+// version vector and sealed sidecar untouched — at-rest damage for the
+// scrubber to detect and heal.
+func (c *Cluster) InjectBitRot(host int, path string, off uint64) error {
+	return c.sim.Hosts[host].CorruptFile(c.sim.Vol, path, off)
 }
 
 // PendingVersion is one durable new-version cache entry: a version this
@@ -468,7 +555,7 @@ func (c *Cluster) NetworkStats() NetStats {
 		codecErrs += h.NotifyCodecErrors()
 	}
 	return NetStats{
-		NotifyCodecErrors: codecErrs,
+		NotifyCodecErrors:   codecErrs,
 		RPCs:                s.RPCs,
 		RPCFailures:         s.RPCFailures,
 		RPCBytes:            s.RPCBytes,

@@ -1,0 +1,105 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestScriptedCorruptWrite(t *testing.T) {
+	d := New(4)
+	want := blockOf(7)
+	d.ScriptFault(FaultCorruptWrite)
+	if err := d.Write(0, want); err != nil {
+		t.Fatalf("corrupted write must still report success: %v", err)
+	}
+	got := make([]byte, BlockSize)
+	if err := d.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("scripted corrupt write stored the bytes unchanged")
+	}
+	st := d.Stats()
+	if st.CorruptWrites != 1 || st.CorruptReads != 0 {
+		t.Fatalf("corruption counters: %+v", st)
+	}
+	if st.Writes != 1 {
+		t.Fatalf("a corrupted write SUCCEEDS and must count as a write: %+v", st)
+	}
+}
+
+func TestScriptedCorruptRead(t *testing.T) {
+	d := New(4)
+	want := blockOf(3)
+	if err := d.Write(1, want); err != nil {
+		t.Fatal(err)
+	}
+	d.ScriptFault(FaultCorruptRead)
+	got := make([]byte, BlockSize)
+	if err := d.Read(1, got); err != nil {
+		t.Fatalf("corrupted read must still report success: %v", err)
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("scripted corrupt read returned the bytes unchanged")
+	}
+	// Read corruption garbles the BUFFER, not the platter: a retry is clean.
+	if err := d.Read(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("stored block damaged by a read-side corruption")
+	}
+	st := d.Stats()
+	if st.CorruptReads != 1 || st.CorruptWrites != 0 {
+		t.Fatalf("corruption counters: %+v", st)
+	}
+	if st.Reads != 2 {
+		t.Fatalf("a corrupted read SUCCEEDS and must count as a read: %+v", st)
+	}
+}
+
+func TestProbabilisticCorruptionDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		d := New(4)
+		d.InjectFaults(FaultProfile{Seed: 99, CorruptReadRate: 0.25, CorruptWriteRate: 0.25})
+		p := blockOf(5)
+		q := make([]byte, BlockSize)
+		for i := 0; i < 200; i++ {
+			_ = d.Write(i%4, p)
+			_ = d.Read(i%4, q)
+		}
+		st := d.Stats()
+		return st.CorruptReads, st.CorruptWrites
+	}
+	r1, w1 := run()
+	r2, w2 := run()
+	if r1 == 0 || w1 == 0 {
+		t.Fatalf("rate 0.25 over 400 ops produced no corruption (reads=%d writes=%d)", r1, w1)
+	}
+	if r1 != r2 || w1 != w2 {
+		t.Fatalf("same seed, different corruption counts: (%d,%d) vs (%d,%d)", r1, w1, r2, w2)
+	}
+	d := New(4)
+	d.InjectFaults(FaultProfile{Seed: 99, CorruptReadRate: 1, CorruptWriteRate: 1})
+	d.ClearInjectedFaults()
+	want := blockOf(1)
+	got := make([]byte, BlockSize)
+	if err := d.Write(0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("corruption must stop after ClearInjectedFaults")
+	}
+}
+
+func TestStatsSubCoversCorruption(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 10, CorruptReads: 4, CorruptWrites: 3}
+	b := Stats{Reads: 6, Writes: 5, CorruptReads: 1, CorruptWrites: 2}
+	got := a.Sub(b)
+	if got.CorruptReads != 3 || got.CorruptWrites != 1 {
+		t.Fatalf("Sub must cover the corruption counters: %+v", got)
+	}
+}

@@ -48,15 +48,19 @@ func ioError(op string, bn int) error {
 
 // Stats counts device operations.  Reads and writes are block-granularity:
 // one call, one block, one I/O.  Failed operations are counted in the fault
-// counters, not in Reads/Writes.
+// counters, not in Reads/Writes.  Corrupted operations SUCCEED from the
+// caller's point of view — that is what makes the corruption silent — so
+// they count in Reads/Writes as well as in CorruptReads/CorruptWrites.
 type Stats struct {
 	Reads  uint64
 	Writes uint64
 
 	// Fault-injection counters.
-	ReadFaults  uint64 // reads failed with an injected transient error
-	WriteFaults uint64 // writes failed with an injected transient error
-	TornWrites  uint64 // crashing writes that persisted a partial block
+	ReadFaults    uint64 // reads failed with an injected transient error
+	WriteFaults   uint64 // writes failed with an injected transient error
+	TornWrites    uint64 // crashing writes that persisted a partial block
+	CorruptReads  uint64 // reads that silently returned garbled bytes
+	CorruptWrites uint64 // writes that silently persisted garbled bytes
 }
 
 // Total returns Reads + Writes.
@@ -66,11 +70,13 @@ func (s Stats) Total() uint64 { return s.Reads + s.Writes }
 // operation by snapshotting stats before and after.
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{
-		Reads:       s.Reads - t.Reads,
-		Writes:      s.Writes - t.Writes,
-		ReadFaults:  s.ReadFaults - t.ReadFaults,
-		WriteFaults: s.WriteFaults - t.WriteFaults,
-		TornWrites:  s.TornWrites - t.TornWrites,
+		Reads:         s.Reads - t.Reads,
+		Writes:        s.Writes - t.Writes,
+		ReadFaults:    s.ReadFaults - t.ReadFaults,
+		WriteFaults:   s.WriteFaults - t.WriteFaults,
+		TornWrites:    s.TornWrites - t.TornWrites,
+		CorruptReads:  s.CorruptReads - t.CorruptReads,
+		CorruptWrites: s.CorruptWrites - t.CorruptWrites,
 	}
 }
 
@@ -88,18 +94,29 @@ const (
 	FaultReadError FaultKind = iota
 	// FaultWriteError fails the next write with a transient I/O error.
 	FaultWriteError
+	// FaultCorruptRead silently garbles the bytes the next read returns;
+	// the stored block is untouched and the call reports success.
+	FaultCorruptRead
+	// FaultCorruptWrite silently garbles the bytes the next write persists;
+	// the call reports success, so the caller believes its data is safe.
+	FaultCorruptWrite
 )
 
 // FaultProfile programs steady-state probabilistic faults on a device.
 // Rates are probabilities in [0, 1] drawn from a per-device RNG seeded by
 // Seed, so faulty runs stay deterministic.
 type FaultProfile struct {
-	Seed         int64
-	ReadErrRate  float64 // chance a read fails with a transient I/O error
-	WriteErrRate float64 // chance a write fails with a transient I/O error
+	Seed             int64
+	ReadErrRate      float64 // chance a read fails with a transient I/O error
+	WriteErrRate     float64 // chance a write fails with a transient I/O error
+	CorruptReadRate  float64 // chance a read silently returns garbled bytes
+	CorruptWriteRate float64 // chance a write silently persists garbled bytes
 }
 
-func (p FaultProfile) active() bool { return p.ReadErrRate > 0 || p.WriteErrRate > 0 }
+func (p FaultProfile) active() bool {
+	return p.ReadErrRate > 0 || p.WriteErrRate > 0 ||
+		p.CorruptReadRate > 0 || p.CorruptWriteRate > 0
+}
 
 // Device is a fixed-size array of blocks with I/O accounting and fault
 // injection.  All methods are safe for concurrent use.
@@ -133,26 +150,20 @@ func New(n int) *Device {
 // Blocks returns the device capacity in blocks.
 func (d *Device) Blocks() int { return len(d.blocks) }
 
-// drawFault decides whether the current operation (a read when read=true)
-// should fail with an injected transient error: scripted faults first, then
-// the probabilistic profile.  Caller holds d.mu.
-func (d *Device) drawFault(read bool) bool {
-	want := FaultWriteError
-	if read {
-		want = FaultReadError
-	}
+// drawScripted consumes and reports the scripted fault at the head of the
+// queue if it matches want.  Caller holds d.mu.
+func (d *Device) drawScripted(want FaultKind) bool {
 	if len(d.scripted) > 0 && d.scripted[0] == want {
 		d.scripted = d.scripted[1:]
 		return true
 	}
-	if !d.profile.active() {
-		return false
-	}
-	rate := d.profile.WriteErrRate
-	if read {
-		rate = d.profile.ReadErrRate
-	}
-	if rate <= 0 {
+	return false
+}
+
+// drawRate draws the per-device RNG against a profile rate.  Caller holds
+// d.mu.
+func (d *Device) drawRate(rate float64) bool {
+	if !d.profile.active() || rate <= 0 {
 		return false
 	}
 	// splitmix64 step; uniform in [0, 1) from the top 53 bits.
@@ -164,6 +175,46 @@ func (d *Device) drawFault(read bool) bool {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return float64(x>>11)/(1<<53) < rate
+}
+
+// drawFault decides whether the current operation (a read when read=true)
+// should fail with an injected transient error: scripted faults first, then
+// the probabilistic profile.  Caller holds d.mu.
+func (d *Device) drawFault(read bool) bool {
+	want, rate := FaultWriteError, d.profile.WriteErrRate
+	if read {
+		want, rate = FaultReadError, d.profile.ReadErrRate
+	}
+	return d.drawScripted(want) || d.drawRate(rate)
+}
+
+// drawCorrupt decides whether the current operation should silently garble
+// its bytes: scripted corruption first, then the profile.  Caller holds d.mu.
+func (d *Device) drawCorrupt(read bool) bool {
+	want, rate := FaultCorruptWrite, d.profile.CorruptWriteRate
+	if read {
+		want, rate = FaultCorruptRead, d.profile.CorruptReadRate
+	}
+	return d.drawScripted(want) || d.drawRate(rate)
+}
+
+// garble deterministically damages p in place: a handful of bit-flips at
+// RNG-chosen offsets, each guaranteed to change the byte, emulating silent
+// media bit rot.  Caller holds d.mu.
+func (d *Device) garble(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	for i := 0; i < 3; i++ {
+		d.rng += 0x9e3779b97f4a7c15
+		x := d.rng
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		p[x%uint64(len(p))] ^= byte(x>>8) | 1
+	}
 }
 
 // Read copies block bn into p (which must be exactly BlockSize bytes).
@@ -191,6 +242,12 @@ func (d *Device) Read(bn int, p []byte) error {
 		for i := range p {
 			p[i] = 0
 		}
+	}
+	// Silent read corruption: the stored block is intact, but the copy the
+	// caller receives is garbled and the call still reports success.
+	if d.drawCorrupt(true) {
+		d.garble(p)
+		d.stats.CorruptReads++
 	}
 	return nil
 }
@@ -241,6 +298,12 @@ func (d *Device) Write(bn int, p []byte) error {
 		d.blocks[bn] = b
 	}
 	copy(b, p)
+	// Silent write corruption: the caller's buffer is untouched and the call
+	// reports success, but what reached the platter is garbled.
+	if d.drawCorrupt(false) {
+		d.garble(b)
+		d.stats.CorruptWrites++
+	}
 	return nil
 }
 

@@ -46,11 +46,21 @@ func (r OpenIOResult) WarmDelta() int64 {
 	return int64(r.FicusWarmReads) - int64(r.UFSWarmReads)
 }
 
-// spacerInodes allocates throwaway files so that the interesting inodes do
-// not share inode-table blocks (which would let one fetch warm another and
-// distort the count).
-func spacerInodes(root vnode.Vnode, n int, tag string) error {
-	for i := 0; i < n; i++ {
+// spacerInodes allocates throwaway files until the next inode to be
+// allocated starts a fresh inode-table block, so that the interesting inode
+// groups neither share a block with earlier activity (which would let one
+// fetch warm another and distort the count) nor straddle a block boundary
+// (which would add a read).  UFS allocates inodes first-free from a linear
+// bitmap scan and this experiment never frees one, so the next inode number
+// is exactly the used-inode count.
+func spacerInodes(fs *ufs.FS, root vnode.Vnode, tag string) error {
+	st, err := fs.Statfs()
+	if err != nil {
+		return err
+	}
+	next := int(st.TotalInodes - st.FreeInodes)
+	pad := (ufs.InodesPerBlock - next%ufs.InodesPerBlock) % ufs.InodesPerBlock
+	for i := 0; i < pad; i++ {
 		if _, err := root.Create(fmt.Sprintf("spacer-%s-%03d", tag, i), true); err != nil {
 			return err
 		}
@@ -99,14 +109,14 @@ func ufsOpenIOs(cachesOn bool) (cold, warm uint64, err error) {
 	if _, err := sib.Create("file2", true); err != nil {
 		return 0, 0, err
 	}
-	if err := spacerInodes(root, ufs.InodesPerBlock, "a"); err != nil {
+	if err := spacerInodes(fs, root, "a"); err != nil {
 		return 0, 0, err
 	}
 	dir, err := root.Mkdir("dir")
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := spacerInodes(root, ufs.InodesPerBlock, "b"); err != nil {
+	if err := spacerInodes(fs, root, "b"); err != nil {
 		return 0, 0, err
 	}
 	f, err := dir.Create("file", true)
@@ -169,14 +179,14 @@ func ficusOpenIOs(cachesOn bool) (cold, warm uint64, err error) {
 	if _, err := sib.Create("file2", true); err != nil {
 		return 0, 0, err
 	}
-	if err := spacerInodes(root, ufs.InodesPerBlock, "a"); err != nil {
+	if err := spacerInodes(fs, root, "a"); err != nil {
 		return 0, 0, err
 	}
 	dir, err := root.Mkdir("dir")
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := spacerInodes(root, ufs.InodesPerBlock, "b"); err != nil {
+	if err := spacerInodes(fs, root, "b"); err != nil {
 		return 0, 0, err
 	}
 	f, err := dir.Create("file", true)

@@ -110,6 +110,21 @@ func (l *Layer) checkContainerLocked(cont vnode.Vnode, dirFid ids.FileID, path s
 			if !stored[prefixData+fid.String()] {
 				report("aux file %q has no data file", m.Name)
 			}
+		case strings.HasPrefix(m.Name, prefixSum):
+			fid, err := ids.ParseFileID(m.Name[len(prefixSum):])
+			if err != nil {
+				report("unparsable checksum sidecar name %q", m.Name)
+				continue
+			}
+			// A sidecar without its data file, or naming no entry, is an
+			// orphan.  A *missing* or stale sidecar is NOT a problem: crash
+			// windows legitimately leave one, and the scrubber reseals.
+			if !named[fid] {
+				report("orphaned checksum sidecar %q", m.Name)
+			}
+			if !stored[prefixData+fid.String()] {
+				report("checksum sidecar %q has no data file", m.Name)
+			}
 		case strings.HasPrefix(m.Name, prefixDir):
 			fid, err := ids.ParseFileID(m.Name[len(prefixDir):])
 			if err != nil {

@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/ids"
@@ -94,7 +95,12 @@ func (l *Layer) FileInfo(dirPath []ids.FileID, fid ids.FileID) (FileState, error
 }
 
 // FileData returns the full contents and attributes of file fid in
-// directory dirPath.
+// directory dirPath.  It is the replication read path — what PullBatch and
+// reconciliation ship to peers — so it verifies the data against a fresh
+// sealed sidecar before serving: a quarantined or freshly failing replica
+// answers ErrCorrupt (transient — retry elsewhere, repair pending) rather
+// than ever letting wrong bytes propagate.  A stale or missing sidecar
+// cannot vouch either way and the data is served optimistically.
 func (l *Layer) FileData(dirPath []ids.FileID, fid ids.FileID) ([]byte, FileState, error) {
 	st, err := l.FileInfo(dirPath, fid)
 	if err != nil {
@@ -102,6 +108,9 @@ func (l *Layer) FileData(dirPath []ids.FileID, fid ids.FileID) ([]byte, FileStat
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.isQuarantinedLocked(fid) {
+		return nil, FileState{}, fmt.Errorf("%w: file %s is quarantined", ErrCorrupt, fid)
+	}
 	cont, err := l.containerOf(dirPath)
 	if err != nil {
 		return nil, FileState{}, err
@@ -113,6 +122,12 @@ func (l *Layer) FileData(dirPath []ids.FileID, fid ids.FileID) ([]byte, FileStat
 	data, err := vnode.ReadFile(df)
 	if err != nil {
 		return nil, FileState{}, err
+	}
+	if sealed, cs, serr := readSidecar(l.root, cont, fid); serr == nil && sealed.Equal(st.Aux.VV) {
+		if !cs.Verify(data) {
+			l.quarantineLocked(dirPath, fid, st.Aux.VV)
+			return nil, FileState{}, fmt.Errorf("%w: file %s failed verification on read", ErrCorrupt, fid)
+		}
 	}
 	return data, st, nil
 }
@@ -277,11 +292,12 @@ func (l *Layer) derefAfterMergeLocked(cont vnode.Vnode, entries []Entry, child i
 	if countLiveRefs(entries, child) > 0 {
 		return nil
 	}
-	for _, p := range []string{prefixData, prefixAux} {
+	for _, p := range []string{prefixData, prefixAux, prefixSum} {
 		if err := cont.Remove(p + child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
 			return err
 		}
 	}
+	l.clearQuarantineLocked(child, false)
 	return nil
 }
 
@@ -338,6 +354,11 @@ func (l *Layer) EvictFileStorage(dirPath []ids.FileID, fid ids.FileID) error {
 			return err
 		}
 	}
+	if err := removeSidecar(cont, fid); err != nil {
+		return err
+	}
+	// No local bytes, nothing left to distrust.
+	l.clearQuarantineLocked(fid, false)
 	return nil
 }
 
@@ -395,11 +416,12 @@ func (l *Layer) DropTombstones(dirPath []ids.FileID, eids []ids.FileID) (int, er
 		if countAnyRefs(kept, child) > 0 {
 			continue
 		}
-		for _, p := range []string{prefixData, prefixAux} {
+		for _, p := range []string{prefixData, prefixAux, prefixSum} {
 			if err := cont.Remove(p + child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
 				return removed, err
 			}
 		}
+		l.clearQuarantineLocked(child, false)
 	}
 	// Reclaim containers of collected directory entries, if stored here and
 	// no surviving entry still names the child.

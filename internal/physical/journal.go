@@ -223,12 +223,25 @@ func (l *Layer) initJournalLocked() error {
 // the in-memory cache, then rewrite the normalized snapshot.  A missing
 // journal (store formatted before journaling existed) starts empty.
 func (l *Layer) openJournalLocked() error {
-	// A crash mid-compaction leaves nvcj.shadow beside an intact journal
-	// (the rename is the commit point); the root container recovery walk
-	// never visits the store root, so clean it up here.
+	// A crash mid-compaction can leave nvcj.shadow behind; the root
+	// container recovery walk never visits the store root, so sort it out
+	// here.  Which copy to trust depends on whether the rename commit had
+	// removed the old journal name yet:
+	//
+	//   - nvcj still present: the rename never committed; the old log is
+	//     intact and the shadow is possibly torn — discard the shadow.
+	//   - nvcj gone: the crash landed inside the rename itself.  The
+	//     rename only begins after the shadow is fully written, so the
+	//     shadow IS the complete new snapshot — promote it.
 	shadowName := nvcjFileName + suffixShadow
 	if _, err := l.root.Lookup(shadowName); err == nil {
-		if err := l.root.Remove(shadowName); err != nil {
+		if _, jerr := l.root.Lookup(nvcjFileName); vnode.AsErrno(jerr) == vnode.ENOENT {
+			if err := l.root.Rename(shadowName, l.root, nvcjFileName); err != nil {
+				return err
+			}
+		} else if jerr != nil {
+			return jerr
+		} else if err := l.root.Remove(shadowName); err != nil {
 			return err
 		}
 	} else if vnode.AsErrno(err) != vnode.ENOENT {

@@ -1,0 +1,81 @@
+package physical
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/vnode"
+)
+
+// TestJournalCompactionCrashSweep crashes the NVC journal compaction at
+// every device write offset — clean crashes and torn writes — and checks
+// that the replayed cache after reopen always equals the pre-compaction
+// cache.  Compaction replaces the journal with a snapshot of the live
+// entries via shadow + rename, so a crash anywhere inside it must leave
+// either the old log or the new snapshot on disk; both replay to the same
+// cache, and reopen must also sweep up any leftover compaction shadow.
+func TestJournalCompactionCrashSweep(t *testing.T) {
+	setup := func() (*Layer, *disk.Device, []NewVersion) {
+		l, dev := newLayer(t, 1)
+		l.NoteNewVersion(RootPath(), fid(2, 100), 2)
+		l.NoteNewVersion(RootPath(), fid(3, 200), 3)
+		l.NoteNewVersion(RootPath(), fid(2, 100), 2) // coalesced, Seen=2
+		l.NoteNewVersion(RootPath(), fid(4, 300), 4)
+		l.DeferPending(fid(3, 200), 9) // backoff state rides along
+		want := l.PendingVersions()
+		if len(want) != 3 {
+			t.Fatalf("precondition: %d pending, want 3", len(want))
+		}
+		return l, dev, want
+	}
+
+	compact := func(l *Layer) error {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.rewriteJournalLocked()
+	}
+
+	// Count the writes one full compaction costs on an undisturbed run.
+	l, dev, _ := setup()
+	before := dev.Stats().Writes
+	if err := compact(l); err != nil {
+		t.Fatal(err)
+	}
+	totalWrites := int(dev.Stats().Writes - before)
+	if totalWrites == 0 {
+		t.Fatal("compaction issued no writes; the sweep would test nothing")
+	}
+
+	for _, torn := range []bool{false, true} {
+		for crashAfter := 0; crashAfter <= totalWrites; crashAfter++ {
+			l, dev, want := setup()
+			if torn {
+				dev.FaultAfterWritesTorn(crashAfter, 64)
+			} else {
+				dev.FaultAfterWrites(crashAfter)
+			}
+			compactErr := compact(l)
+			crashed := dev.Faulted()
+			dev.ClearFault()
+			if !crashed && compactErr != nil {
+				t.Fatalf("torn=%v crashAfter=%d: compaction failed without a fault: %v", torn, crashAfter, compactErr)
+			}
+
+			nl := reopen(t, dev)
+			got := nl.PendingVersions()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("torn=%v crashAfter=%d (crashed=%v, compactErr=%v): pending diverged:\n got %+v\nwant %+v",
+					torn, crashAfter, crashed, compactErr, got, want)
+			}
+			if _, err := nl.root.Lookup(nvcjFileName + suffixShadow); vnode.AsErrno(err) != vnode.ENOENT {
+				t.Fatalf("torn=%v crashAfter=%d: compaction shadow survived reopen: %v", torn, crashAfter, err)
+			}
+			if problems, err := nl.Check(); err != nil {
+				t.Fatalf("torn=%v crashAfter=%d: ficus check: %v", torn, crashAfter, err)
+			} else if len(problems) != 0 {
+				t.Fatalf("torn=%v crashAfter=%d: ficus check found: %v", torn, crashAfter, problems)
+			}
+		}
+	}
+}

@@ -49,6 +49,7 @@ const (
 	prefixDir    = "D" // child directory container (UFS directory)
 	prefixData   = "F" // child file data (UFS file)
 	prefixAux    = "A" // child file auxiliary attributes (UFS file)
+	prefixSum    = "C" // child file block-checksum sidecar (UFS file)
 	suffixShadow = ".shadow"
 )
 
@@ -77,6 +78,12 @@ type Layer struct {
 	opens      map[ids.FileID]int
 	openTotal  uint64
 	daemonTick uint64 // virtual clock, one tick per propagation pass
+
+	// Integrity state (sidecar.go, quarantine.go, scrub.go).  The quarantine
+	// set is in-memory only: after a restart the scrubber re-detects what is
+	// still corrupt, so durability would buy nothing.
+	quar  map[ids.FileID]QuarEntry
+	integ IntegrityStats
 
 	// Durable new-version cache journal (journal.go).
 	nvcj        vnode.Vnode
@@ -132,6 +139,7 @@ func Format(store vnode.VFS, vol ids.VolumeHandle, replica ids.ReplicaID) (*Laye
 		seq:     ids.NewSequencer(replica, 2),
 		nvc:     make(map[nvcKey]NewVersion),
 		opens:   make(map[ids.FileID]int),
+		quar:    make(map[ids.FileID]QuarEntry),
 	}
 	if err := l.writeMetaLocked(); err != nil {
 		return nil, err
@@ -170,6 +178,7 @@ func Open(store vnode.VFS) (*Layer, error) {
 		root:  root,
 		nvc:   make(map[nvcKey]NewVersion),
 		opens: make(map[ids.FileID]int),
+		quar:  make(map[ids.FileID]QuarEntry),
 	}
 	if err := l.readMetaLocked(); err != nil {
 		return nil, err

@@ -79,6 +79,13 @@ type PullResult struct {
 	Size     uint64    // PullData only
 	RemoteVV vv.Vector // PullConcurrent only
 	Err      error     // PullError only
+
+	// Sum carries the serving replica's sealed checksums for exactly the
+	// shipped version (PullData only; nil when the server cannot vouch).
+	// Receivers verify the payload against it before installing, so damage
+	// in flight — or a serving path whose verification was bypassed — is
+	// rejected rather than committed.
+	Sum *Checksums
 }
 
 // PullBatch answers a batch of conditional pull requests against this
@@ -125,5 +132,8 @@ func (l *Layer) pullOne(req *PullRequest) PullResult {
 		}
 		return PullResult{Status: PullError, Err: err}
 	}
-	return PullResult{Status: PullData, Data: data, Aux: dst.Aux, Size: dst.Size}
+	// Ship the sealed checksums alongside the data when the sidecar vouches
+	// for exactly this version, so the puller can verify before installing.
+	sum := l.FileChecksums(req.Dir, req.File, dst.Aux.VV)
+	return PullResult{Status: PullData, Data: data, Aux: dst.Aux, Size: dst.Size, Sum: sum}
 }

@@ -270,6 +270,14 @@ func (v *pvnode) createKind(name string, excl bool, kind Kind, data string) (vno
 	if err := writeAuxFile(cont, prefixAux+fid.String(), &aux); err != nil {
 		return nil, err
 	}
+	// Seal the checksum sidecar after the aux: every crash window leaves a
+	// missing sidecar — merely unverifiable, resealed by the scrubber —
+	// never a seal vouching for bytes it does not cover.  (The sidecar's
+	// inode also lands after the open path's F/A inodes, preserving the
+	// paper's cold-open I/O count, §6.)
+	if err := writeSidecar(cont, fid, aux.VV, ComputeChecksums([]byte(data))); err != nil {
+		return nil, err
+	}
 	entries = append(entries, Entry{EID: eid, Name: name, Child: fid, Kind: kind})
 	if err := v.l.writeDirFileLocked(cont, entries); err != nil {
 		return nil, err
@@ -401,6 +409,9 @@ func (v *pvnode) dataFile() (vnode.Vnode, error) {
 }
 
 func (v *pvnode) readAll() ([]byte, error) {
+	if v.l.IsQuarantined(v.fid) {
+		return nil, vnode.ENOSTOR
+	}
 	df, err := v.dataFile()
 	if err != nil {
 		return nil, err
@@ -411,6 +422,11 @@ func (v *pvnode) readAll() ([]byte, error) {
 func (v *pvnode) ReadAt(p []byte, off int64) (int, error) {
 	if v.kind.IsDir() {
 		return 0, vnode.EISDIR
+	}
+	// A quarantined replica's bytes are untrusted: answer "not stored" so
+	// the logical layer fails over to a replica that can serve the version.
+	if v.l.IsQuarantined(v.fid) {
+		return 0, vnode.ENOSTOR
 	}
 	df, err := v.dataFile()
 	if err != nil {
@@ -424,7 +440,10 @@ func (v *pvnode) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // bumpFileLocked bumps this file's version vector: every local mutation is
-// an update this replica originated (§3.1).
+// an update this replica originated (§3.1).  The sidecar is resealed from
+// the just-written data under the bumped vector BEFORE the aux commits, so
+// a crash in between leaves the sidecar unverifiable (stale seal) rather
+// than the aux vouching for checksums that never covered the new bytes.
 func (v *pvnode) bumpFileLocked() error {
 	cont, err := v.container()
 	if err != nil {
@@ -447,6 +466,9 @@ func (v *pvnode) bumpFileLocked() error {
 		aux.VV = make(map[ids.ReplicaID]uint64)
 	}
 	aux.VV.Bump(v.l.replica)
+	if err := sealFile(v.l.root, cont, v.fid, aux.VV); err != nil {
+		return err
+	}
 	return writeAuxVnode(af, &aux)
 }
 
@@ -456,6 +478,11 @@ func (v *pvnode) WriteAt(p []byte, off int64) (int, error) {
 	}
 	v.l.mu.Lock()
 	defer v.l.mu.Unlock()
+	// Writing over quarantined bytes would seal damage into a fresh version
+	// (a partial write reads back what it did not cover); fail over instead.
+	if v.l.isQuarantinedLocked(v.fid) {
+		return 0, vnode.ENOSTOR
+	}
 	df, err := v.dataFile()
 	if err != nil {
 		return 0, err
@@ -473,6 +500,9 @@ func (v *pvnode) Truncate(size uint64) error {
 	}
 	v.l.mu.Lock()
 	defer v.l.mu.Unlock()
+	if v.l.isQuarantinedLocked(v.fid) {
+		return vnode.ENOSTOR
+	}
 	df, err := v.dataFile()
 	if err != nil {
 		return err
@@ -575,6 +605,11 @@ func (v *pvnode) Setattr(sa vnode.SetAttr) error {
 		}
 	}
 	if sa.Mode != nil && !v.kind.IsDir() {
+		// The bump below reseals the sidecar from stored data; on a
+		// quarantined replica that would launder known-bad bytes.
+		if v.l.IsQuarantined(v.fid) {
+			return vnode.ENOSTOR
+		}
 		df, err := v.dataFile()
 		if err != nil {
 			return err
@@ -652,6 +687,10 @@ func (v *pvnode) derefStorageLocked(cont vnode.Vnode, entries []Entry, child ids
 	if err := cont.Remove(prefixAux + child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
 		return err
 	}
+	if err := removeSidecar(cont, child); err != nil {
+		return err
+	}
+	v.l.clearQuarantineLocked(child, false)
 	return nil
 }
 
@@ -839,7 +878,7 @@ func (v *pvnode) Rename(oldName string, dstDir vnode.Vnode, newName string) erro
 				return err
 			}
 		} else {
-			for _, p := range []string{prefixData, prefixAux} {
+			for _, p := range []string{prefixData, prefixAux, prefixSum} {
 				if err := srcCont.Rename(p+e.Child.String(), dstCont, p+e.Child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
 					return err
 				}

@@ -1,0 +1,170 @@
+package physical
+
+// The volume-replica scrub pass: the storage-side half of the background
+// scrubber daemon (core.Host drives passes and repairs).  One pass walks
+// every container, and for every locally stored file replica either
+// verifies the data against its sealed sidecar, or — when the sidecar is
+// missing, torn, or sealed under a vector that no longer matches the aux —
+// reseals it from the local data.  Verification failures enter quarantine;
+// a quarantined replica that verifies again (a newer version was installed
+// over it) leaves quarantine.
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/vnode"
+)
+
+// ScrubReport summarizes one scrub pass over a volume replica.
+type ScrubReport struct {
+	VerifiedFiles  int // file versions checked against a fresh sidecar
+	VerifiedBlocks int // block checksums compared
+	Resealed       int // unverifiable sidecars recomputed from local data
+	Corrupt        int // verification failures that entered quarantine this pass
+	Cleared        int // quarantined files that verify again (superseded in place)
+}
+
+// Add accumulates.
+func (r *ScrubReport) Add(t ScrubReport) {
+	r.VerifiedFiles += t.VerifiedFiles
+	r.VerifiedBlocks += t.VerifiedBlocks
+	r.Resealed += t.Resealed
+	r.Corrupt += t.Corrupt
+	r.Cleared += t.Cleared
+}
+
+// String renders the report compactly.
+func (r ScrubReport) String() string {
+	return fmt.Sprintf("verified=%d blocks=%d resealed=%d corrupt=%d cleared=%d",
+		r.VerifiedFiles, r.VerifiedBlocks, r.Resealed, r.Corrupt, r.Cleared)
+}
+
+// ScrubPass sweeps the whole volume replica once.  It is deterministic
+// (container entries are visited in stored order) and safe to run at any
+// time; the layer lock is held for the duration, like Check.
+func (l *Layer) ScrubPass() (ScrubReport, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var rep ScrubReport
+	cont, err := l.rootContainer()
+	if err != nil {
+		if vnode.AsErrno(err) == vnode.ENOENT {
+			return rep, nil
+		}
+		return rep, err
+	}
+	err = l.scrubContainerLocked(cont, []ids.FileID{ids.RootFileID}, &rep)
+	return rep, err
+}
+
+func (l *Layer) scrubContainerLocked(cont vnode.Vnode, dirPath []ids.FileID, rep *ScrubReport) error {
+	entries, err := l.readDirFileLocked(cont)
+	if err != nil {
+		// An unreadable contents file is Check's problem, not the scrubber's.
+		return nil
+	}
+	for _, e := range liveSorted(entries) {
+		if e.Kind.IsDir() {
+			sub, err := lookupFollow(l.root, cont, prefixDir+e.Child.String())
+			if err != nil {
+				continue // not stored here (§4.1)
+			}
+			childPath := append(append([]ids.FileID(nil), dirPath...), e.Child)
+			if err := l.scrubContainerLocked(sub, childPath, rep); err != nil {
+				return err
+			}
+			continue
+		}
+		l.scrubFileLocked(cont, dirPath, e.Child, rep)
+	}
+	return nil
+}
+
+// scrubFileLocked verifies or reseals one stored file replica.
+func (l *Layer) scrubFileLocked(cont vnode.Vnode, dirPath []ids.FileID, fid ids.FileID, rep *ScrubReport) {
+	aux, err := readAuxFileFollow(l.root, cont, prefixAux+fid.String())
+	if err != nil {
+		return // not stored here, or mid-materialization; nothing to vouch for
+	}
+	df, err := lookupFollow(l.root, cont, prefixData+fid.String())
+	if err != nil {
+		return
+	}
+	data, err := vnode.ReadFile(df)
+	if err != nil {
+		return // an I/O error is the fault plane's business; retried next pass
+	}
+	sealed, cs, err := readSidecar(l.root, cont, fid)
+	if err != nil || !sealed.Equal(aux.VV) {
+		// Unverifiable — but never reseal a quarantined replica: that would
+		// launder bytes already known bad under a fresh seal.
+		if l.isQuarantinedLocked(fid) {
+			return
+		}
+		if err := writeSidecar(cont, fid, aux.VV, ComputeChecksums(data)); err == nil {
+			rep.Resealed++
+			l.integ.Resealed++
+		}
+		return
+	}
+	rep.VerifiedFiles++
+	rep.VerifiedBlocks += len(cs.Sums)
+	l.integ.ScrubbedFiles++
+	l.integ.ScrubbedBlocks += uint64(len(cs.Sums))
+	if cs.Verify(data) {
+		if l.isQuarantinedLocked(fid) {
+			l.clearQuarantineLocked(fid, false)
+			rep.Cleared++
+		}
+		return
+	}
+	if !l.isQuarantinedLocked(fid) {
+		l.quarantineLocked(dirPath, fid, aux.VV)
+		rep.Corrupt++
+	}
+}
+
+// RepairDue lists the quarantined entries eligible for a repair attempt at
+// daemon tick now, in deterministic file-id order.
+func (l *Layer) RepairDue(now uint64) []QuarEntry {
+	var due []QuarEntry
+	for _, q := range l.QuarantinedVersions() {
+		if q.NotBefore <= now {
+			due = append(due, q)
+		}
+	}
+	return due
+}
+
+// CorruptData flips one byte of fid's stored data file in place, bypassing
+// the version bump and sidecar reseal every legitimate write performs —
+// at-rest bit rot, as a deterministic test injection.  The aux and sidecar
+// are untouched, so the damage is exactly what the scrubber must detect.
+func (l *Layer) CorruptData(dirPath []ids.FileID, fid ids.FileID, off uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return err
+	}
+	df, err := lookupFollow(l.root, cont, prefixData+fid.String())
+	if err != nil {
+		if vnode.AsErrno(err) == vnode.ENOENT {
+			return ErrNotStored
+		}
+		return err
+	}
+	data, err := vnode.ReadFile(df)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("physical: cannot bit-rot empty file %s", fid)
+	}
+	if off >= uint64(len(data)) {
+		off = uint64(len(data)) - 1
+	}
+	_, err = df.WriteAt([]byte{data[off] ^ 0x40}, int64(off))
+	return err
+}

@@ -1,0 +1,330 @@
+package physical
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/retry"
+	"repro/internal/vnode"
+	"repro/internal/vv"
+)
+
+// scrubLayerWithFile builds a layer holding one sealed file and returns the
+// layer and the file's id.
+func scrubLayerWithFile(t *testing.T, contents string) (*Layer, vnode.Vnode) {
+	t.Helper()
+	l, _ := newLayer(t, 1)
+	root, err := l.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := root.Create("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vnode.WriteFile(f, []byte(contents)); err != nil {
+		t.Fatal(err)
+	}
+	return l, f
+}
+
+func TestScrubCleanPassVerifies(t *testing.T) {
+	l, f := scrubLayerWithFile(t, "healthy bytes")
+	rep, err := l.ScrubPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VerifiedFiles != 1 || rep.VerifiedBlocks != 1 || rep.Corrupt != 0 || rep.Resealed != 0 {
+		t.Fatalf("clean pass: %+v", rep)
+	}
+	if l.IsQuarantined(mustFid(t, f)) {
+		t.Fatal("clean file quarantined")
+	}
+	s := l.IntegrityStats()
+	if s.ScrubbedFiles != 1 || s.ScrubbedBlocks != 1 || s.CorruptionsDetected != 0 {
+		t.Fatalf("integrity stats: %+v", s)
+	}
+}
+
+func TestScrubDetectsBitRotAndQuarantines(t *testing.T) {
+	l, f := scrubLayerWithFile(t, "soon to be damaged")
+	fid := mustFid(t, f)
+	if err := l.CorruptData(RootPath(), fid, 3); err != nil {
+		t.Fatal(err)
+	}
+	// The damage is silent: reads still succeed, bytes are wrong.
+	pre, err := vnode.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(pre, []byte("soon to be damaged")) {
+		t.Fatal("CorruptData changed nothing")
+	}
+
+	rep, err := l.ScrubPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt != 1 {
+		t.Fatalf("scrub missed the rot: %+v", rep)
+	}
+	if !l.IsQuarantined(fid) {
+		t.Fatal("corrupt file not quarantined")
+	}
+
+	// Quarantined local reads answer ENOSTOR (the logical layer fails over).
+	if _, err := vnode.ReadFile(f); vnode.AsErrno(err) != vnode.ENOSTOR {
+		t.Fatalf("quarantined read: got %v, want ENOSTOR", err)
+	}
+	// Quarantined local writes answer ENOSTOR too: a write would seal the
+	// damage into a fresh version.
+	if _, err := f.WriteAt([]byte("x"), 0); vnode.AsErrno(err) != vnode.ENOSTOR {
+		t.Fatalf("quarantined write: got %v, want ENOSTOR", err)
+	}
+	// The replication read path answers ErrCorrupt — a TRANSIENT error, so
+	// pullers defer instead of dropping their new-version entries.
+	if _, _, err := l.FileData(RootPath(), fid); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("FileData on quarantined file: %v", err)
+	} else if !retry.Transient(err) {
+		t.Fatalf("ErrCorrupt must classify transient: %v", err)
+	}
+	// FileInfo still answers: the version exists, the local bytes don't.
+	if _, err := l.FileInfo(RootPath(), fid); err != nil {
+		t.Fatalf("FileInfo on quarantined file: %v", err)
+	}
+	// The batched pull path refuses to ship the bytes.
+	res, _ := l.PullBatch([]PullRequest{{Dir: RootPath(), File: fid}})
+	if res[0].Status != PullError || !retry.Transient(res[0].Err) {
+		t.Fatalf("pull of quarantined file: %+v", res[0])
+	}
+
+	// Detection counts once, not per pass.
+	if _, err := l.ScrubPass(); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.IntegrityStats(); s.CorruptionsDetected != 1 || s.Quarantined != 1 {
+		t.Fatalf("re-detection must not double count: %+v", s)
+	}
+}
+
+func TestScrubReadDetectsCorruption(t *testing.T) {
+	// The replication read path verifies on its own, without waiting for a
+	// scrub pass.
+	l, f := scrubLayerWithFile(t, "read-path detection")
+	fid := mustFid(t, f)
+	if err := l.CorruptData(RootPath(), fid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.FileData(RootPath(), fid); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("FileData served corrupt bytes: %v", err)
+	}
+	if !l.IsQuarantined(fid) {
+		t.Fatal("read-path detection must quarantine")
+	}
+}
+
+func TestScrubResealsUnverifiableSidecar(t *testing.T) {
+	l, f := scrubLayerWithFile(t, "lost my sidecar")
+	fid := mustFid(t, f)
+	cont, err := l.rootContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: the sidecar never landed.
+	if err := cont.Remove(prefixSum + fid.String()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.ScrubPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resealed != 1 || rep.Corrupt != 0 {
+		t.Fatalf("missing sidecar must reseal, not quarantine: %+v", rep)
+	}
+	// The reseal is trusted: the next pass verifies.
+	rep, err = l.ScrubPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VerifiedFiles != 1 || rep.Resealed != 0 {
+		t.Fatalf("second pass: %+v", rep)
+	}
+}
+
+func TestScrubNeverResealsQuarantined(t *testing.T) {
+	l, f := scrubLayerWithFile(t, "damage must not be laundered")
+	fid := mustFid(t, f)
+	if err := l.CorruptData(RootPath(), fid, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ScrubPass(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsQuarantined(fid) {
+		t.Fatal("not quarantined")
+	}
+	// Tear the sidecar off: without the quarantine guard the next pass would
+	// reseal the damaged bytes as if they were the version.
+	cont, _ := l.rootContainer()
+	if err := cont.Remove(prefixSum + fid.String()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.ScrubPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resealed != 0 {
+		t.Fatal("scrub resealed a quarantined replica (laundered the damage)")
+	}
+	if !l.IsQuarantined(fid) {
+		t.Fatal("quarantine lifted without a verified install")
+	}
+}
+
+func TestVerifiedInstallClearsQuarantine(t *testing.T) {
+	l, f := scrubLayerWithFile(t, "original")
+	fid := mustFid(t, f)
+	st, err := l.FileInfo(RootPath(), fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodVV := st.Aux.VV.Clone()
+	if err := l.CorruptData(RootPath(), fid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ScrubPass(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsQuarantined(fid) {
+		t.Fatal("not quarantined")
+	}
+
+	// A peer re-supplies the same version with matching checksums: the
+	// install verifies, lands, and lifts the quarantine as a repair.
+	data := []byte("original")
+	if err := l.InstallFileVersionSum(RootPath(), fid, KFile, data, goodVV, 1, ComputeChecksums(data)); err != nil {
+		t.Fatal(err)
+	}
+	if l.IsQuarantined(fid) {
+		t.Fatal("verified install must clear quarantine")
+	}
+	if got, err := vnode.ReadFile(f); err != nil || string(got) != "original" {
+		t.Fatalf("after repair: %q %v", got, err)
+	}
+	if s := l.IntegrityStats(); s.Repaired != 1 {
+		t.Fatalf("repair not counted: %+v", s)
+	}
+	// And it survives another scrub cleanly.
+	rep, err := l.ScrubPass()
+	if err != nil || rep.Corrupt != 0 {
+		t.Fatalf("post-repair scrub: %+v %v", rep, err)
+	}
+}
+
+func TestInstallRejectsMismatchedChecksums(t *testing.T) {
+	// With invariants armed this condition panics instead (see the fire
+	// test below); here we pin the production path: a transient error.
+	defer invariant.ForceForTest(false)()
+	l, f := scrubLayerWithFile(t, "v1")
+	fid := mustFid(t, f)
+	st, err := l.FileInfo(RootPath(), fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newVV := st.Aux.VV.Clone().Bump(2)
+	// Checksums advertise different bytes than the payload: damage in
+	// flight.  The install must refuse before touching disk.
+	wrong := ComputeChecksums([]byte("what the server promised"))
+	err = l.InstallFileVersionSum(RootPath(), fid, KFile, []byte("what arrived"), newVV, 1, wrong)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mismatched install: got %v, want ErrCorrupt", err)
+	}
+	if !retry.Transient(err) {
+		t.Fatalf("rejected install must classify transient: %v", err)
+	}
+	if got, _ := vnode.ReadFile(f); string(got) != "v1" {
+		t.Fatalf("rejected install must not change the file: %q", got)
+	}
+}
+
+// TestInstallMismatchFiresInvariant: under FICUS_INVARIANTS=1 a payload
+// that contradicts its advertised sidecar is an invariant violation, not
+// just an error.
+func TestInstallMismatchFiresInvariant(t *testing.T) {
+	l, _ := scrubLayerWithFile(t, "v1")
+	fid, err := l.NextID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := ComputeChecksums([]byte("promised"))
+	mustViolate(t, func() {
+		_ = l.InstallFileVersionSum(RootPath(), fid, KFile, []byte("arrived"), vv.New().Bump(2), 1, wrong)
+	})
+}
+
+// TestInstallMatchingChecksumsPassesInvariant: the legitimate verified
+// install must not fire even with invariants armed.
+func TestInstallMatchingChecksumsPassesInvariant(t *testing.T) {
+	defer invariant.ForceForTest(true)()
+	l, f := scrubLayerWithFile(t, "v1")
+	fid := mustFid(t, f)
+	st, err := l.FileInfo(RootPath(), fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("v2")
+	if err := l.InstallFileVersionSum(RootPath(), fid, KFile, data, st.Aux.VV.Clone().Bump(2), 1, ComputeChecksums(data)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionClearsQuarantineWithoutRepairCredit(t *testing.T) {
+	l, f := scrubLayerWithFile(t, "evict me")
+	fid := mustFid(t, f)
+	if err := l.CorruptData(RootPath(), fid, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ScrubPass(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsQuarantined(fid) {
+		t.Fatal("not quarantined")
+	}
+	if err := l.EvictFileStorage(RootPath(), fid); err != nil {
+		t.Fatal(err)
+	}
+	if l.IsQuarantined(fid) {
+		t.Fatal("eviction must drop the quarantine entry")
+	}
+	if s := l.IntegrityStats(); s.Repaired != 0 {
+		t.Fatalf("eviction is not a repair: %+v", s)
+	}
+}
+
+func TestRepairDueAndBackoffBookkeeping(t *testing.T) {
+	l, f := scrubLayerWithFile(t, "backoff")
+	fid := mustFid(t, f)
+	if err := l.CorruptData(RootPath(), fid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ScrubPass(); err != nil {
+		t.Fatal(err)
+	}
+	if due := l.RepairDue(0); len(due) != 1 || due[0].File != fid {
+		t.Fatalf("due list: %+v", due)
+	}
+	l.DeferRepair(fid, 10)
+	if due := l.RepairDue(9); len(due) != 0 {
+		t.Fatalf("deferred entry still due: %+v", due)
+	}
+	if due := l.RepairDue(10); len(due) != 1 || due[0].Attempts != 1 {
+		t.Fatalf("entry not due again at its tick: %+v", due)
+	}
+	l.NoteUnrepairable(fid)
+	l.NoteUnrepairable(fid) // idempotent within one quarantine spell
+	if s := l.IntegrityStats(); s.Unrepairable != 1 {
+		t.Fatalf("unrepairable must count once per spell: %+v", s)
+	}
+}

@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"fmt"
 	"strings"
 
 	"repro/internal/ids"
@@ -24,6 +25,23 @@ import (
 // is also how a replica acquires its first copy of a file during subtree
 // reconciliation.
 func (l *Layer) InstallFileVersion(dirPath []ids.FileID, fid ids.FileID, kind Kind, data []byte, newVV vv.Vector, nlink uint32) error {
+	return l.InstallFileVersionSum(dirPath, fid, kind, data, newVV, nlink, nil)
+}
+
+// InstallFileVersionSum is InstallFileVersion with an advertised checksum
+// summary: cs, when non-nil, is the serving replica's sealed sidecar for
+// exactly this version.  The payload is verified against it before anything
+// touches disk — a mismatch (damage in flight, or a serving replica whose
+// own verification was bypassed) rejects the install with ErrCorrupt and,
+// under FICUS_INVARIANTS=1, is an invariant violation.  nil cs installs
+// optimistically and the sidecar is sealed from the received bytes.
+func (l *Layer) InstallFileVersionSum(dirPath []ids.FileID, fid ids.FileID, kind Kind, data []byte, newVV vv.Vector, nlink uint32, cs *Checksums) error {
+	if cs != nil && !cs.Verify(data) {
+		invariant.Checkf(false,
+			"physical: install of %s rejected: payload (%d bytes) does not match advertised checksums (length %d)",
+			fid, len(data), cs.Length)
+		return fmt.Errorf("%w: install of %s rejected (payload does not match advertised sidecar)", ErrCorrupt, fid)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cont, err := l.containerOf(dirPath)
@@ -53,18 +71,33 @@ func (l *Layer) InstallFileVersion(dirPath []ids.FileID, fid ids.FileID, kind Ki
 	if err := vnode.WriteFile(sf, data); err != nil {
 		return err
 	}
-	// 2. Atomically substitute the shadow for the original.
+	// 2. Commit the sidecar, sealed under newVV.  It is stale (sealed vector
+	// != aux vector) until step 4 lands, so every crash window in between
+	// reads as "unverifiable" — the scrubber reseals — never as a false
+	// checksum mismatch.
+	if cs == nil {
+		cs = ComputeChecksums(data)
+	}
+	if err := writeSidecar(cont, fid, newVV, cs); err != nil {
+		return err
+	}
+	// 3. Atomically substitute the shadow for the original.
 	if err := cont.Rename(shadow, cont, base); err != nil {
 		return err
 	}
-	// 3. Record the new version vector.  A crash between 2 and 3 leaves
+	// 4. Record the new version vector.  A crash between 3 and 4 leaves
 	// new data under the old vector; the next propagation re-pulls and
 	// re-installs — safe because installation is idempotent.
 	if nlink == 0 {
 		nlink = 1
 	}
 	aux := Aux{Type: kind, Nlink: nlink, VV: newVV.Clone()}
-	return writeAuxFile(cont, prefixAux+fid.String(), &aux)
+	if err := writeAuxFile(cont, prefixAux+fid.String(), &aux); err != nil {
+		return err
+	}
+	// A verified install over a quarantined replica is its repair.
+	l.clearQuarantineLocked(fid, true)
+	return nil
 }
 
 // Recover scans every directory container for leftover shadow files and

@@ -1,0 +1,234 @@
+package physical
+
+// Per-file-version block-checksum sidecars.
+//
+// The paper's availability argument (§1, §7) assumes a replica that has a
+// version can serve it; silent media corruption breaks that silently — a
+// flipped block would be served, and worse, *propagated*, as the sealed
+// version.  Each stored file replica therefore carries a sidecar file
+// ("C<fid>", beside the data "F<fid>" and aux "A<fid>" members) recording a
+// CRC32-Castagnoli per data block, sealed under the version vector the
+// checksums were computed for.
+//
+// The seal rule is what makes verification safe across crashes: checksums
+// are trusted ONLY when the sidecar's sealed vector equals the file's aux
+// vector.  Every crash window in the commit sequences (install, local
+// write) leaves the sidecar sealed under a vector that differs from the aux
+// — an *unverifiable* state that the scrubber reseals from local data —
+// never a false mismatch.  A missing, torn, or undecodable sidecar is
+// likewise just unverifiable: old stores work unchanged and heal lazily.
+//
+// Format (versioned, strict decode):
+//
+//	magic "FSUM" (4) | version u8 | sealed vv | length u64 | per-block CRC32C (u32 each)
+//
+// The block count is derived from length, so a truncated or padded sidecar
+// fails to decode.  Sidecars are written via the same shadow + atomic-rename
+// commit as everything else; recovery handles "C<fid>.shadow" leftovers with
+// the generic shadow rule.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/ids"
+	"repro/internal/vnode"
+	"repro/internal/vv"
+)
+
+// ChecksumBlockSize is the checksumming granularity: one CRC per 4 KiB of
+// file data, matching the device block size.
+const ChecksumBlockSize = 4096
+
+const sidecarVersion = 1
+
+var (
+	sidecarMagic = []byte("FSUM")
+	castagnoli   = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// transientError is a sentinel error class the retry machinery treats as
+// retryable (it implements Transient).
+type transientError string
+
+func (e transientError) Error() string   { return string(e) }
+func (e transientError) Transient() bool { return true }
+
+// ErrCorrupt reports that a stored file replica fails its block checksums.
+// It is TRANSIENT: the replica is quarantined, not gone — another replica
+// can serve the version now, and self-healing can restore this copy later —
+// so callers defer and retry rather than giving up.
+var ErrCorrupt error = transientError("physical: stored file data fails its block checksums")
+
+// Checksums is the verifiable content summary of one file version.
+type Checksums struct {
+	Length uint64   // exact data length in bytes
+	Sums   []uint32 // one CRC32C per ChecksumBlockSize chunk
+}
+
+// checksumBlocks returns how many block checksums cover length bytes.
+func checksumBlocks(length uint64) int {
+	return int((length + ChecksumBlockSize - 1) / ChecksumBlockSize)
+}
+
+// ComputeChecksums summarizes data.
+func ComputeChecksums(data []byte) *Checksums {
+	cs := &Checksums{Length: uint64(len(data))}
+	for off := 0; off < len(data); off += ChecksumBlockSize {
+		end := off + ChecksumBlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		cs.Sums = append(cs.Sums, crc32.Checksum(data[off:end], castagnoli))
+	}
+	return cs
+}
+
+// Verify reports whether data matches the summary exactly: same length,
+// every block checksum equal.
+func (c *Checksums) Verify(data []byte) bool {
+	if c == nil || uint64(len(data)) != c.Length || len(c.Sums) != checksumBlocks(c.Length) {
+		return false
+	}
+	for i, want := range c.Sums {
+		off := i * ChecksumBlockSize
+		end := off + ChecksumBlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if crc32.Checksum(data[off:end], castagnoli) != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the summary (nil stays nil).
+func (c *Checksums) Clone() *Checksums {
+	if c == nil {
+		return nil
+	}
+	return &Checksums{Length: c.Length, Sums: append([]uint32(nil), c.Sums...)}
+}
+
+// encodeSidecar renders a sidecar image sealing cs under vector sealed.
+func encodeSidecar(sealed vv.Vector, cs *Checksums) []byte {
+	out := append([]byte(nil), sidecarMagic...)
+	out = append(out, sidecarVersion)
+	out = sealed.AppendBinary(out)
+	out = binary.BigEndian.AppendUint64(out, cs.Length)
+	for _, s := range cs.Sums {
+		out = binary.BigEndian.AppendUint32(out, s)
+	}
+	return out
+}
+
+// decodeSidecar parses a sidecar image strictly: bad magic, unknown
+// version, truncation, a block count inconsistent with the length, or
+// trailing bytes all fail.
+func decodeSidecar(p []byte) (vv.Vector, *Checksums, error) {
+	if len(p) < len(sidecarMagic)+1 {
+		return nil, nil, fmt.Errorf("physical: short sidecar: %d bytes", len(p))
+	}
+	for i, c := range sidecarMagic {
+		if p[i] != c {
+			return nil, nil, fmt.Errorf("physical: bad sidecar magic %q", p[:len(sidecarMagic)])
+		}
+	}
+	if p[len(sidecarMagic)] != sidecarVersion {
+		return nil, nil, fmt.Errorf("physical: unknown sidecar version %d", p[len(sidecarMagic)])
+	}
+	p = p[len(sidecarMagic)+1:]
+	sealed, n, err := vv.DecodeFrom(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("physical: sidecar vector: %w", err)
+	}
+	p = p[n:]
+	if len(p) < 8 {
+		return nil, nil, fmt.Errorf("physical: sidecar truncated before length")
+	}
+	cs := &Checksums{Length: binary.BigEndian.Uint64(p)}
+	p = p[8:]
+	blocks := checksumBlocks(cs.Length)
+	if len(p) != 4*blocks {
+		return nil, nil, fmt.Errorf("physical: sidecar has %d checksum bytes, length %d needs %d", len(p), cs.Length, 4*blocks)
+	}
+	cs.Sums = make([]uint32, blocks)
+	for i := range cs.Sums {
+		cs.Sums[i] = binary.BigEndian.Uint32(p[4*i:])
+	}
+	return sealed, cs, nil
+}
+
+// writeSidecar commits a sidecar for fid in container cont via shadow +
+// atomic rename, sealing cs under vector sealed.
+func writeSidecar(cont vnode.Vnode, fid ids.FileID, sealed vv.Vector, cs *Checksums) error {
+	base := prefixSum + fid.String()
+	shadow := base + suffixShadow
+	sf, err := cont.Create(shadow, false)
+	if err != nil {
+		return err
+	}
+	if err := vnode.WriteFile(sf, encodeSidecar(sealed, cs)); err != nil {
+		return err
+	}
+	return cont.Rename(shadow, cont, base)
+}
+
+// readSidecar loads fid's sidecar from container cont.  Any error — absent,
+// torn, undecodable — means "unverifiable", never "corrupt": the caller
+// skips verification (and the scrubber reseals).
+func readSidecar(storeRoot, cont vnode.Vnode, fid ids.FileID) (vv.Vector, *Checksums, error) {
+	f, err := lookupFollow(storeRoot, cont, prefixSum+fid.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := vnode.ReadFile(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return decodeSidecar(data)
+}
+
+// removeSidecar discards fid's sidecar if present (reclaim paths).
+func removeSidecar(cont vnode.Vnode, fid ids.FileID) error {
+	if err := cont.Remove(prefixSum + fid.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
+		return err
+	}
+	return nil
+}
+
+// sealFile recomputes fid's checksums from the stored data and seals them
+// under vector sealed (the file's current aux vector).  Local mutations and
+// the scrubber's reseal of an unverifiable sidecar both land here.
+func sealFile(storeRoot, cont vnode.Vnode, fid ids.FileID, sealed vv.Vector) error {
+	df, err := lookupFollow(storeRoot, cont, prefixData+fid.String())
+	if err != nil {
+		return err
+	}
+	data, err := vnode.ReadFile(df)
+	if err != nil {
+		return err
+	}
+	return writeSidecar(cont, fid, sealed, ComputeChecksums(data))
+}
+
+// FileChecksums returns fid's sealed checksums when — and only when — the
+// sidecar's sealed vector equals want (the aux vector the caller is about
+// to ship).  A stale or unreadable sidecar returns nil: the server cannot
+// vouch for the bytes, so the puller installs optimistically without
+// verification rather than stalling propagation.
+func (l *Layer) FileChecksums(dirPath []ids.FileID, fid ids.FileID, want vv.Vector) *Checksums {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return nil
+	}
+	sealed, cs, err := readSidecar(l.root, cont, fid)
+	if err != nil || !sealed.Equal(want) {
+		return nil
+	}
+	return cs
+}

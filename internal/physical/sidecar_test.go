@@ -1,0 +1,136 @@
+package physical
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/vv"
+)
+
+func sampleSidecar() ([]byte, vv.Vector, *Checksums) {
+	sealed := vv.Vector{1: 4, 3: 9}
+	data := bytes.Repeat([]byte("ficus integrity "), 600) // ~9.4 KiB: 3 blocks
+	cs := ComputeChecksums(data)
+	return encodeSidecar(sealed, cs), sealed, cs
+}
+
+func TestSidecarRoundTrip(t *testing.T) {
+	enc, sealed, cs := sampleSidecar()
+	gotVV, gotCS, err := decodeSidecar(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotVV.Equal(sealed) {
+		t.Fatalf("sealed vector: got %s want %s", gotVV, sealed)
+	}
+	if gotCS.Length != cs.Length || len(gotCS.Sums) != len(cs.Sums) {
+		t.Fatalf("summary shape: got %+v want %+v", gotCS, cs)
+	}
+	for i := range cs.Sums {
+		if gotCS.Sums[i] != cs.Sums[i] {
+			t.Fatalf("sum %d: got %08x want %08x", i, gotCS.Sums[i], cs.Sums[i])
+		}
+	}
+	// The empty file round-trips too: zero length, zero sums.
+	encEmpty := encodeSidecar(vv.New(), ComputeChecksums(nil))
+	if _, ecs, err := decodeSidecar(encEmpty); err != nil || ecs.Length != 0 || len(ecs.Sums) != 0 {
+		t.Fatalf("empty sidecar: %+v %v", ecs, err)
+	}
+}
+
+// TestSidecarDecodeRejectsCorruption: every truncation of a valid sidecar
+// and the classic header corruptions fail with an error, never a panic or a
+// misparse (the decode is strict).
+func TestSidecarDecodeRejectsCorruption(t *testing.T) {
+	enc, _, _ := sampleSidecar()
+	for n := 0; n < len(enc); n++ {
+		if _, _, err := decodeSidecar(enc[:n]); err == nil {
+			t.Fatalf("sidecar truncated to %d bytes decoded successfully", n)
+		}
+	}
+	// Trailing junk: the checksum area no longer matches the length.
+	if _, _, err := decodeSidecar(append(append([]byte(nil), enc...), 0xAA)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Bad magic, each byte.
+	for i := 0; i < len(sidecarMagic); i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0xFF
+		if _, _, err := decodeSidecar(bad); err == nil {
+			t.Fatalf("corrupt magic byte %d accepted", i)
+		}
+	}
+	// Unknown version.
+	bad := append([]byte(nil), enc...)
+	bad[len(sidecarMagic)] = sidecarVersion + 1
+	if _, _, err := decodeSidecar(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// A flipped length field either desynchronizes the derived block count
+	// (decode fails) or — when the new length still needs the same number of
+	// blocks — survives decode but can no longer verify the data.
+	enc2, _, _ := sampleSidecar()
+	data := bytes.Repeat([]byte("ficus integrity "), 600)
+	lenOff := len(enc2) - 8 - 4*3 // length u64 sits before the 3 block sums
+	for bit := 0; bit < 64; bit++ {
+		bad := append([]byte(nil), enc2...)
+		bad[lenOff+bit/8] ^= 1 << (bit % 8)
+		_, cs, err := decodeSidecar(bad)
+		if err == nil && cs.Verify(data) {
+			t.Fatalf("flipped length bit %d decoded AND verified", bit)
+		}
+	}
+	// An absurd length must fail before any huge allocation.
+	huge := append([]byte(nil), enc[:lenOff]...)
+	huge = binary.BigEndian.AppendUint64(huge, 1<<60)
+	huge = append(huge, enc[lenOff+8:]...)
+	if _, _, err := decodeSidecar(huge); err == nil {
+		t.Fatal("absurd length accepted")
+	}
+}
+
+func TestChecksumsVerify(t *testing.T) {
+	data := bytes.Repeat([]byte{0x5A}, ChecksumBlockSize+100)
+	cs := ComputeChecksums(data)
+	if !cs.Verify(data) {
+		t.Fatal("fresh checksums must verify")
+	}
+	// One flipped bit anywhere fails, in either block.
+	for _, off := range []int{0, ChecksumBlockSize - 1, ChecksumBlockSize, len(data) - 1} {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x01
+		if cs.Verify(mut) {
+			t.Fatalf("flipped bit at %d verified", off)
+		}
+	}
+	// Length changes fail even when the common prefix is intact.
+	if cs.Verify(data[:len(data)-1]) || cs.Verify(append(append([]byte(nil), data...), 0)) {
+		t.Fatal("length change verified")
+	}
+	// nil summary never verifies; a tampered shape never verifies.
+	var nilCS *Checksums
+	if nilCS.Verify(nil) {
+		t.Fatal("nil summary verified")
+	}
+	short := &Checksums{Length: cs.Length, Sums: cs.Sums[:1]}
+	if short.Verify(data) {
+		t.Fatal("summary with missing block sums verified")
+	}
+	if !ComputeChecksums(nil).Verify(nil) {
+		t.Fatal("empty data must verify against its own summary")
+	}
+}
+
+func TestChecksumsClone(t *testing.T) {
+	cs := ComputeChecksums([]byte("abc"))
+	cp := cs.Clone()
+	cp.Sums[0]++
+	if cs.Sums[0] == cp.Sums[0] {
+		t.Fatal("Clone must deep-copy the sums")
+	}
+	var nilCS *Checksums
+	if nilCS.Clone() != nil {
+		t.Fatal("nil Clone must stay nil")
+	}
+}

@@ -288,7 +288,11 @@ func runOriginBatched(local *physical.Layer, bp BatchPuller, entries []physical.
 		nv := entries[i]
 		switch r.Status {
 		case physical.PullData:
-			err := local.InstallFileVersion(nv.Dir, nv.File, r.Aux.Type, r.Data, r.Aux.VV, r.Aux.Nlink)
+			// Install under the origin's sealed checksums, when it could
+			// vouch for them: a payload damaged in flight (or served past a
+			// bypassed verification) is rejected as a transient failure
+			// before it touches disk, and the entry retries under backoff.
+			err := local.InstallFileVersionSum(nv.Dir, nv.File, r.Aux.Type, r.Data, r.Aux.VV, r.Aux.Nlink, r.Sum)
 			switch {
 			case err == nil:
 				outcomes[i] = entryOutcome{kind: outInstalled}

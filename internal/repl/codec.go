@@ -27,8 +27,9 @@ import (
 )
 
 // wireVersion leads every message; bumping it invalidates old peers loudly
-// instead of misparsing them.
-const wireVersion = 1
+// instead of misparsing them.  Version 2 added the checksum summary to pull
+// results.
+const wireVersion = 2
 
 // Error classes carried in responses so the client can rebuild an error of
 // the right kind (sentinel identity and transience survive the wire).
@@ -42,7 +43,7 @@ const (
 
 // ---- encoding ----------------------------------------------------------
 
-func appendU8(dst []byte, v byte) []byte   { return append(dst, v) }
+func appendU8(dst []byte, v byte) []byte    { return append(dst, v) }
 func appendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
 func appendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
 
@@ -140,6 +141,14 @@ func (r *response) encode(dst []byte) []byte {
 		dst = appendAux(dst, p.Aux)
 		dst = appendU64(dst, p.Size)
 		dst = p.RemoteVV.AppendBinary(dst)
+		dst = appendBool(dst, p.Sum != nil)
+		if p.Sum != nil {
+			dst = appendU64(dst, p.Sum.Length)
+			dst = appendCount(dst, len(p.Sum.Sums))
+			for _, s := range p.Sum.Sums {
+				dst = appendU32(dst, s)
+			}
+		}
 	}
 	return dst
 }
@@ -356,8 +365,8 @@ func decodeResponse(b []byte) (*response, error) {
 		}
 	}
 	// A pull result is at least status(1) + class(1) + empty err(1) +
-	// empty data(1) + aux(13+4) + size(8) + empty vv(4).
-	n = d.count(33)
+	// empty data(1) + aux(13+4) + size(8) + empty vv(4) + sum flag(1).
+	n = d.count(34)
 	if n > 0 {
 		resp.Pulls = make([]wirePull, n)
 		for i := range resp.Pulls {
@@ -369,6 +378,16 @@ func decodeResponse(b []byte) (*response, error) {
 			p.Aux = d.aux()
 			p.Size = d.u64()
 			p.RemoteVV = d.vvec()
+			if d.bool() {
+				cs := &physical.Checksums{Length: d.u64()}
+				if m := d.count(4); m > 0 {
+					cs.Sums = make([]uint32, m)
+					for j := range cs.Sums {
+						cs.Sums[j] = d.u32()
+					}
+				}
+				p.Sum = cs
+			}
 		}
 	}
 	if d.err != nil {

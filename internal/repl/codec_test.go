@@ -41,7 +41,8 @@ func sampleResponse() *response {
 		Replicas: []ids.ReplicaID{1, 2, 5},
 		Pulls: []wirePull{
 			{Status: byte(physical.PullData), Data: []byte("file contents"),
-				Aux: physical.Aux{Type: physical.KFile, Nlink: 1, VV: vv.Vector{1: 2, 3: 4}}, Size: 13},
+				Aux: physical.Aux{Type: physical.KFile, Nlink: 1, VV: vv.Vector{1: 2, 3: 4}}, Size: 13,
+				Sum: &physical.Checksums{Length: 13, Sums: []uint32{0xdeadbeef}}},
 			{Status: byte(physical.PullStale)},
 			{Status: byte(physical.PullConcurrent), RemoteVV: vv.Vector{4: 4}},
 			{Status: byte(physical.PullError), Class: classPermanent, Err: "disk exploded"},
@@ -99,6 +100,12 @@ func TestCodecResponseRoundTrip(t *testing.T) {
 	if len(dec.Pulls) != 4 || string(dec.Pulls[0].Data) != "file contents" ||
 		dec.Pulls[3].Err != "disk exploded" || !dec.Pulls[2].RemoteVV.Equal(vv.Vector{4: 4}) {
 		t.Fatalf("pulls: %+v", dec.Pulls)
+	}
+	if s := dec.Pulls[0].Sum; s == nil || s.Length != 13 || len(s.Sums) != 1 || s.Sums[0] != 0xdeadbeef {
+		t.Fatalf("pull checksum summary: %+v", dec.Pulls[0].Sum)
+	}
+	if dec.Pulls[1].Sum != nil {
+		t.Fatalf("absent checksum summary decoded as %+v", dec.Pulls[1].Sum)
 	}
 	if enc2 := dec.encode(nil); !bytes.Equal(enc, enc2) {
 		t.Fatal("re-encoding differs")

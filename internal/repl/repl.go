@@ -151,6 +151,7 @@ type wirePull struct {
 	Aux      physical.Aux
 	Size     uint64
 	RemoteVV vv.Vector
+	Sum      *physical.Checksums // serving replica's sealed checksums, if any
 }
 
 // Server exports the volume replicas registered on one host.
@@ -240,7 +241,7 @@ func (s *Server) dispatch(req *request) response {
 		wps := make([]wirePull, len(results))
 		for i := range results {
 			r := &results[i]
-			wps[i] = wirePull{Status: byte(r.Status), Data: r.Data, Aux: r.Aux, Size: r.Size, RemoteVV: r.RemoteVV}
+			wps[i] = wirePull{Status: byte(r.Status), Data: r.Data, Aux: r.Aux, Size: r.Size, RemoteVV: r.RemoteVV, Sum: r.Sum}
 			if r.Err != nil {
 				wps[i].Class = classOf(r.Err)
 				wps[i].Err = r.Err.Error()
@@ -383,6 +384,7 @@ func (c *Client) PullBatch(reqs []physical.PullRequest) ([]physical.PullResult, 
 			Aux:      w.Aux,
 			Size:     w.Size,
 			RemoteVV: w.RemoteVV,
+			Sum:      w.Sum,
 		}
 		if out[i].Status == physical.PullError {
 			out[i].Err = errFromClass(w.Class, w.Err)

@@ -105,6 +105,21 @@ func (c *Cluster) PropagateAll() (recon.Stats, error) {
 	return total, nil
 }
 
+// ScrubAll runs one integrity pass (checksum sweep + quarantine repair) on
+// every host.
+func (c *Cluster) ScrubAll() (core.ScrubResult, error) {
+	var total core.ScrubResult
+	for _, h := range c.Hosts {
+		s, err := h.ScrubOnce()
+		total.Scrub.Add(s.Scrub)
+		total.Repair.Add(s.Repair)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // ReconcileAll runs one reconciliation pass on every host.
 func (c *Cluster) ReconcileAll() (recon.Stats, error) {
 	var total recon.Stats

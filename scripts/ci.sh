@@ -23,6 +23,9 @@ go test -race -count=1 ./internal/recon ./internal/repl
 echo "==> go test -race ./internal/core ./internal/physical"
 go test -race -count=1 ./internal/core ./internal/physical
 
+echo "==> go test -race (scrubber path)"
+go test -race -count=1 -run 'TestScrub|TestJournalCompactionCrashSweep|TestRepair' ./internal/physical ./internal/recon ./internal/disk
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -31,5 +34,8 @@ FICUS_INVARIANTS=1 go test -count=1 ./...
 
 echo "==> make chaos-crash"
 FICUS_INVARIANTS=1 go test -race -count=1 -run 'TestChaosCrashRestartConvergence' .
+
+echo "==> make chaos-scrub"
+FICUS_INVARIANTS=1 go test -race -count=1 -run 'TestChaosScrubConvergence' .
 
 echo "==> ci gate passed"

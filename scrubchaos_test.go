@@ -1,0 +1,270 @@
+package ficus
+
+// Silent-corruption chaos: at-rest bit rot strikes random replicas while
+// hosts crash and the RPC fault plane is live.  The damage is silent —
+// reads of a rotted copy succeed with wrong bytes until a scrub pass or a
+// replication read notices the checksum mismatch — so the scrubber is the
+// only line of defense.  Whatever interleaving the seed produces, the
+// cluster must converge with every file byte-identical to an undamaged
+// copy: corruption is detected, never propagated, and healed from a peer.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestChaosScrubConvergence(t *testing.T) {
+	const hosts = 3
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c, err := NewCluster(hosts, WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.InjectFaults(FaultConfig{
+				RPCFailRate:      0.05,
+				ReplyLossRate:    0.05,
+				DatagramLossRate: 0.10,
+				ReorderRate:      0.10,
+			})
+
+			tolerate := func(err error) {
+				if err == nil {
+					return
+				}
+				if errors.Is(err, ErrUnavailable) || errors.Is(err, ErrNotExist) ||
+					errors.Is(err, ErrExist) || errors.Is(err, ErrConflict) ||
+					errors.Is(err, core.ErrHostDown) || errors.Is(err, core.ErrNoLocalReplica) {
+					return
+				}
+				s := err.Error()
+				if strings.Contains(s, "not empty") || strings.Contains(s, "is a directory") ||
+					strings.Contains(s, "not a directory") || strings.Contains(s, "stale") ||
+					strings.Contains(s, "not stored") || strings.Contains(s, "unreachable") ||
+					strings.Contains(s, "no storage") {
+					return
+				}
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			mountOf := func(h int) *Mount {
+				m, err := c.Mount(h)
+				if err != nil {
+					tolerate(err)
+					return nil
+				}
+				return m
+			}
+			name := func() string { return fmt.Sprintf("f%d", rng.Intn(10)) }
+
+			// Keep files: settled cluster-wide before any fault, and never
+			// rewritten by the chaos schedule — the fault-free reference
+			// contents every surviving replica must end up byte-identical to.
+			keep := map[string]string{}
+			m0 := mountOf(0)
+			for i := 0; i < 4; i++ {
+				k := fmt.Sprintf("keep%d", i)
+				v := fmt.Sprintf("sacred bytes %d", i)
+				if err := m0.WriteFile("/"+k, []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				keep["/"+k] = v
+			}
+			if err := c.Settle(20); err != nil {
+				t.Fatal(err)
+			}
+			keepName := func() string { return fmt.Sprintf("/keep%d", rng.Intn(4)) }
+
+			rots, crashes := 0, 0
+			for step := 0; step < 150; step++ {
+				h := rng.Intn(hosts)
+				switch rng.Intn(14) {
+				case 0, 1, 2:
+					if m := mountOf(h); m != nil {
+						tolerate(m.WriteFile("/"+name(), []byte(fmt.Sprintf("h%d s%d", h, step))))
+					}
+				case 3:
+					if m := mountOf(h); m != nil {
+						_, err := m.ReadFile("/" + name())
+						tolerate(err)
+					}
+				case 4:
+					if m := mountOf(h); m != nil {
+						tolerate(m.Remove("/" + name()))
+					}
+				case 5, 6:
+					if _, err := c.Propagate(); err != nil {
+						t.Fatalf("propagate: %v", err)
+					}
+				case 7:
+					if _, err := c.Reconcile(); err != nil {
+						t.Fatalf("reconcile: %v", err)
+					}
+				case 8, 9: // silent bit rot, but never on host 0: one replica
+					// of every keep file stays pristine, so repair always has
+					// a healthy source and Unrepairable must end at zero.
+					if h != 0 {
+						if err := c.InjectBitRot(h, keepName(), uint64(rng.Intn(8))); err != nil {
+							tolerate(err)
+						} else {
+							rots++
+						}
+					}
+				case 10: // a scrub pass races the chaos
+					if _, err := c.ScrubHost(h); err != nil {
+						tolerate(err)
+					}
+				case 11: // power-fail a random up host (never all of them)
+					up := 0
+					for i := 0; i < hosts; i++ {
+						if !c.HostDown(i) {
+							up++
+						}
+					}
+					if up > 1 && !c.HostDown(h) {
+						c.CrashHost(h)
+						crashes++
+					}
+				case 12, 13:
+					if c.HostDown(h) {
+						if err := c.RestartHost(h); err != nil {
+							t.Fatalf("restart %d: %v", h, err)
+						}
+					}
+				}
+			}
+			if crashes == 0 {
+				t.Fatal("chaos run never crashed a host; broaden the schedule")
+			}
+
+			// Reboot the world and lift the RPC faults.  Quarantine state and
+			// integrity counters are in-memory, so a crash forgets them — the
+			// guaranteed post-restart rot below makes the final accounting
+			// independent of which pre-crash detections survived.
+			for i := 0; i < hosts; i++ {
+				if c.HostDown(i) {
+					if err := c.RestartHost(i); err != nil {
+						t.Fatalf("final restart %d: %v", i, err)
+					}
+				}
+			}
+			c.ClearFaults()
+			c.Heal()
+			if err := c.InjectBitRot(1, "/keep0", 3); err != nil {
+				t.Fatalf("post-restart bit rot: %v", err)
+			}
+			rots++
+			if err := c.Settle(40); err != nil {
+				t.Fatal(err)
+			}
+
+			// Scrub until the quarantine drains: every damaged replica is
+			// detected and healed from a peer.
+			drained := false
+			for pass := 0; pass < 25 && !drained; pass++ {
+				if _, err := c.Scrub(); err != nil {
+					t.Fatalf("scrub pass %d: %v", pass, err)
+				}
+				quar := uint64(0)
+				for i := 0; i < hosts; i++ {
+					quar += c.IntegrityStatsFor(i).Quarantined
+				}
+				drained = quar == 0
+			}
+			if !drained {
+				for i := 0; i < hosts; i++ {
+					t.Logf("host %d integrity: %+v", i, c.IntegrityStatsFor(i))
+				}
+				t.Fatal("quarantine never drained despite healthy peers")
+			}
+			if err := c.Settle(30); err != nil {
+				t.Fatal(err)
+			}
+
+			// Identical namespaces everywhere.
+			ref := treeOf(t, c, 0, false)
+			for i := 1; i < hosts; i++ {
+				if got := treeOf(t, c, i, false); got != ref {
+					t.Fatalf("namespace diverged between host 0 and host %d (rots=%d crashes=%d):\n--- host 0:\n%s\n--- host %d:\n%s",
+						i, rots, crashes, ref, i, got)
+				}
+			}
+
+			// Resolve update conflicts, then contents must agree everywhere.
+			for iter := 0; iter < 5 && len(c.Conflicts()) > 0; iter++ {
+				resolved := map[string]bool{}
+				for _, conf := range c.Conflicts() {
+					if resolved[conf.FileID] {
+						continue
+					}
+					resolved[conf.FileID] = true
+					if err := c.Resolve(conf, []byte("scrub-chaos-resolved")); err != nil {
+						t.Fatalf("resolve: %v", err)
+					}
+				}
+				if err := c.Settle(30); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := len(c.Conflicts()); n != 0 {
+				t.Fatalf("%d conflicts survived resolution", n)
+			}
+			refFull := treeOf(t, c, 0, true)
+			for i := 1; i < hosts; i++ {
+				if got := treeOf(t, c, i, true); got != refFull {
+					t.Fatalf("contents diverged:\n--- host 0:\n%s\n--- host %d:\n%s", refFull, i, got)
+				}
+			}
+
+			// Zero wrong-bytes files: every keep file reads back its settled
+			// fault-free contents on every host.  Keep files were never
+			// rewritten, so any deviation would be propagated corruption.
+			for i := 0; i < hosts; i++ {
+				m, err := c.Mount(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for path, want := range keep {
+					data, err := m.ReadFile(path)
+					if err != nil || string(data) != want {
+						t.Fatalf("host %d serves wrong bytes for %s: %q, %v (rots=%d)", i, path, data, err, rots)
+					}
+				}
+			}
+
+			// Final integrity accounting: damage was seen and healed, and
+			// nothing was declared unrepairable while host 0 stayed pristine.
+			var total IntegrityStats
+			for i := 0; i < hosts; i++ {
+				s := c.IntegrityStatsFor(i)
+				total.CorruptionsDetected += s.CorruptionsDetected
+				total.Repaired += s.Repaired
+				total.Unrepairable += s.Unrepairable
+			}
+			if total.CorruptionsDetected == 0 {
+				t.Fatalf("no corruption detected across %d successful injections", rots)
+			}
+			if total.Repaired == 0 {
+				t.Fatal("no quarantined version was healed from a peer")
+			}
+			if total.Unrepairable != 0 {
+				t.Fatalf("Unrepairable = %d with a healthy replica always available", total.Unrepairable)
+			}
+
+			// Every replica structurally clean.
+			probs, err := c.Fsck()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(probs) != 0 {
+				t.Fatalf("fsck problems:\n%s", strings.Join(probs, "\n"))
+			}
+		})
+	}
+}
