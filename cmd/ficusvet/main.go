@@ -1,76 +1,142 @@
-// Command ficusvet runs the repo-specific static analyzers over the module
-// (see internal/analysis).  Like go vet it prints one line per finding and
-// exits nonzero when anything is flagged; "make lint" and "make check" run
-// it as a gate.
+// Command ficusvet runs the repo-specific static analyzers over the
+// module.  See internal/analysis for the analyzer catalogue.
+//
+// Exit codes: 0 when the tree is clean, 1 when findings were reported,
+// 2 when the module could not be loaded or analyzed at all — so CI can
+// distinguish "code has findings" from "the gate itself is broken".
 //
 // Usage:
 //
-//	ficusvet [-list] [-run name1,name2] [patterns ...]
+//	ficusvet [-list] [-run name,name] [-json] [-fix [-diff]] [patterns]
 //
 // Patterns default to ./... (the whole module, testdata excluded).
+// -json emits one JSON object with the findings for editors and CI.
+// -fix applies every suggested fix in place; -fix -diff prints the
+// unified diff instead of writing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/analysis"
 )
 
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitLoadFail = 2
+)
+
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	run := flag.String("run", "", "comma-separated analyzers to run (default: all)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("ficusvet", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	list := flags.Bool("list", false, "list analyzers and exit")
+	only := flags.String("run", "", "comma-separated analyzers to run (default: all)")
+	asJSON := flags.Bool("json", false, "emit findings as JSON")
+	fix := flags.Bool("fix", false, "apply suggested fixes in place")
+	diff := flags.Bool("diff", false, "with -fix: print a unified diff instead of writing files")
+	if err := flags.Parse(args); err != nil {
+		return exitLoadFail
+	}
+
+	loadFail := func(err error) int {
+		fmt.Fprintln(stderr, "ficusvet:", err)
+		return exitLoadFail
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return exitClean
 	}
 
 	analyzers := analysis.All()
-	if *run != "" {
+	if *only != "" {
 		var err error
-		analyzers, err = analysis.ByName(*run)
+		analyzers, err = analysis.ByName(*only)
 		if err != nil {
-			fatal(err)
+			return loadFail(err)
 		}
-	}
-
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
 	}
 
 	ld, err := analysis.NewLoader(".")
 	if err != nil {
-		fatal(err)
+		return loadFail(err)
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
 	pkgs, err := ld.Load(patterns...)
 	if err != nil {
-		fatal(err)
+		return loadFail(err)
 	}
 
-	cwd, _ := os.Getwd()
 	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
-				name = rel
-			}
+
+	if *fix {
+		fixed, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			return loadFail(err)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		for _, f := range fixed {
+			if *diff {
+				fmt.Fprint(stdout, analysis.UnifiedDiff(relPath(ld, f.Path), f.Old, f.New))
+				continue
+			}
+			if err := os.WriteFile(f.Path, f.New, 0o644); err != nil {
+				return loadFail(err)
+			}
+			fmt.Fprintf(stdout, "fixed %s\n", relPath(ld, f.Path))
+		}
 	}
+
+	if *asJSON {
+		out := struct {
+			Findings []analysis.Diagnostic
+			Count    int
+		}{Findings: relDiags(ld, diags), Count: len(diags)}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			return loadFail(err)
+		}
+	} else {
+		for _, d := range relDiags(ld, diags) {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+
 	if len(diags) > 0 {
-		os.Exit(1)
+		return exitFindings
 	}
+	return exitClean
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ficusvet:", err)
-	os.Exit(1)
+// relDiags rewrites absolute file names relative to the module root for
+// stable, readable output.
+func relDiags(ld *analysis.Loader, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	out := make([]analysis.Diagnostic, len(diags))
+	for i, d := range diags {
+		d.Pos.Filename = relPath(ld, d.Pos.Filename)
+		out[i] = d
+	}
+	return out
+}
+
+func relPath(ld *analysis.Loader, path string) string {
+	if rel, err := filepath.Rel(ld.ModRoot(), path); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return path
 }

@@ -17,6 +17,31 @@
 //     with errors.Is/errors.As; wrapping without %w or comparing errors
 //     with == severs the chain and turns transient faults permanent.
 //
+//   - lockedcall: the physical layer's *Locked suffix convention (a
+//     position-insensitive check kept as the cheap first line of defense).
+//
+//   - heldlocks: the flow-sensitive generalization of lockedcall across
+//     the whole replication stack — which mutexes are held at each call
+//     site, *Locked callees reached only with the receiver's lock held,
+//     and no re-Lock of a mutex already held (self-deadlock).
+//
+//   - lockorder: the cross-package lock-acquisition graph (an edge means
+//     "acquired B while holding A") must stay acyclic, or the propagation
+//     workers, scrub daemon, and repair daemon can deadlock against each
+//     other.
+//
+//   - wiresym: every encode function in the repl and notify codecs must
+//     write exactly the field sequence (same order, same wire widths) its
+//     decode counterpart reads, and every opcode constant must be
+//     dispatched somewhere.
+//
+//   - duraberr: on durable-write paths (device writes, sidecar/journal/
+//     shadow commits, renames) an error return must not be silently
+//     discarded, overwritten unchecked, or wrapped without %w.
+//
+// Analyzers may attach suggested fixes (concrete text edits) to their
+// diagnostics; "ficusvet -fix" applies them mechanically (see fix.go).
+//
 // Diagnostics can be suppressed with a trailing or immediately preceding
 // comment: //ficusvet:ignore silences every analyzer on that line,
 // //ficusvet:ignore name1,name2 silences specific analyzers, and
@@ -28,15 +53,33 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// TextEdit is one replacement of a source range, resolved to byte offsets
+// so the fix engine needs no file set.  Start == End inserts.
+type TextEdit struct {
+	File       string // absolute path of the file
+	Start, End int    // byte offsets within the file
+	NewText    string
+}
+
+// SuggestedFix is a mechanical repair for one diagnostic: applying every
+// edit resolves the finding.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
 
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Fixes    []SuggestedFix `json:",omitempty"`
 }
 
 // String renders the diagnostic as path:line:col: analyzer: message.
@@ -45,12 +88,15 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzer is one check.  InScope (nil means every package) gates which
-// packages Run sees.
+// packages the analyzer sees.  Exactly one of Run (per-package) and
+// RunModule (whole-module, for cross-package analyses like the
+// lock-acquisition graph) is set.
 type Analyzer struct {
-	Name    string
-	Doc     string
-	InScope func(*Package) bool
-	Run     func(*Pass)
+	Name      string
+	Doc       string
+	InScope   func(*Package) bool
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass couples one analyzer with one package and collects reports.
@@ -63,8 +109,50 @@ type Pass struct {
 // Reportf records a diagnostic at pos unless a ficusvet comment suppresses
 // this analyzer on that line or the line above it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportFixf is Reportf with an attached suggested fix.
+func (p *Pass) ReportFixf(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	var fixes []SuggestedFix
+	if fix != nil && len(fix.Edits) > 0 {
+		fixes = []SuggestedFix{*fix}
+	}
+	p.report(pos, fixes, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	if p.Pkg.suppressedAt(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
+	})
+}
+
+// Edit builds a TextEdit replacing the source range [pos, end) with text,
+// resolving token positions to file byte offsets.
+func (p *Pass) Edit(pos, end token.Pos, text string) TextEdit {
+	from := p.Pkg.Fset.Position(pos)
+	to := p.Pkg.Fset.Position(end)
+	return TextEdit{File: from.Filename, Start: from.Offset, End: to.Offset, NewText: text}
+}
+
+// ModulePass couples a module-level analyzer with every in-scope package.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos within pkg, honoring suppressions.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	position := pkg.Fset.Position(pos)
+	if pkg.suppressedAt(p.Analyzer.Name, position) {
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -76,7 +164,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every ficusvet analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, VVAlias, ErrClass, LockedCall}
+	return []*Analyzer{
+		Determinism, VVAlias, ErrClass, LockedCall,
+		HeldLocks, LockOrder, WireSym, DurabErr,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list.
@@ -103,17 +194,66 @@ func ByName(names string) ([]*Analyzer, error) {
 }
 
 // Run applies the analyzers to the packages and returns the findings
-// sorted by position.
+// sorted by position.  Per-package analyzers run concurrently across
+// packages under a bounded worker pool; the final sort keeps diagnostic
+// order deterministic regardless of scheduling.  Module-level analyzers
+// run once over their whole in-scope package set.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if a.InScope != nil && !a.InScope(pkg) {
-				continue
-			}
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+	var perPkg, modules []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			modules = append(modules, a)
+		} else {
+			perPkg = append(perPkg, a)
 		}
 	}
+
+	// Fan out per-package work; results land in a per-package slot so no
+	// lock ordering between workers can reorder diagnostics.
+	results := make([][]Diagnostic, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var diags []Diagnostic
+			for _, a := range perPkg {
+				if a.InScope != nil && !a.InScope(pkg) {
+					continue
+				}
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			}
+			results[i] = diags
+		}(i, pkg)
+	}
+	wg.Wait()
+
+	var diags []Diagnostic
+	for _, r := range results {
+		diags = append(diags, r...)
+	}
+	for _, a := range modules {
+		var scoped []*Package
+		for _, pkg := range pkgs {
+			if a.InScope == nil || a.InScope(pkg) {
+				scoped = append(scoped, pkg)
+			}
+		}
+		if len(scoped) > 0 {
+			a.RunModule(&ModulePass{Analyzer: a, Pkgs: scoped, diags: &diags})
+		}
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		di, dj := diags[i], diags[j]
 		if di.Pos.Filename != dj.Pos.Filename {
@@ -125,7 +265,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if di.Pos.Column != dj.Pos.Column {
 			return di.Pos.Column < dj.Pos.Column
 		}
-		return di.Analyzer < dj.Analyzer
+		if di.Analyzer != dj.Analyzer {
+			return di.Analyzer < dj.Analyzer
+		}
+		return di.Message < dj.Message
 	})
 	return diags
 }

@@ -108,7 +108,25 @@ func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
 		if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
 			continue
 		}
-		pass.Reportf(arg.Pos(), "error formatted with %%%c loses the error chain; use %%w so retry can classify the cause with errors.Is/As", verb)
+		// When the format is a plain literal the repair is mechanical:
+		// rewrite this verb to %w.
+		var fix *SuggestedFix
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+			offs := formatVerbOffsets(lit.Value)
+			if len(offs) == len(verbs) && i < len(offs) && offs[i].verb == verb {
+				litPos := pass.Pkg.Fset.Position(lit.Pos())
+				fix = &SuggestedFix{
+					Message: "wrap with %w to preserve the error chain",
+					Edits: []TextEdit{{
+						File:    litPos.Filename,
+						Start:   litPos.Offset + offs[i].offset,
+						End:     litPos.Offset + offs[i].offset + 1,
+						NewText: "w",
+					}},
+				}
+			}
+		}
+		pass.ReportFixf(arg.Pos(), fix, "error formatted with %%%c loses the error chain; use %%w so retry can classify the cause with errors.Is/As", verb)
 	}
 }
 

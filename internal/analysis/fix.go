@@ -1,0 +1,224 @@
+package analysis
+
+// The suggested-fix engine: analyzers attach TextEdits to diagnostics;
+// ApplyFixes merges the edits per file, rejects conflicts, and produces
+// the repaired file contents.  The CLI layers -fix (write in place) and
+// -diff (dry-run unified diff) on top.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// GatherEdits collects every edit attached to the diagnostics, grouped by
+// file and deduplicated (two analyzers may propose the identical repair).
+func GatherEdits(diags []Diagnostic) map[string][]TextEdit {
+	byFile := make(map[string][]TextEdit)
+	seen := make(map[TextEdit]bool)
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				if seen[e] {
+					continue
+				}
+				seen[e] = true
+				byFile[e.File] = append(byFile[e.File], e)
+			}
+		}
+	}
+	return byFile
+}
+
+// ApplyEdits applies the edits to src, rejecting overlapping edits that
+// disagree (identical duplicates have already been removed).
+func ApplyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	sorted := append([]TextEdit(nil), edits...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	var out []byte
+	prev := 0
+	for i, e := range sorted {
+		if e.Start < prev || e.Start > e.End || e.End > len(src) {
+			return nil, fmt.Errorf("analysis: conflicting or out-of-range edit %d at [%d,%d)", i, e.Start, e.End)
+		}
+		out = append(out, src[prev:e.Start]...)
+		out = append(out, e.NewText...)
+		prev = e.End
+	}
+	out = append(out, src[prev:]...)
+	return out, nil
+}
+
+// FixedFile is one file's repaired content.
+type FixedFile struct {
+	Path     string
+	Old, New []byte
+}
+
+// ApplyFixes computes the repaired contents for every file the
+// diagnostics carry edits for.  Files whose content would not change are
+// omitted.  Nothing is written to disk.
+func ApplyFixes(diags []Diagnostic) ([]FixedFile, error) {
+	byFile := GatherEdits(diags)
+	var paths []string
+	for p := range byFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var out []FixedFile
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		fixed, err := ApplyEdits(src, byFile[p])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if string(fixed) == string(src) {
+			continue
+		}
+		out = append(out, FixedFile{Path: p, Old: src, New: fixed})
+	}
+	return out, nil
+}
+
+// UnifiedDiff renders a unified diff between old and new with 3 lines of
+// context, enough for a human to review -diff output.
+func UnifiedDiff(path string, old, new []byte) string {
+	a := splitLines(string(old))
+	b := splitLines(string(new))
+	ops := diffLines(a, b)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s (fixed)\n", path, path)
+
+	const ctx = 3
+	// Group ops into hunks separated by long equal runs.
+	type hunk struct{ start int }
+	i := 0
+	for i < len(ops) {
+		if ops[i].kind == ' ' {
+			i++
+			continue
+		}
+		// Found a change; extend back and forward with context.
+		start := i
+		for start > 0 && ops[start-1].kind == ' ' && i-start < ctx {
+			start--
+		}
+		end := i
+		for end < len(ops) {
+			if ops[end].kind != ' ' {
+				end++
+				continue
+			}
+			// Run of equals: stop if it exceeds 2*ctx before the next change.
+			run := end
+			for run < len(ops) && ops[run].kind == ' ' {
+				run++
+			}
+			if run == len(ops) || run-end > 2*ctx {
+				end += min(ctx, run-end)
+				break
+			}
+			end = run
+		}
+		// Line numbers for the hunk header.
+		aLine, bLine := 1, 1
+		for j := 0; j < start; j++ {
+			switch ops[j].kind {
+			case ' ':
+				aLine++
+				bLine++
+			case '-':
+				aLine++
+			case '+':
+				bLine++
+			}
+		}
+		aCount, bCount := 0, 0
+		for j := start; j < end; j++ {
+			switch ops[j].kind {
+			case ' ':
+				aCount++
+				bCount++
+			case '-':
+				aCount++
+			case '+':
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aLine, aCount, bLine, bCount)
+		for j := start; j < end; j++ {
+			sb.WriteByte(byte(ops[j].kind))
+			sb.WriteString(ops[j].text)
+			sb.WriteByte('\n')
+		}
+		i = end
+	}
+	return sb.String()
+}
+
+type diffOp struct {
+	kind rune // ' ', '-', '+'
+	text string
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// diffLines computes a line diff via a simple LCS table; codec-sized
+// files keep this comfortably small.
+func diffLines(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{' ', a[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{'-', a[i]})
+			i++
+		default:
+			ops = append(ops, diffOp{'+', b[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{'-', a[i]})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{'+', b[j]})
+	}
+	return ops
+}

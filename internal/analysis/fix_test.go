@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAutofixRoundTrip is the -fix acceptance gate: running the full
+// analyzer set over the autofix fixture, applying every suggested fix,
+// must (a) reproduce the golden fixed file byte for byte and (b) yield a
+// package the analyzers find nothing further in.
+func TestAutofixRoundTrip(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "autofix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load(filepath.Join(root, "core"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, All())
+	if len(diags) == 0 {
+		t.Fatal("autofix fixture produced no findings")
+	}
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			t.Errorf("autofix fixture finding carries no fix: %s", d)
+		}
+	}
+
+	fixed, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 1 {
+		t.Fatalf("fixes touched %d files, want 1", len(fixed))
+	}
+	got := fixed[0].New
+
+	golden := filepath.Join("testdata", "autofix.golden")
+	if os.Getenv("FICUSVET_UPDATE") == "1" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden file (run with FICUSVET_UPDATE=1 to create): %v", err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("fixed output mismatch\n--- got ---\n%s--- want (%s) ---\n%s", got, golden, want)
+		}
+	}
+
+	// Round-trip: rebuild the fixture as a scratch module with the fixed
+	// file in place and re-run every analyzer; the tree must be clean.
+	tmp := t.TempDir()
+	modRoot, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module repro\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, dep := range []string{"internal/vv", "internal/ids", "internal/invariant"} {
+		if err := copyGoFiles(filepath.Join(modRoot.ModRoot(), dep), filepath.Join(tmp, dep)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := filepath.Join(tmp, "internal", "core")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dst, "fixture.go"), got, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ld2, err := NewLoader(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs2, err := ld2.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkgs2, All()) {
+		t.Errorf("fixed tree still has a finding: %s", d)
+	}
+}
+
+// copyGoFiles copies the non-test Go files of one directory.
+func copyGoFiles(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), data, fs.FileMode(0o644)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestApplyEditsRejectsOverlap(t *testing.T) {
+	src := []byte("hello world")
+	_, err := ApplyEdits(src, []TextEdit{
+		{Start: 0, End: 5, NewText: "HELLO"},
+		{Start: 3, End: 8, NewText: "X"},
+	})
+	if err == nil {
+		t.Fatal("overlapping edits accepted")
+	}
+}
+
+func TestApplyEditsOrderIndependent(t *testing.T) {
+	src := []byte("a b c")
+	want := "A b C"
+	for _, edits := range [][]TextEdit{
+		{{Start: 0, End: 1, NewText: "A"}, {Start: 4, End: 5, NewText: "C"}},
+		{{Start: 4, End: 5, NewText: "C"}, {Start: 0, End: 1, NewText: "A"}},
+	} {
+		got, err := ApplyEdits(src, edits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestGatherEditsDeduplicates(t *testing.T) {
+	edit := TextEdit{File: "f.go", Start: 10, End: 11, NewText: "w"}
+	diags := []Diagnostic{
+		{Analyzer: "errclass", Fixes: []SuggestedFix{{Edits: []TextEdit{edit}}}},
+		{Analyzer: "duraberr", Fixes: []SuggestedFix{{Edits: []TextEdit{edit}}}},
+	}
+	byFile := GatherEdits(diags)
+	if n := len(byFile["f.go"]); n != 1 {
+		t.Fatalf("got %d edits after dedup, want 1", n)
+	}
+}
+
+func TestUnifiedDiffShape(t *testing.T) {
+	old := []byte("one\ntwo\nthree\nfour\n")
+	new := []byte("one\ntwo!\nthree\nfour\n")
+	d := UnifiedDiff("f.go", old, new)
+	for _, want := range []string{"--- f.go\n", "+++ f.go (fixed)\n", "@@ -1,4 +1,4 @@", "-two\n", "+two!\n"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+}

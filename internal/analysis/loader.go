@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -214,6 +215,17 @@ func (ld *Loader) loadDir(dir string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Match the go tool's file selection: evaluate //go:build
+		// constraints and GOOS/GOARCH name suffixes, and skip _ and .
+		// prefixed files.  Without this, a constrained file either
+		// breaks type-checking (duplicate decls across OS variants) or
+		// is analyzed as if it always builds.
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
+			if err != nil {
+				return nil, fmt.Errorf("analysis: reading build constraints of %s: %w", name, err)
+			}
 			continue
 		}
 		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestLoaderFileSelection pins the loader to the go tool's file selection:
+// build-constrained files, GOOS-suffixed files for other systems, _-prefixed
+// files, and _test.go files must all be excluded.  Every excluded sibling in
+// the fixture re-declares the same constant, so including any of them by
+// mistake fails type-checking outright.
+func TestLoaderFileSelection(t *testing.T) {
+	if runtime.GOOS == "plan9" {
+		t.Skip("fixture uses a _plan9.go sibling as the excluded-GOOS case")
+	}
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "buildtags"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load(filepath.Join(root, "pkg"))
+	if err != nil {
+		t.Fatalf("loading buildtags fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Files) != 1 {
+		var names []string
+		for _, f := range pkg.Files {
+			names = append(names, filepath.Base(pkg.Fset.Position(f.Pos()).Filename))
+		}
+		t.Fatalf("loaded files %v, want only fixture.go", names)
+	}
+	got := filepath.Base(pkg.Fset.Position(pkg.Files[0].Pos()).Filename)
+	if got != "fixture.go" {
+		t.Fatalf("loaded %s, want fixture.go", got)
+	}
+	if pkg.Types.Scope().Lookup("answer") == nil {
+		t.Fatal("type info lost the fixture's declaration")
+	}
+}
+
+// TestLoaderSkipsTestFiles double-checks the _test.go rule on a real
+// package of the module, where test files exist alongside shipped code.
+func TestLoaderSkipsTestFiles(t *testing.T) {
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	for _, f := range pkgs[0].Files {
+		name := filepath.Base(pkgs[0].Fset.Position(f.Pos()).Filename)
+		if len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go" {
+			t.Errorf("loader picked up test file %s", name)
+		}
+	}
+}

@@ -1,0 +1,420 @@
+package analysis
+
+// lockflow is the shared flow-sensitive mutex tracker behind heldlocks and
+// lockorder.  It walks a function body statement by statement, maintaining
+// the set of mutexes held on the current path, and fires hooks at lock
+// acquisitions and at ordinary call sites.
+//
+// The model is deliberately simple and errs toward the idioms this repo
+// actually uses:
+//
+//   - mu.Lock()/mu.RLock() add the mutex to the held set; Unlock/RUnlock
+//     remove it.  defer mu.Unlock() keeps the mutex held to function end.
+//   - if/else: each branch is analyzed on its own copy of the held set;
+//     the sets are merged by intersection over the branches that can fall
+//     through (a branch ending in return/panic/break is excluded, which
+//     handles the "if down { mu.Unlock(); return }" early-exit idiom).
+//   - loops, switch and select bodies are analyzed on a copy and their
+//     effects discarded: a lock acquired inside may not be held after.
+//   - function literals are analyzed with a copy of the current held set
+//     (callbacks like sort.Slice comparators run synchronously under the
+//     caller's locks), except goroutine bodies, which start with nothing
+//     held and whose calls are excluded from acquisition hooks.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lockKey identifies one mutex as seen from one function: the root object
+// of the selector chain plus the flattened path, so v.l.mu.Lock() and a
+// later v.l.mu.Unlock() cancel while h.mu and g.mu stay distinct.
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+// lockMode distinguishes write locks, read locks, and the assumed hold a
+// *Locked function gets for its receiver on entry.
+type lockMode int
+
+const (
+	modeWrite lockMode = iota
+	modeRead
+	modeAssumed
+)
+
+type heldSet map[lockKey]lockMode
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// replaceWith overwrites h's contents with src, in place.
+func (h heldSet) replaceWith(src heldSet) {
+	for k := range h {
+		delete(h, k)
+	}
+	for k, v := range src {
+		h[k] = v
+	}
+}
+
+// intersect keeps only keys held in both sets (the weaker mode wins).
+func intersect(a, b heldSet) heldSet {
+	out := make(heldSet)
+	for k, ma := range a {
+		if mb, ok := b[k]; ok {
+			if ma == modeRead || mb == modeRead {
+				out[k] = modeRead
+			} else if ma == modeAssumed || mb == modeAssumed {
+				out[k] = modeAssumed
+			} else {
+				out[k] = modeWrite
+			}
+		}
+	}
+	return out
+}
+
+// lockFlow walks one function body.  Hooks may be nil.
+type lockFlow struct {
+	info *types.Info
+
+	// onLock fires at mu.Lock()/mu.RLock() with the set held before the
+	// acquisition.  deferred is true for "defer mu.Lock()" (never sane,
+	// still reported to hooks) — the acquisition is not modeled.
+	onLock func(call *ast.CallExpr, key lockKey, read bool, held heldSet)
+
+	// onCall fires at every other call with the current held set.  Calls
+	// made from goroutine bodies are excluded.
+	onCall func(call *ast.CallExpr, held heldSet)
+}
+
+// walkFunc analyzes body starting from the entry held set (which walkFunc
+// mutates; pass a fresh set).
+func (e *lockFlow) walkFunc(body *ast.BlockStmt, entry heldSet) {
+	e.stmtList(body.List, entry)
+}
+
+// stmtList processes statements in order; it reports whether the list
+// cannot fall through (ends in return/panic/branch on every path).
+func (e *lockFlow) stmtList(list []ast.Stmt, held heldSet) bool {
+	for _, s := range list {
+		if e.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt processes one statement, updating held; it reports whether control
+// cannot continue past the statement.
+func (e *lockFlow) stmt(s ast.Stmt, held heldSet) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		e.expr(s.X, held)
+		if call, ok := s.X.(*ast.CallExpr); ok && isTerminalCall(e.info, call) {
+			return true
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			e.expr(r, held)
+		}
+		for _, l := range s.Lhs {
+			e.expr(l, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						e.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		e.expr(s.X, held)
+	case *ast.SendStmt:
+		e.expr(s.Chan, held)
+		e.expr(s.Value, held)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			e.expr(r, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current path; for merge purposes
+		// the branch does not fall through.
+		return true
+	case *ast.BlockStmt:
+		return e.stmtList(s.List, held)
+	case *ast.LabeledStmt:
+		return e.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		e.stmt(s.Init, held)
+		e.expr(s.Cond, held)
+		thenHeld := held.clone()
+		thenTerm := e.stmtList(s.Body.List, thenHeld)
+		elseHeld := held.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = e.stmt(s.Else, elseHeld)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			held.replaceWith(elseHeld)
+		case elseTerm:
+			held.replaceWith(thenHeld)
+		default:
+			held.replaceWith(intersect(thenHeld, elseHeld))
+		}
+	case *ast.ForStmt:
+		e.stmt(s.Init, held)
+		e.expr(s.Cond, held)
+		body := held.clone()
+		e.stmtList(s.Body.List, body)
+		e.stmt(s.Post, body)
+	case *ast.RangeStmt:
+		e.expr(s.X, held)
+		body := held.clone()
+		e.stmtList(s.Body.List, body)
+	case *ast.SwitchStmt:
+		e.stmt(s.Init, held)
+		e.expr(s.Tag, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				body := held.clone()
+				for _, x := range cc.List {
+					e.expr(x, body)
+				}
+				e.stmtList(cc.Body, body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		e.stmt(s.Init, held)
+		e.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				body := held.clone()
+				e.stmtList(cc.Body, body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				body := held.clone()
+				e.stmt(cc.Comm, body)
+				e.stmtList(cc.Body, body)
+			}
+		}
+	case *ast.DeferStmt:
+		e.deferredCall(s.Call, held)
+	case *ast.GoStmt:
+		e.goCall(s.Call, held)
+	}
+	return false
+}
+
+// expr fires hooks for calls within x, in evaluation order.
+func (e *lockFlow) expr(x ast.Expr, held heldSet) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Callbacks (sort comparators, walk visitors) run under the
+			// caller's locks; escaping closures are the rare case.
+			e.stmtList(n.Body.List, held.clone())
+			return false
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				e.expr(a, held)
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				e.expr(sel.X, held)
+			} else if _, ok := n.Fun.(*ast.Ident); !ok {
+				e.expr(n.Fun, held)
+			}
+			e.call(n, held)
+			return false
+		}
+		return true
+	})
+}
+
+// call classifies one call: lock acquisition, release, or ordinary call.
+func (e *lockFlow) call(call *ast.CallExpr, held heldSet) {
+	if key, kind, ok := mutexOp(e.info, call); ok {
+		switch kind {
+		case "Lock", "RLock":
+			read := kind == "RLock"
+			if e.onLock != nil {
+				e.onLock(call, key, read, held)
+			}
+			if read {
+				held[key] = modeRead
+			} else {
+				held[key] = modeWrite
+			}
+		case "Unlock", "RUnlock":
+			delete(held, key)
+		}
+		return
+	}
+	if e.onCall != nil {
+		e.onCall(call, held)
+	}
+}
+
+// deferredCall models "defer f(...)": arguments evaluate now; a deferred
+// Unlock keeps the mutex held to function end (so: ignored); a deferred
+// ordinary call still runs under whatever is held at exit, which we
+// approximate with the current set.
+func (e *lockFlow) deferredCall(call *ast.CallExpr, held heldSet) {
+	for _, a := range call.Args {
+		if fl, ok := a.(*ast.FuncLit); ok {
+			e.stmtList(fl.Body.List, held.clone())
+		} else {
+			e.expr(a, held)
+		}
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		e.stmtList(fl.Body.List, held.clone())
+		return
+	}
+	if _, _, ok := mutexOp(e.info, call); ok {
+		return // defer mu.Unlock(): held to function end by design
+	}
+	if e.onCall != nil {
+		e.onCall(call, held)
+	}
+}
+
+// goCall models "go f(...)": the goroutine starts with nothing held, so
+// its body (and the spawned call itself) is analyzed under an empty set
+// rather than the spawner's locks.
+func (e *lockFlow) goCall(call *ast.CallExpr, held heldSet) {
+	for _, a := range call.Args {
+		if fl, ok := a.(*ast.FuncLit); ok {
+			e.stmtList(fl.Body.List, heldSet{})
+		} else {
+			e.expr(a, held)
+		}
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		e.stmtList(fl.Body.List, heldSet{})
+		return
+	}
+	if e.onCall != nil {
+		e.onCall(call, heldSet{})
+	}
+}
+
+// mutexOp decodes mu.Lock/Unlock/RLock/RUnlock/TryLock calls on a sync
+// mutex reached through a selector chain with a resolvable root.  TryLock
+// is reported with ok=false (its acquisition is conditional; not modeled).
+func mutexOp(info *types.Info, call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockKey{}, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	if !isSyncMutex(info.TypeOf(sel.X)) {
+		return lockKey{}, "", false
+	}
+	root := rootObject(info, sel.X)
+	if root == nil {
+		return lockKey{}, "", false
+	}
+	return lockKey{root: root, path: exprPath(sel.X)}, sel.Sel.Name, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// exprPath renders a selector chain as "root.a.b"; non-selector parts
+// (indexes, derefs) collapse to their base so the path stays comparable.
+func exprPath(e ast.Expr) string {
+	var parts []string
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			parts = append(parts, x.Name)
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return strings.Join(parts, ".")
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return strings.Join(parts, ".")
+		}
+	}
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// log.Fatal*, runtime.Goexit.
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "log":
+			return strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic")
+		case "runtime":
+			return fn.Name() == "Goexit"
+		}
+	}
+	return false
+}

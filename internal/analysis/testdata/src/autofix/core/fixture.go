@@ -1,0 +1,52 @@
+// Package core is a ficusvet test fixture for the suggested-fix engine:
+// every finding in this file carries a fix, and applying them all (what
+// ficusvet -fix does) must leave the package finding-free.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/vv"
+)
+
+type state struct {
+	vec vv.Vector
+}
+
+type journal struct {
+	recs []string
+}
+
+func (j *journal) commitRecord(r string) error {
+	j.recs = append(j.recs, r)
+	return nil
+}
+
+// keep stores the caller's vector without Clone; the fix appends .Clone().
+func keep(s *state, v vv.Vector) {
+	s.vec = v
+}
+
+// wrap loses the error chain with %v; the fix rewrites the verb to %w.
+func wrap(err error) error {
+	return fmt.Errorf("apply notify: %v", err)
+}
+
+// seal wraps a durable-write error with %v; errclass and duraberr both
+// propose the same one-byte fix, which the engine must deduplicate.
+func seal(j *journal, r string) error {
+	if err := j.commitRecord(r); err != nil {
+		return fmt.Errorf("seal journal: %v", err)
+	}
+	return nil
+}
+
+// replicaNames collects map keys without sorting; the fix inserts a
+// sort.Slice after the loop and adds the missing sort import.
+func replicaNames(m map[string]uint64) []string {
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	return names
+}

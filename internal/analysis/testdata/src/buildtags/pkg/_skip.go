@@ -1,0 +1,4 @@
+// Excluded by the leading underscore in the file name.
+package pkg
+
+const answer = 45

@@ -1,0 +1,6 @@
+//go:build ignore
+
+// Excluded by its build constraint; the go tool never compiles it.
+package pkg
+
+const answer = 43

@@ -1,0 +1,6 @@
+// Package pkg is a loader test fixture: of the files in this directory,
+// only this one may be loaded.  Every excluded sibling declares the same
+// constant, so a file-selection bug becomes a type-check failure.
+package pkg
+
+const answer = 42

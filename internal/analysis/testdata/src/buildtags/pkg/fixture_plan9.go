@@ -1,0 +1,4 @@
+// Excluded by its GOOS file-name suffix everywhere but plan9.
+package pkg
+
+const answer = 44

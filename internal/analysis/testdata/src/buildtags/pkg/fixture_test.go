@@ -1,0 +1,4 @@
+// Excluded: the analyzers guard shipped code, not tests.
+package pkg
+
+const answer = 46

@@ -1,0 +1,82 @@
+// Package disk is a ficusvet test fixture for the duraberr analyzer: an
+// error from a durable write is the only evidence the commit failed, so
+// discarding, shadowing, or %v-wrapping it is silent data loss.
+package disk
+
+import (
+	"fmt"
+	"strings"
+)
+
+type dev struct {
+	blocks map[uint64][]byte
+	dirty  bool
+}
+
+func (d *dev) writeBlock(n uint64, b []byte) error {
+	d.blocks[n] = b
+	return nil
+}
+
+func (d *dev) syncMeta() error {
+	d.dirty = false
+	return nil
+}
+
+// --- known-bad -----------------------------------------------------------
+
+func (d *dev) badDiscard(b []byte) {
+	d.writeBlock(0, b) // want: error discarded
+}
+
+func (d *dev) badBlank() {
+	_ = d.syncMeta() // want: error assigned to _
+}
+
+func (d *dev) badShadow(b []byte) error {
+	err := d.writeBlock(0, b)
+	err = d.writeBlock(1, b) // want: first error overwritten unchecked
+	return err
+}
+
+func (d *dev) badNeverChecked(b []byte) (err error) {
+	err = d.writeBlock(0, b) // want: assigned but never checked
+	return nil
+}
+
+func (d *dev) badWrap(b []byte) error {
+	if err := d.writeBlock(0, b); err != nil {
+		return fmt.Errorf("flush block: %v", err) // want: %v strips retry classification
+	}
+	return nil
+}
+
+// --- known-good ----------------------------------------------------------
+
+func (d *dev) goodChecked(b []byte) error {
+	if err := d.writeBlock(0, b); err != nil {
+		return fmt.Errorf("write block 0: %w", err)
+	}
+	return d.syncMeta()
+}
+
+func (d *dev) goodShadowAfterCheck(b []byte) error {
+	err := d.writeBlock(0, b)
+	if err != nil {
+		return err
+	}
+	err = d.writeBlock(1, b)
+	return err
+}
+
+func (d *dev) goodBuilder(names []string) string {
+	var sb strings.Builder
+	for _, n := range names {
+		sb.WriteString(n) // in-memory writer: vestigial always-nil error
+	}
+	return sb.String()
+}
+
+func (d *dev) goodSuppressed(b []byte) {
+	d.writeBlock(0, b) //ficusvet:ignore duraberr
+}

@@ -1,0 +1,36 @@
+// Package core is the other half of the ficusvet lockorder fixture.  The
+// notify path acquires core.Host.mu before physical.Layer.Mu (the real
+// stack's order); Inverted closes the loop in the other direction, which
+// must be reported as a cycle.
+package core
+
+import (
+	"sync"
+
+	physical "repro/internal/analysis/testdata/src/lockorder/physical"
+)
+
+type Host struct {
+	mu    sync.Mutex
+	layer *physical.Layer
+	seen  int
+}
+
+// OnNotify records the forward edge core.Host.mu -> physical.Layer.Mu
+// through a transitive call (NoteNested -> Note -> Mu.Lock).
+func (h *Host) OnNotify() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seen++
+	h.layer.NoteNested()
+}
+
+// Inverted acquires Host.mu while holding Layer.Mu: the reverse edge that
+// turns the order graph into a cycle.
+func (h *Host) Inverted() {
+	h.layer.Mu.Lock()
+	defer h.layer.Mu.Unlock()
+	h.mu.Lock() // want: lock-order cycle
+	h.seen++
+	h.mu.Unlock()
+}

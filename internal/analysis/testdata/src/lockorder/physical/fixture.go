@@ -1,0 +1,31 @@
+// Package physical is half of the ficusvet lockorder fixture: it owns the
+// Layer lock class that the core half acquires.  Mu is exported only so
+// the core fixture can close the loop from the wrong direction.
+package physical
+
+import "sync"
+
+type Layer struct {
+	Mu sync.Mutex
+	n  int
+}
+
+func (l *Layer) Note() {
+	l.Mu.Lock()
+	defer l.Mu.Unlock()
+	l.n++
+}
+
+// NoteNested reaches Layer.Mu only transitively, exercising the
+// interprocedural fixpoint on the core side.
+func (l *Layer) NoteNested() { l.Note() }
+
+// merge locks two instances of the same class; instance ordering is an
+// address-level protocol, not a class-level one, so no edge is recorded.
+func merge(a, b *Layer) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	b.Mu.Lock()
+	b.n += a.n
+	b.Mu.Unlock()
+}

@@ -1,0 +1,197 @@
+// Package repl is a ficusvet test fixture for the wiresym analyzer: every
+// encode function must write exactly the token stream its decode
+// counterpart reads, and every opcode constant must be dispatched.
+package repl
+
+import "encoding/binary"
+
+// dec is a sticky-error decoder in the repo's codec convention; wiresym
+// maps its method names straight to wire tokens.
+type dec struct {
+	buf []byte
+	bad bool
+}
+
+func (d *dec) u8() uint8 {
+	if len(d.buf) < 1 {
+		d.bad = true
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if len(d.buf) < 2 {
+		d.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf)
+	d.buf = d.buf[2:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if len(d.buf) < 4 {
+		d.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if len(d.buf) < 8 {
+		d.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *dec) count() int {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return int(v)
+}
+
+func (d *dec) take(n int) []byte {
+	if n < 0 || n > len(d.buf) {
+		d.bad = true
+		return nil
+	}
+	v := d.buf[:n]
+	d.buf = d.buf[n:]
+	return v
+}
+
+// --- known-good: symmetric pairs -----------------------------------------
+
+type ping struct {
+	seq  uint32
+	site uint64
+	note []byte
+}
+
+func (p *ping) encode(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, p.seq)
+	b = binary.BigEndian.AppendUint64(b, p.site)
+	b = binary.AppendUvarint(b, uint64(len(p.note)))
+	b = append(b, p.note...)
+	return b
+}
+
+func decodePing(d *dec) ping {
+	var p ping
+	p.seq = d.u32()
+	p.site = d.u64()
+	n := d.count()
+	p.note = d.take(n)
+	return p
+}
+
+type roster struct {
+	ids []uint32
+}
+
+func (r *roster) encode(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(r.ids)))
+	for _, id := range r.ids {
+		b = binary.BigEndian.AppendUint32(b, id)
+	}
+	return b
+}
+
+func decodeRoster(d *dec) roster {
+	var r roster
+	n := d.count()
+	for i := 0; i < n; i++ {
+		r.ids = append(r.ids, d.u32())
+	}
+	return r
+}
+
+// --- known-bad: drifted pairs --------------------------------------------
+
+type summary struct {
+	gen   uint16
+	count uint32
+}
+
+func (s *summary) encode(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, s.gen) // want: decode reads u32 here
+	b = binary.BigEndian.AppendUint32(b, s.count)
+	return b
+}
+
+func decodeSummary(d *dec) summary {
+	var s summary
+	s.gen = uint16(d.u32()) // drifted from u16 when the field widened
+	s.count = d.u32()
+	return s
+}
+
+func encodeTrailer(b []byte, gen, crc uint32) []byte {
+	b = binary.BigEndian.AppendUint32(b, gen)
+	b = binary.BigEndian.AppendUint32(b, crc) // want: decode stops before this
+	return b
+}
+
+func decodeTrailer(d *dec) uint32 {
+	return d.u32()
+}
+
+// --- known-bad: unpaired codecs ------------------------------------------
+
+func encodeOrphan(b []byte, v uint8) []byte { // want: no decode counterpart
+	return append(b, v)
+}
+
+func decodeStray(d *dec) uint8 { // want: no encode counterpart
+	return d.u8()
+}
+
+// --- op tables -----------------------------------------------------------
+
+type opCode uint8
+
+const (
+	opPing opCode = 1
+	opPull opCode = 2
+	opStat opCode = 3 // want: never dispatched
+)
+
+func dispatch(op opCode, d *dec) int {
+	switch op {
+	case opPing:
+		return int(decodePing(d).seq)
+	case opPull:
+		return len(decodeRoster(d).ids)
+	}
+	return -1
+}
+
+type ackCode uint8
+
+const (
+	ackOK  ackCode = 0
+	ackErr ackCode = 1
+)
+
+// ackName dispatches every ackCode constant: a fully covered table.
+func ackName(a ackCode) string {
+	switch a {
+	case ackOK:
+		return "ok"
+	case ackErr:
+		return "err"
+	}
+	return "?"
+}

@@ -11,8 +11,15 @@ cd "$(dirname "$0")/.."
 echo "==> go build ./..."
 go build ./...
 
-echo "==> ficusvet ./..."
-go run ./cmd/ficusvet ./...
+echo "==> ficusvet -json ./..."
+# Hard gate over the whole module (cmd/ included): exit 1 means findings,
+# exit 2 means the gate itself failed to load the module — both stop CI.
+# JSON keeps the findings machine-readable for annotation tooling.
+if ! go run ./cmd/ficusvet -json ./... > /tmp/ficusvet.json; then
+	cat /tmp/ficusvet.json
+	echo "ficusvet gate failed" >&2
+	exit 1
+fi
 
 echo "==> go vet ./..."
 go vet ./...
@@ -22,6 +29,9 @@ go test -race -count=1 ./internal/recon ./internal/repl
 
 echo "==> go test -race ./internal/core ./internal/physical"
 go test -race -count=1 ./internal/core ./internal/physical
+
+echo "==> go test -race (repair daemon / propagation interleaving)"
+go test -race -count=1 -run 'TestRepair|TestPropagat' ./internal/recon ./internal/physical ./internal/repl ./internal/sim
 
 echo "==> go test -race (scrubber path)"
 go test -race -count=1 -run 'TestScrub|TestJournalCompactionCrashSweep|TestRepair' ./internal/physical ./internal/recon ./internal/disk
