@@ -19,6 +19,7 @@ import (
 	"repro/internal/recon"
 	"repro/internal/retry"
 	"repro/internal/vnode"
+	"repro/internal/workload"
 )
 
 // BenchmarkE1StackComposition times the same lookup+getattr operation
@@ -423,4 +424,173 @@ func BenchmarkE10BatchPropagation(b *testing.B) {
 	b.Run("batch/fresh", func(b *testing.B) { run(b, batchCfg, false) })
 	b.Run("batch/all-dominated", func(b *testing.B) { run(b, batchCfg, true) })
 	b.Run("sequential/fresh", func(b *testing.B) { run(b, seqCfg, false) })
+}
+
+// BenchmarkE13DeltaPropagation measures the content-addressed block-delta
+// propagation path (wire v3) against whole-file batched pulls on a 4-host
+// cluster: 128 files of 16 data blocks each, three origin hosts, host 0
+// propagating.
+//
+//   - delta/append-one-block:  each pass appends one 4 KiB block to every
+//     file; only that block should cross the wire.
+//   - whole/append-one-block:  the identical workload with DisableDelta —
+//     the whole-file baseline the wireBytes/file reduction is quoted
+//     against.
+//   - delta/touch-metadata:    each pass rewrites every file byte-for-byte
+//     (the version bumps, the data does not); every block dedups and the
+//     pass ships no block data at all.
+//   - delta/all-dominated:     every entry already pulled — the pass must
+//     ship zero blocks and zero file bytes.
+//
+// Reported metrics: wireBytes/file (total RPC bytes over files), blocks
+// shipped and reused per pass, and the dedup hit-rate
+// reused/(reused+shipped).
+func BenchmarkE13DeltaPropagation(b *testing.B) {
+	const (
+		nFiles     = 128
+		nOrigins   = 3
+		baseBlocks = 16
+		wlSeed     = 1313
+		bs         = physical.ChecksumBlockSize
+	)
+
+	type fileRef struct {
+		name   string
+		origin int
+		fid    ids.FileID
+	}
+
+	setup := func(b *testing.B) (*Cluster, []*physical.Layer, []fileRef) {
+		c, err := NewCluster(nOrigins+1, WithSeed(42), WithStorage(65536, 16384))
+		if err != nil {
+			b.Fatal(err)
+		}
+		layers := make([]*physical.Layer, nOrigins+1)
+		for i := range layers {
+			layers[i] = c.Host(i).LocalReplicas()[0]
+		}
+		files := make([]fileRef, nFiles)
+		for i := range files {
+			origin := 1 + i%nOrigins
+			name := fmt.Sprintf("d%d-f%d", origin, i)
+			data := workload.AppendOneBlock(wlSeed, i, baseBlocks, 0, bs)
+			fid := benchWrite(b, layers[origin], name, string(data))
+			files[i] = fileRef{name: name, origin: origin, fid: fid}
+		}
+		if err := c.Settle(50); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i <= nOrigins; i++ {
+			if _, err := c.Host(i).PropagateOnce(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c, layers, files
+	}
+
+	// mutateAll issues version `appends` of every file at its origin and
+	// queues the notifications on host 0.  contents decides the workload
+	// shape (append-one-block vs byte-identical touch).
+	mutateAll := func(b *testing.B, layers []*physical.Layer, files []fileRef,
+		contents func(i, appends int) []byte, appends int) {
+		for i, f := range files {
+			l := layers[f.origin]
+			root, err := l.Root()
+			if err != nil {
+				b.Fatal(err)
+			}
+			vn, err := root.Lookup(f.name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := vnode.WriteFile(vn, contents(i, appends)); err != nil {
+				b.Fatal(err)
+			}
+			layers[0].NoteNewVersion(physical.RootPath(), f.fid, l.Replica())
+		}
+	}
+	noteAll := func(layers []*physical.Layer, files []fileRef) {
+		for _, f := range files {
+			layers[0].NoteNewVersion(physical.RootPath(), f.fid, layers[f.origin].Replica())
+		}
+	}
+	appendContents := func(i, appends int) []byte {
+		return workload.AppendOneBlock(wlSeed, i, baseBlocks, appends, bs)
+	}
+	touchContents := func(i, _ int) []byte {
+		return workload.TouchMetadata(wlSeed, i, baseBlocks, 0, bs)
+	}
+
+	run := func(b *testing.B, cfg recon.PropagateConfig, contents func(i, appends int) []byte, dominated bool) {
+		c, layers, files := setup(b)
+		var rpcs, wireBytes, shipped, reused uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			mutateAll(b, layers, files, contents, i+1)
+			if dominated {
+				if _, err := c.Host(0).PropagateOnceCfg(cfg); err != nil {
+					b.Fatal(err)
+				}
+				noteAll(layers, files)
+			}
+			before := c.NetworkStats()
+			var beforeShipped, beforeReused uint64
+			for h := 0; h <= nOrigins; h++ {
+				s := c.BlockStatsFor(h)
+				beforeShipped += s.BlocksShipped
+				beforeReused += s.BlocksReused
+			}
+			b.StartTimer()
+			stats, err := c.Host(0).PropagateOnceCfg(cfg)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			after := c.NetworkStats()
+			rpcs += after.RPCs - before.RPCs
+			wireBytes += after.RPCBytes - before.RPCBytes
+			var afterShipped, afterReused uint64
+			for h := 0; h <= nOrigins; h++ {
+				s := c.BlockStatsFor(h)
+				afterShipped += s.BlocksShipped
+				afterReused += s.BlocksReused
+			}
+			shipped += afterShipped - beforeShipped
+			reused += afterReused - beforeReused
+			if dominated {
+				if stats.FilesPulled != 0 {
+					b.Fatalf("all-dominated pass pulled %d files", stats.FilesPulled)
+				}
+				if afterShipped != beforeShipped {
+					b.Fatalf("all-dominated pass shipped %d blocks", afterShipped-beforeShipped)
+				}
+			} else if stats.FilesPulled != nFiles {
+				b.Fatalf("pulled %d files, want %d", stats.FilesPulled, nFiles)
+			}
+			if n := len(layers[0].PendingVersions()); n != 0 {
+				b.Fatalf("%d entries still pending after pass", n)
+			}
+			b.StartTimer()
+		}
+		b.StopTimer()
+		if probs, err := c.Fsck(); err != nil || len(probs) != 0 {
+			b.Fatalf("fsck after bench: %v %v", probs, err)
+		}
+		n := float64(b.N)
+		b.ReportMetric(float64(rpcs)/n, "rpcs/pass")
+		b.ReportMetric(float64(wireBytes)/n/nFiles, "wireBytes/file")
+		b.ReportMetric(float64(shipped)/n, "blocksShipped/pass")
+		b.ReportMetric(float64(reused)/n, "blocksReused/pass")
+		if shipped+reused > 0 {
+			b.ReportMetric(float64(reused)/float64(shipped+reused), "dedupHitRate")
+		}
+	}
+
+	deltaCfg := recon.PropagateConfig{Policy: retry.Default()}
+	wholeCfg := recon.PropagateConfig{Policy: retry.Default(), DisableDelta: true}
+	b.Run("delta/append-one-block", func(b *testing.B) { run(b, deltaCfg, appendContents, false) })
+	b.Run("whole/append-one-block", func(b *testing.B) { run(b, wholeCfg, appendContents, false) })
+	b.Run("delta/touch-metadata", func(b *testing.B) { run(b, deltaCfg, touchContents, false) })
+	b.Run("delta/all-dominated", func(b *testing.B) { run(b, deltaCfg, appendContents, true) })
 }

@@ -38,6 +38,8 @@
 //	scrub [host]                         one integrity pass (verify + repair);
 //	                                     all hosts when no host given
 //	integrity [host]                     per-host corruption/repair counters
+//	blocks [host]                        per-host block pool and delta-transfer
+//	                                     counters (dedup savings)
 //	# comment                            ignored
 //
 // Example:
@@ -565,6 +567,23 @@ func (c *controller) exec(line string) error {
 			fmt.Printf("host %d scrub: scrubbed=%d blocks=%d resealed=%d detected=%d repaired=%d unrepairable=%d quarantined=%d\n",
 				h, s.ScrubbedFiles, s.ScrubbedBlocks, s.Resealed, s.CorruptionsDetected,
 				s.Repaired, s.Unrepairable, s.Quarantined)
+		}
+		return nil
+	case "blocks":
+		lo, hi := 0, c.cluster.NumHosts()
+		if len(args) > 0 {
+			h, err := c.host(args[0])
+			if err != nil {
+				return err
+			}
+			lo, hi = h, h+1
+		}
+		for h := lo; h < hi; h++ {
+			s := c.cluster.BlockStatsFor(h)
+			fmt.Printf("host %d pool: blocks=%d bytes=%d sealed=%d orphans=%d bad=%d\n",
+				h, s.PoolBlocks, s.PoolBytes, s.ManifestsSealed, s.OrphansReclaimed, s.BadBlocks)
+			fmt.Printf("host %d delta: shipped=%d (%d bytes) reused=%d (%d bytes saved)\n",
+				h, s.BlocksShipped, s.BytesShipped, s.BlocksReused, s.BytesSaved)
 		}
 		return nil
 	default:

@@ -448,6 +448,14 @@ type IntegrityStats struct {
 	Repaired            uint64
 	Unrepairable        uint64
 	Quarantined         uint64
+
+	// Delta-propagation work (mirrored from the block layer): blocks this
+	// host shipped to peers that lacked them, blocks its own delta installs
+	// reassembled locally, and the payload bytes those reuses kept off the
+	// wire.
+	BlocksShipped   uint64
+	BlocksReused    uint64
+	DeltaBytesSaved uint64
 }
 
 // IntegrityStatsFor returns host i's aggregate integrity counters.
@@ -461,6 +469,40 @@ func (c *Cluster) IntegrityStatsFor(host int) IntegrityStats {
 		Repaired:            s.Repaired,
 		Unrepairable:        s.Unrepairable,
 		Quarantined:         s.Quarantined,
+		BlocksShipped:       s.BlocksShipped,
+		BlocksReused:        s.BlocksReused,
+		DeltaBytesSaved:     s.DeltaBytesSaved,
+	}
+}
+
+// BlockStats reports one host's content-addressed block layer: the shared
+// block pool backing delta propagation (PoolBlocks/PoolBytes are gauges;
+// the rest are cumulative).
+type BlockStats struct {
+	PoolBlocks       uint64 // blocks currently pooled across the host's replicas
+	PoolBytes        uint64 // bytes currently pooled
+	ManifestsSealed  uint64 // block manifests committed
+	OrphansReclaimed uint64 // unreferenced pool blocks removed at mount
+	BadBlocks        uint64 // pool blocks that failed their address on read
+	BlocksShipped    uint64 // blocks shipped to peers that lacked them
+	BlocksReused     uint64 // blocks delta installs reassembled from the local pool
+	BytesShipped     uint64 // payload bytes of shipped blocks
+	BytesSaved       uint64 // payload bytes delta installs kept off the wire
+}
+
+// BlockStatsFor returns host i's aggregate block-layer counters.
+func (c *Cluster) BlockStatsFor(host int) BlockStats {
+	s := c.sim.Hosts[host].BlockStats()
+	return BlockStats{
+		PoolBlocks:       s.PoolBlocks,
+		PoolBytes:        s.PoolBytes,
+		ManifestsSealed:  s.ManifestsSealed,
+		OrphansReclaimed: s.OrphansReclaimed,
+		BadBlocks:        s.BadBlocks,
+		BlocksShipped:    s.BlocksShipped,
+		BlocksReused:     s.BlocksReused,
+		BytesShipped:     s.BytesShipped,
+		BytesSaved:       s.BytesSaved,
 	}
 }
 

@@ -158,6 +158,65 @@ func decodeStray(d *dec) uint8 { // want: no encode counterpart
 	return d.u8()
 }
 
+// --- block manifests: the delta-era codec shape ---------------------------
+//
+// A manifest is a length plus a run of fixed-width content addresses — the
+// shape the content-addressed transfer path ships.  The symmetric pair must
+// pass; the drifted pair models the realistic regression where the length
+// field is narrowed on one side only.
+
+type manifest struct {
+	length uint64
+	addrs  [][16]byte
+}
+
+func (m *manifest) encode(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, m.length)
+	b = binary.AppendUvarint(b, uint64(len(m.addrs)))
+	for i := range m.addrs {
+		b = append(b, m.addrs[i][:]...)
+	}
+	return b
+}
+
+func decodeManifest(d *dec) manifest {
+	var m manifest
+	m.length = d.u64()
+	n := d.count()
+	for i := 0; i < n; i++ {
+		var a [16]byte
+		copy(a[:], d.take(16))
+		m.addrs = append(m.addrs, a)
+	}
+	return m
+}
+
+type blockList struct {
+	length uint64
+	addrs  [][16]byte
+}
+
+func (l *blockList) encode(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, l.length) // want: decode reads u32 here
+	b = binary.AppendUvarint(b, uint64(len(l.addrs)))
+	for i := range l.addrs {
+		b = append(b, l.addrs[i][:]...)
+	}
+	return b
+}
+
+func decodeBlockList(d *dec) blockList {
+	var l blockList
+	l.length = uint64(d.u32()) // drifted when the length field narrowed
+	n := d.count()
+	for i := 0; i < n; i++ {
+		var a [16]byte
+		copy(a[:], d.take(16))
+		l.addrs = append(l.addrs, a)
+	}
+	return l
+}
+
 // --- op tables -----------------------------------------------------------
 
 type opCode uint8

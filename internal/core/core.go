@@ -548,6 +548,7 @@ type healthPeer struct {
 var (
 	_ recon.Peer        = (*healthPeer)(nil)
 	_ recon.BatchPuller = (*healthPeer)(nil)
+	_ recon.DeltaPuller = (*healthPeer)(nil)
 )
 
 func (p *healthPeer) note(err error) {
@@ -580,6 +581,12 @@ func (p *healthPeer) FileData(dirPath []ids.FileID, fid ids.FileID) ([]byte, phy
 
 func (p *healthPeer) PullBatch(reqs []physical.PullRequest) ([]physical.PullResult, error) {
 	res, err := p.c.PullBatch(reqs)
+	p.note(err)
+	return res, err
+}
+
+func (p *healthPeer) PullBatchDelta(reqs []physical.PullRequest, have []physical.BlockAddr) ([]physical.PullResult, error) {
+	res, err := p.c.PullBatchDelta(reqs, have)
 	p.note(err)
 	return res, err
 }

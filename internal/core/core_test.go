@@ -1,11 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
 	"repro/internal/ids"
 	"repro/internal/logical"
+	"repro/internal/physical"
 	"repro/internal/simnet"
 	"repro/internal/vnode"
 )
@@ -429,5 +431,57 @@ func TestCreateGraftPointRequiresLocalReplica(t *testing.T) {
 	err := c.hosts[0].CreateGraftPoint(other, "/", "x", c.vol, nil)
 	if !errors.Is(err, ErrNoLocalReplica) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestDeltaPropagationThroughHealthGate pins the delta path to the
+// propagation daemon's REAL peer plumbing: the daemon reaches remote origins
+// through the health-gated peer wrapper, so that wrapper must forward
+// PullBatchDelta — otherwise every pull silently degrades to whole-file and
+// the block layer never earns its keep.  An append-one-block update must
+// ship exactly the appended block and reassemble the rest from the pool.
+func TestDeltaPropagationThroughHealthGate(t *testing.T) {
+	const bs = physical.ChecksumBlockSize
+	c := newCluster(t, 2)
+	root := c.mount(t, 0)
+	f, err := root.Create("big", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := append(bytes.Repeat([]byte{'a'}, bs), bytes.Repeat([]byte{'b'}, bs)...)
+	if err := vnode.WriteFile(f, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.hosts[1].PropagateOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append one block at the origin; the next daemon pass on host b must
+	// pull via the delta op: 1 block shipped by a, 2 reassembled by b.
+	if err := vnode.WriteFile(f, append(base, bytes.Repeat([]byte{'c'}, bs)...)); err != nil {
+		t.Fatal(err)
+	}
+	beforeShipped := c.hosts[0].BlockStats().BlocksShipped
+	stats, err := c.hosts[1].PropagateOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FilesPulled != 1 {
+		t.Fatalf("FilesPulled = %d, want 1", stats.FilesPulled)
+	}
+	if got := c.hosts[0].BlockStats().BlocksShipped - beforeShipped; got != 1 {
+		t.Fatalf("origin shipped %d blocks for an append-one-block update, want 1", got)
+	}
+	if got := c.hosts[1].BlockStats().BlocksReused; got != 2 {
+		t.Fatalf("puller reassembled %d blocks from its pool, want 2", got)
+	}
+	root1 := c.mount(t, 1)
+	g, err := root1.Lookup("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := vnode.ReadFile(g)
+	if err != nil || len(data) != 3*bs || data[2*bs] != 'c' {
+		t.Fatalf("delta-installed file wrong: len=%d err=%v", len(data), err)
 	}
 }

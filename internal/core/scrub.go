@@ -64,6 +64,16 @@ func (h *Host) IntegrityStats() physical.IntegrityStats {
 	return total
 }
 
+// BlockStats aggregates the content-addressed block layer's counters of
+// every local volume replica (pool gauges plus delta-propagation work).
+func (h *Host) BlockStats() physical.BlockStats {
+	var total physical.BlockStats
+	for _, layer := range h.LocalReplicas() {
+		total.Add(layer.BlockStats())
+	}
+	return total
+}
+
 // CorruptFile injects silent at-rest bit rot into the local replica's copy
 // of the file at slash path within vol, flipping one bit of the stored
 // data byte at off without touching the version vector or the sealed

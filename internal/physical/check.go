@@ -20,6 +20,8 @@ import (
 //   - no orphaned storage: every F/A/D member of a container is named by
 //     some entry (live or tombstone) of that directory
 //   - entry ids are unique within each directory
+//   - block refcounts: every block a manifest references is present in the
+//     pool, and every pool block is referenced by at least one manifest
 func (l *Layer) Check() ([]string, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -28,13 +30,50 @@ func (l *Layer) Check() ([]string, error) {
 	if err != nil {
 		return []string{fmt.Sprintf("volume root container missing: %v", err)}, nil
 	}
-	if err := l.checkContainerLocked(cont, ids.RootFileID, "/", &problems); err != nil {
+	poolRefs := make(map[BlockAddr]bool)
+	if err := l.checkContainerLocked(cont, ids.RootFileID, "/", &problems, poolRefs); err != nil {
+		return problems, err
+	}
+	if err := l.checkPoolLocked(&problems, poolRefs); err != nil {
 		return problems, err
 	}
 	return problems, nil
 }
 
-func (l *Layer) checkContainerLocked(cont vnode.Vnode, dirFid ids.FileID, path string, problems *[]string) error {
+// checkPoolLocked audits the block pool against the references collected
+// from the manifests: an unreferenced pool block is a leak (mount-time
+// reclaim should have collected it), a torn shadow is incomplete recovery,
+// an unparsable name is foreign junk.
+func (l *Layer) checkPoolLocked(problems *[]string, poolRefs map[BlockAddr]bool) error {
+	pool, err := l.root.Lookup(poolDirName)
+	if err != nil {
+		if vnode.AsErrno(err) == vnode.ENOENT {
+			return nil // block layer never used on this store
+		}
+		return err
+	}
+	ents, err := pool.Readdir()
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name, suffixShadow) {
+			*problems = append(*problems, fmt.Sprintf("pool: leftover block shadow %q (crash recovery incomplete)", e.Name))
+			continue
+		}
+		addr, ok := parseBlockName(e.Name)
+		if !ok {
+			*problems = append(*problems, fmt.Sprintf("pool: unparsable block name %q", e.Name))
+			continue
+		}
+		if !poolRefs[addr] {
+			*problems = append(*problems, fmt.Sprintf("pool: block %s referenced by no manifest (leaked)", addr))
+		}
+	}
+	return nil
+}
+
+func (l *Layer) checkContainerLocked(cont vnode.Vnode, dirFid ids.FileID, path string, problems *[]string, poolRefs map[BlockAddr]bool) error {
 	report := func(format string, args ...any) {
 		*problems = append(*problems, fmt.Sprintf("%s: ", path)+fmt.Sprintf(format, args...))
 	}
@@ -125,6 +164,32 @@ func (l *Layer) checkContainerLocked(cont vnode.Vnode, dirFid ids.FileID, path s
 			if !stored[prefixData+fid.String()] {
 				report("checksum sidecar %q has no data file", m.Name)
 			}
+		case strings.HasPrefix(m.Name, prefixManifest):
+			fid, err := ids.ParseFileID(m.Name[len(prefixManifest):])
+			if err != nil {
+				report("unparsable block manifest name %q", m.Name)
+				continue
+			}
+			// Like the checksum sidecar: an orphaned or dangling manifest is
+			// a problem, a missing or STALE one is not (crash windows leave
+			// stale seals; EnsureBlocks reseals).
+			if !named[fid] {
+				report("orphaned block manifest %q", m.Name)
+			}
+			if !stored[prefixData+fid.String()] {
+				report("block manifest %q has no data file", m.Name)
+			}
+			_, man, err := readManifest(l.root, cont, fid)
+			if err != nil {
+				report("undecodable block manifest %q: %v", m.Name, err)
+				continue
+			}
+			for _, addr := range man.Blocks {
+				poolRefs[addr] = true
+				if !l.poolHasLocked(addr) {
+					report("block manifest %v references missing pool block %s", fid, addr)
+				}
+			}
 		case strings.HasPrefix(m.Name, prefixDir):
 			fid, err := ids.ParseFileID(m.Name[len(prefixDir):])
 			if err != nil {
@@ -154,7 +219,7 @@ func (l *Layer) checkContainerLocked(cont vnode.Vnode, dirFid ids.FileID, path s
 				report("entry %q: container lookup failed: %v", e.Name, err)
 				continue
 			}
-			if err := l.checkContainerLocked(sub, e.Child, path+e.Name+"/", problems); err != nil {
+			if err := l.checkContainerLocked(sub, e.Child, path+e.Name+"/", problems, poolRefs); err != nil {
 				return err
 			}
 			continue

@@ -1,0 +1,164 @@
+package physical
+
+// Delta pulls: the wire half of the content-addressed block layer.
+//
+// A delta pull is a conditional batched pull (pull.go) in which the puller
+// additionally advertises the block addresses it already holds (its pool,
+// fed by EnsureBlocks from ANY local file — cross-file dedup).  The serving
+// side answers PullData entries with the version's manifest plus only the
+// blocks absent from the advertisement, and the puller reassembles the full
+// version from local pool blocks + received blocks before running the exact
+// same verified shadow/rename commit a whole-file install uses.  An
+// append-one-block update or a metadata touch therefore ships O(delta)
+// bytes instead of O(file), and a pass where the puller already dominates
+// still ships zero data bytes.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/invariant"
+	"repro/internal/vv"
+)
+
+// ErrMissingBlock reports a delta install that could not be assembled: the
+// manifest references a block that was neither advertised-and-held locally
+// nor shipped.  It is TRANSIENT — the puller's pool may have changed between
+// advertisement and install (eviction, corruption) — so the entry retries
+// under backoff and the next advertisement no longer claims the block.
+var ErrMissingBlock error = transientError("physical: delta install needs a block neither held locally nor shipped")
+
+// PullBatchDelta answers a batch of conditional pulls like PullBatch, but
+// entries whose version must ship are answered as (manifest, missing
+// blocks) against the puller's advertised holdings instead of as full data.
+// The manifest is computed in memory from the (verified) read — serving
+// never writes to this replica's own store.  Like PullBatch, failures are
+// strictly per-entry.
+func (l *Layer) PullBatchDelta(reqs []PullRequest, have []BlockAddr) ([]PullResult, error) {
+	haveSet := make(map[BlockAddr]bool, len(have))
+	for _, a := range have {
+		haveSet[a] = true
+	}
+	out := make([]PullResult, len(reqs))
+	var shipped, shippedBytes uint64
+	for i := range reqs {
+		out[i] = l.pullOne(&reqs[i])
+		r := &out[i]
+		if r.Status != PullData {
+			continue
+		}
+		m := ComputeManifest(r.Data)
+		sent := make(map[BlockAddr]bool)
+		var missing []Block
+		for bi, addr := range m.Blocks {
+			if haveSet[addr] || sent[addr] {
+				continue
+			}
+			off := bi * ChecksumBlockSize
+			end := off + ChecksumBlockSize
+			if end > len(r.Data) {
+				end = len(r.Data)
+			}
+			missing = append(missing, Block{Addr: addr, Data: r.Data[off:end]})
+			sent[addr] = true
+			shipped++
+			shippedBytes += uint64(end - off)
+		}
+		r.Manifest = m
+		r.Missing = missing
+		r.Data = nil
+	}
+	l.mu.Lock()
+	l.bstats.BlocksShipped += shipped
+	l.bstats.BytesShipped += shippedBytes
+	l.mu.Unlock()
+	return out, nil
+}
+
+// InstallFileVersionDelta is InstallFileVersionSum for a delta answer: the
+// version arrives as a manifest plus the blocks this replica reported
+// missing, and is reassembled from received + pool blocks.  Every received
+// block must hash to its address and the assembled payload must match the
+// advertised checksums (when present) before anything touches disk.  On
+// success the received blocks enter the pool and the manifest is sealed
+// under newVV, so the next pull advertises them.
+func (l *Layer) InstallFileVersionDelta(dirPath []ids.FileID, fid ids.FileID, kind Kind, m *BlockManifest, missing []Block, newVV vv.Vector, nlink uint32, cs *Checksums) error {
+	if m == nil {
+		return fmt.Errorf("physical: delta install of %s without a manifest", fid)
+	}
+	if len(m.Blocks) != checksumBlocks(m.Length) {
+		return fmt.Errorf("%w: delta install of %s: manifest has %d blocks for length %d", ErrCorrupt, fid, len(m.Blocks), m.Length)
+	}
+	recv := make(map[BlockAddr][]byte, len(missing))
+	for i := range missing {
+		b := &missing[i]
+		if HashBlock(b.Data) != b.Addr {
+			invariant.Checkf(false,
+				"physical: delta install of %s: received block does not hash to its address %s",
+				fid, b.Addr)
+			return fmt.Errorf("%w: delta install of %s rejected (block fails its address)", ErrCorrupt, fid)
+		}
+		recv[b.Addr] = b.Data
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cont, err := l.containerOf(dirPath)
+	if err != nil {
+		return err
+	}
+	// Assemble the full version: received blocks win (they are the bytes the
+	// server actually shipped); everything else must come from the pool.
+	data := make([]byte, 0, m.Length)
+	var reused, reusedBytes uint64
+	for _, addr := range m.Blocks {
+		if b, ok := recv[addr]; ok {
+			data = append(data, b...)
+			continue
+		}
+		b, ok := l.poolGetLocked(addr)
+		if !ok {
+			return fmt.Errorf("%w (file %s, block %s)", ErrMissingBlock, fid, addr)
+		}
+		data = append(data, b...)
+		reused++
+		reusedBytes += uint64(len(b))
+	}
+	if uint64(len(data)) != m.Length {
+		return fmt.Errorf("%w: delta install of %s assembled %d bytes, manifest says %d", ErrCorrupt, fid, len(data), m.Length)
+	}
+	if cs != nil && !cs.Verify(data) {
+		invariant.Checkf(false,
+			"physical: delta install of %s rejected: assembled payload (%d bytes) does not match advertised checksums (length %d)",
+			fid, len(data), cs.Length)
+		return fmt.Errorf("%w: delta install of %s rejected (assembled payload does not match advertised sidecar)", ErrCorrupt, fid)
+	}
+	// Received blocks enter the pool BEFORE the commit: once the manifest is
+	// sealed below it must never reference a block the pool lacks, and this
+	// ordering makes that invariant hold through any crash point.  Manifest
+	// order keeps the on-disk write sequence deterministic.
+	pooled := make(map[BlockAddr]bool, len(recv))
+	for _, addr := range m.Blocks {
+		b, ok := recv[addr]
+		if !ok || pooled[addr] {
+			continue
+		}
+		if err := l.poolPutLocked(addr, b); err != nil {
+			return err
+		}
+		pooled[addr] = true
+	}
+	if err := l.commitFileVersionLocked(cont, fid, kind, data, newVV, nlink, cs); err != nil {
+		return err
+	}
+	if err := l.sealManifestLocked(cont, fid, newVV, m); err != nil {
+		return err
+	}
+	l.bstats.BlocksReused += reused
+	l.bstats.BytesSaved += reusedBytes
+	return nil
+}
+
+// IsMissingBlock reports whether err is the retriable missing-block refusal
+// of a delta install.
+func IsMissingBlock(err error) bool { return errors.Is(err, ErrMissingBlock) }

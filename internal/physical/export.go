@@ -292,6 +292,9 @@ func (l *Layer) derefAfterMergeLocked(cont vnode.Vnode, entries []Entry, child i
 	if countLiveRefs(entries, child) > 0 {
 		return nil
 	}
+	if err := l.removeManifestLocked(cont, child); err != nil {
+		return err
+	}
 	for _, p := range []string{prefixData, prefixAux, prefixSum} {
 		if err := cont.Remove(p + child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
 			return err
@@ -357,6 +360,9 @@ func (l *Layer) EvictFileStorage(dirPath []ids.FileID, fid ids.FileID) error {
 	if err := removeSidecar(cont, fid); err != nil {
 		return err
 	}
+	if err := l.removeManifestLocked(cont, fid); err != nil {
+		return err
+	}
 	// No local bytes, nothing left to distrust.
 	l.clearQuarantineLocked(fid, false)
 	return nil
@@ -416,6 +422,9 @@ func (l *Layer) DropTombstones(dirPath []ids.FileID, eids []ids.FileID) (int, er
 		if countAnyRefs(kept, child) > 0 {
 			continue
 		}
+		if err := l.removeManifestLocked(cont, child); err != nil {
+			return removed, err
+		}
 		for _, p := range []string{prefixData, prefixAux, prefixSum} {
 			if err := cont.Remove(p + child.String()); err != nil && vnode.AsErrno(err) != vnode.ENOENT {
 				return removed, err
@@ -430,7 +439,8 @@ func (l *Layer) DropTombstones(dirPath []ids.FileID, eids []ids.FileID) (int, er
 			continue
 		}
 		name := prefixDir + child.String()
-		if _, err := cont.Lookup(name); err == nil {
+		if sub, err := cont.Lookup(name); err == nil {
+			l.dropManifestRefsInTreeLocked(sub)
 			if err := removeTree(cont, name); err != nil {
 				return removed, err
 			}

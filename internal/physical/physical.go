@@ -46,11 +46,12 @@ const (
 // file id (the paper's "encoding the Ficus file handle into a hexadecimal
 // string used by the UFS as a pathname").
 const (
-	prefixDir    = "D" // child directory container (UFS directory)
-	prefixData   = "F" // child file data (UFS file)
-	prefixAux    = "A" // child file auxiliary attributes (UFS file)
-	prefixSum    = "C" // child file block-checksum sidecar (UFS file)
-	suffixShadow = ".shadow"
+	prefixDir      = "D" // child directory container (UFS directory)
+	prefixData     = "F" // child file data (UFS file)
+	prefixAux      = "A" // child file auxiliary attributes (UFS file)
+	prefixSum      = "C" // child file block-checksum sidecar (UFS file)
+	prefixManifest = "M" // child file block-manifest sidecar (UFS file)
+	suffixShadow   = ".shadow"
 )
 
 // Errors specific to the physical layer.
@@ -90,6 +91,12 @@ type Layer struct {
 	nvcjSize    uint64
 	nvcjRecs    int
 	journalErrs uint64
+
+	// Content-addressed block layer (blockstore.go, delta.go).  Refcounts
+	// are in-memory, rebuilt from the on-disk manifests at every Open.
+	pool      vnode.Vnode
+	blockRefs map[BlockAddr]int
+	bstats    BlockStats
 }
 
 type nvcKey struct {
@@ -132,14 +139,15 @@ func Format(store vnode.VFS, vol ids.VolumeHandle, replica ids.ReplicaID) (*Laye
 		return nil, err
 	}
 	l := &Layer{
-		store:   store,
-		root:    root,
-		vol:     vol,
-		replica: replica,
-		seq:     ids.NewSequencer(replica, 2),
-		nvc:     make(map[nvcKey]NewVersion),
-		opens:   make(map[ids.FileID]int),
-		quar:    make(map[ids.FileID]QuarEntry),
+		store:     store,
+		root:      root,
+		vol:       vol,
+		replica:   replica,
+		seq:       ids.NewSequencer(replica, 2),
+		nvc:       make(map[nvcKey]NewVersion),
+		opens:     make(map[ids.FileID]int),
+		quar:      make(map[ids.FileID]QuarEntry),
+		blockRefs: make(map[BlockAddr]int),
 	}
 	if err := l.writeMetaLocked(); err != nil {
 		return nil, err
@@ -174,11 +182,12 @@ func Open(store vnode.VFS) (*Layer, error) {
 		return nil, err
 	}
 	l := &Layer{
-		store: store,
-		root:  root,
-		nvc:   make(map[nvcKey]NewVersion),
-		opens: make(map[ids.FileID]int),
-		quar:  make(map[ids.FileID]QuarEntry),
+		store:     store,
+		root:      root,
+		nvc:       make(map[nvcKey]NewVersion),
+		opens:     make(map[ids.FileID]int),
+		quar:      make(map[ids.FileID]QuarEntry),
+		blockRefs: make(map[BlockAddr]int),
 	}
 	if err := l.readMetaLocked(); err != nil {
 		return nil, err
@@ -187,6 +196,9 @@ func Open(store vnode.VFS) (*Layer, error) {
 		return nil, err
 	}
 	if err := l.Recover(); err != nil {
+		return nil, err
+	}
+	if err := l.recoverBlocks(); err != nil {
 		return nil, err
 	}
 	return l, nil

@@ -86,6 +86,13 @@ type PullResult struct {
 	// in flight — or a serving path whose verification was bypassed — is
 	// rejected rather than committed.
 	Sum *Checksums
+
+	// Delta answers (PullBatchDelta, delta.go): the version as a block
+	// manifest plus only the blocks absent from the puller's advertised
+	// holdings.  Data is nil when Manifest is set; the puller reassembles
+	// via InstallFileVersionDelta.
+	Manifest *BlockManifest
+	Missing  []Block
 }
 
 // PullBatch answers a batch of conditional pull requests against this

@@ -690,6 +690,9 @@ func (v *pvnode) derefStorageLocked(cont vnode.Vnode, entries []Entry, child ids
 	if err := removeSidecar(cont, child); err != nil {
 		return err
 	}
+	if err := v.l.removeManifestLocked(cont, child); err != nil {
+		return err
+	}
 	v.l.clearQuarantineLocked(child, false)
 	return nil
 }

@@ -50,6 +50,14 @@ type IntegrityStats struct {
 	Repaired            uint64 // quarantined versions healed from a peer
 	Unrepairable        uint64 // repair rounds where every known peer definitively refused
 	Quarantined         uint64 // files currently in quarantine
+
+	// Delta-propagation counters (mirrored from the block layer, delta.go):
+	// blocks this replica shipped to peers that lacked them, blocks its own
+	// delta installs reassembled from the local pool, and the payload bytes
+	// those reuses kept off the wire.
+	BlocksShipped   uint64
+	BlocksReused    uint64
+	DeltaBytesSaved uint64
 }
 
 // Add accumulates (aggregation across layers and hosts).
@@ -61,12 +69,16 @@ func (s *IntegrityStats) Add(t IntegrityStats) {
 	s.Repaired += t.Repaired
 	s.Unrepairable += t.Unrepairable
 	s.Quarantined += t.Quarantined
+	s.BlocksShipped += t.BlocksShipped
+	s.BlocksReused += t.BlocksReused
+	s.DeltaBytesSaved += t.DeltaBytesSaved
 }
 
 // String renders the stats compactly.
 func (s IntegrityStats) String() string {
-	return fmt.Sprintf("scrubbed=%d blocks=%d resealed=%d corrupt=%d repaired=%d unrepairable=%d quarantined=%d",
-		s.ScrubbedFiles, s.ScrubbedBlocks, s.Resealed, s.CorruptionsDetected, s.Repaired, s.Unrepairable, s.Quarantined)
+	return fmt.Sprintf("scrubbed=%d blocks=%d resealed=%d corrupt=%d repaired=%d unrepairable=%d quarantined=%d shipped=%d reused=%d saved=%dB",
+		s.ScrubbedFiles, s.ScrubbedBlocks, s.Resealed, s.CorruptionsDetected, s.Repaired, s.Unrepairable, s.Quarantined,
+		s.BlocksShipped, s.BlocksReused, s.DeltaBytesSaved)
 }
 
 // IntegrityStats returns a snapshot of this volume replica's counters.
@@ -75,6 +87,9 @@ func (l *Layer) IntegrityStats() IntegrityStats {
 	defer l.mu.Unlock()
 	s := l.integ
 	s.Quarantined = uint64(len(l.quar))
+	s.BlocksShipped = l.bstats.BlocksShipped
+	s.BlocksReused = l.bstats.BlocksReused
+	s.DeltaBytesSaved = l.bstats.BytesSaved
 	return s
 }
 

@@ -48,6 +48,13 @@ func (l *Layer) InstallFileVersionSum(dirPath []ids.FileID, fid ids.FileID, kind
 	if err != nil {
 		return err
 	}
+	return l.commitFileVersionLocked(cont, fid, kind, data, newVV, nlink, cs)
+}
+
+// commitFileVersionLocked is the shared single-file atomic commit sequence:
+// whole-file installs and delta installs (delta.go) both land here once
+// their payload is verified and fully assembled.  Caller holds l.mu.
+func (l *Layer) commitFileVersionLocked(cont vnode.Vnode, fid ids.FileID, kind Kind, data []byte, newVV vv.Vector, nlink uint32, cs *Checksums) error {
 	base := prefixData + fid.String()
 	shadow := base + suffixShadow
 

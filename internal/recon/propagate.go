@@ -31,6 +31,20 @@ type BatchPuller interface {
 
 var _ BatchPuller = (*physical.Layer)(nil)
 
+// DeltaPuller is the block-delta fast path (wire v3): the puller advertises
+// the block addresses it already holds, and the origin answers PullData
+// entries as (manifest, missing blocks) so unchanged blocks never ship.
+// *physical.Layer provides it directly; repl.Client provides it with
+// transparent per-peer downgrade, answering whole-file pulls when the far
+// side predates the delta op — so a DeltaPuller's results must be handled
+// both ways (Manifest set, or plain Data).
+type DeltaPuller interface {
+	BatchPuller
+	PullBatchDelta([]physical.PullRequest, []physical.BlockAddr) ([]physical.PullResult, error)
+}
+
+var _ DeltaPuller = (*physical.Layer)(nil)
+
 // PropagateConfig tunes one propagation pass.
 type PropagateConfig struct {
 	// Policy classifies per-entry errors and spaces the retries of failed
@@ -43,6 +57,9 @@ type PropagateConfig struct {
 	// DisableBatch forces the sequential per-file pull protocol even when
 	// the peer supports batched pulls (the benchmark baseline).
 	DisableBatch bool
+	// DisableDelta forces whole-file batched pulls even when the peer
+	// supports block-delta pulls (the benchmark baseline for E13).
+	DisableDelta bool
 }
 
 // PropagateOnce runs one pass of the update propagation daemon under the
@@ -128,7 +145,7 @@ func Propagate(local *physical.Layer, find PeerFinder, cfg PropagateConfig) (Sta
 			go func() {
 				defer wg.Done()
 				for i := range idxCh {
-					results[i] = runOrigin(local, find, byOrigin[origins[i]], cfg.DisableBatch)
+					results[i] = runOrigin(local, find, byOrigin[origins[i]], cfg)
 				}
 			}()
 		}
@@ -231,13 +248,16 @@ type originResult struct {
 }
 
 // runOrigin pulls one origin's due entries on a worker goroutine.
-func runOrigin(local *physical.Layer, find PeerFinder, entries []physical.NewVersion, disableBatch bool) originResult {
+func runOrigin(local *physical.Layer, find PeerFinder, entries []physical.NewVersion, cfg PropagateConfig) originResult {
 	peer := find(entries[0].Origin)
 	if peer == nil {
 		return originResult{}
 	}
 	res := originResult{peer: peer, outcomes: make([]entryOutcome, len(entries))}
-	if bp, ok := peer.(BatchPuller); ok && !disableBatch {
+	if bp, ok := peer.(BatchPuller); ok && !cfg.DisableBatch {
+		if cfg.DisableDelta {
+			bp = whollyBatched{bp}
+		}
 		runOriginBatched(local, bp, entries, res.outcomes)
 	} else {
 		for i, nv := range entries {
@@ -247,11 +267,23 @@ func runOrigin(local *physical.Layer, find PeerFinder, entries []physical.NewVer
 	return res
 }
 
+// whollyBatched narrows a puller to its BatchPuller half, hiding any
+// PullBatchDelta it may have (the DisableDelta baseline).
+type whollyBatched struct{ bp BatchPuller }
+
+func (w whollyBatched) PullBatch(reqs []physical.PullRequest) ([]physical.PullResult, error) {
+	return w.bp.PullBatch(reqs)
+}
+
 // runOriginBatched issues one conditional pull for the whole batch: each
 // request carries the local vector, and the origin ships data only for
-// entries it dominates.  A transport-level batch failure fails every entry
-// that was in the batch (each keeps its own backoff schedule).
+// entries it dominates.  When the peer supports delta pulls, the local
+// versions are first indexed into the block pool and the batch advertises
+// every pooled address, so the origin ships only blocks this replica lacks.
+// A transport-level batch failure fails every entry that was in the batch
+// (each keeps its own backoff schedule).
 func runOriginBatched(local *physical.Layer, bp BatchPuller, entries []physical.NewVersion, outcomes []entryOutcome) {
+	dp, delta := bp.(DeltaPuller)
 	reqs := make([]physical.PullRequest, 0, len(entries))
 	reqIdx := make([]int, 0, len(entries))
 	locals := make([]vv.Vector, len(entries))
@@ -261,6 +293,14 @@ func runOriginBatched(local *physical.Layer, bp BatchPuller, entries []physical.
 		case err == nil:
 			locals[i] = linfo.Aux.VV
 			reqs = append(reqs, physical.PullRequest{Dir: nv.Dir, File: nv.File, LocalVV: linfo.Aux.VV, HasLocal: true})
+			if delta && !linfo.Aux.Type.IsDir() {
+				// Index the version we hold so the advertisement below can
+				// dedup against its blocks.  Best-effort — an entry that
+				// cannot be indexed (quarantined, racing eviction) simply
+				// gains nothing from the delta and pulls whole blocks; the
+				// install path verifies everything regardless.
+				_ = local.EnsureBlocks(nv.Dir, nv.File)
+			}
 		case errors.Is(err, physical.ErrNotStored):
 			reqs = append(reqs, physical.PullRequest{Dir: nv.Dir, File: nv.File})
 		default:
@@ -272,7 +312,13 @@ func runOriginBatched(local *physical.Layer, bp BatchPuller, entries []physical.
 	if len(reqs) == 0 {
 		return
 	}
-	results, err := bp.PullBatch(reqs)
+	var results []physical.PullResult
+	var err error
+	if delta {
+		results, err = dp.PullBatchDelta(reqs, local.PoolAddrs())
+	} else {
+		results, err = bp.PullBatch(reqs)
+	}
 	if err == nil && len(results) != len(reqs) {
 		err = fmt.Errorf("pull batch: %d answers for %d requests", len(results), len(reqs))
 	}
@@ -292,7 +338,15 @@ func runOriginBatched(local *physical.Layer, bp BatchPuller, entries []physical.
 			// vouch for them: a payload damaged in flight (or served past a
 			// bypassed verification) is rejected as a transient failure
 			// before it touches disk, and the entry retries under backoff.
-			err := local.InstallFileVersionSum(nv.Dir, nv.File, r.Aux.Type, r.Data, r.Aux.VV, r.Aux.Nlink, r.Sum)
+			// A delta answer reassembles from pool + shipped blocks first;
+			// a missing block is transient (the pool moved under us) and
+			// the entry retries with a fresh advertisement.
+			var err error
+			if r.Manifest != nil {
+				err = local.InstallFileVersionDelta(nv.Dir, nv.File, r.Aux.Type, r.Manifest, r.Missing, r.Aux.VV, r.Aux.Nlink, r.Sum)
+			} else {
+				err = local.InstallFileVersionSum(nv.Dir, nv.File, r.Aux.Type, r.Data, r.Aux.VV, r.Aux.Nlink, r.Sum)
+			}
 			switch {
 			case err == nil:
 				outcomes[i] = entryOutcome{kind: outInstalled}

@@ -88,7 +88,7 @@ func repairOne(local *physical.Layer, find PeerFinder, peers []ids.ReplicaID, q 
 			definitive = false // unreachable or health-gated: maybe later
 			continue
 		}
-		res, err := repairPull(peer, q)
+		res, err := repairPull(local, peer, q)
 		if err != nil {
 			definitive = false
 			continue
@@ -98,7 +98,12 @@ func repairOne(local *physical.Layer, find PeerFinder, peers []ids.ReplicaID, q 
 			if !res.Aux.VV.DominatesOrEqual(q.VV) {
 				continue // an older version cannot vouch for this one
 			}
-			if err := local.InstallFileVersionSum(q.Dir, q.File, res.Aux.Type, res.Data, res.Aux.VV, res.Aux.Nlink, res.Sum); err != nil {
+			if res.Manifest != nil {
+				err = local.InstallFileVersionDelta(q.Dir, q.File, res.Aux.Type, res.Manifest, res.Missing, res.Aux.VV, res.Aux.Nlink, res.Sum)
+			} else {
+				err = local.InstallFileVersionSum(q.Dir, q.File, res.Aux.Type, res.Data, res.Aux.VV, res.Aux.Nlink, res.Sum)
+			}
+			if err != nil {
 				definitive = false // damaged in flight, or local trouble: retry
 				continue
 			}
@@ -115,11 +120,24 @@ func repairOne(local *physical.Layer, find PeerFinder, peers []ids.ReplicaID, q 
 }
 
 // repairPull fetches one unconditional copy of q's file from peer, using the
-// batched pull path when the peer supports it and the per-file protocol
-// otherwise (a plain FileData ships no checksums; the install then seals
-// from the received bytes, which the serving side verified on read).
-func repairPull(peer Peer, q physical.QuarEntry) (physical.PullResult, error) {
+// delta pull path when the peer supports it (the advertisement names only
+// pool blocks — which are re-verified against their addresses on every read,
+// so a quarantined file's untrusted bytes can never slip into the repair),
+// the batched path otherwise, and the per-file protocol as the last resort
+// (a plain FileData ships no checksums; the install then seals from the
+// received bytes, which the serving side verified on read).
+func repairPull(local *physical.Layer, peer Peer, q physical.QuarEntry) (physical.PullResult, error) {
 	req := physical.PullRequest{Dir: q.Dir, File: q.File} // HasLocal=false: ship unconditionally
+	if dp, ok := peer.(DeltaPuller); ok {
+		results, err := dp.PullBatchDelta([]physical.PullRequest{req}, local.PoolAddrs())
+		if err != nil {
+			return physical.PullResult{}, err
+		}
+		if len(results) != 1 {
+			return physical.PullResult{Status: physical.PullError}, nil
+		}
+		return results[0], nil
+	}
 	if bp, ok := peer.(BatchPuller); ok {
 		results, err := bp.PullBatch([]physical.PullRequest{req})
 		if err != nil {

@@ -26,10 +26,29 @@ import (
 	"repro/internal/vv"
 )
 
-// wireVersion leads every message; bumping it invalidates old peers loudly
-// instead of misparsing them.  Version 2 added the checksum summary to pull
-// results.
-const wireVersion = 2
+// A wire version byte leads every message; an out-of-range version fails
+// loudly instead of misparsing.  Version 2 added the checksum summary to
+// pull results.  Version 3 adds block-delta pulls: requests may advertise
+// held block addresses, and pull answers may carry a manifest plus missing
+// blocks instead of full data.  Both ends accept the full range, and a
+// server answers at the version the request arrived with, so v3-only
+// traffic (the delta op) degrades cleanly against v2 peers.
+const (
+	wireV2         = 2
+	wireV3         = 3
+	wireVersion    = wireV3 // newest version this build speaks
+	wireMinVersion = wireV2 // oldest version this build accepts
+)
+
+// wireVer normalizes a message's encode version: messages that never set
+// one (every pre-delta op) stay at the v2 layout, byte-identical to what
+// older builds emit.
+func wireVer(v byte) byte {
+	if v == 0 {
+		return wireV2
+	}
+	return v
+}
 
 // Error classes carried in responses so the client can rebuild an error of
 // the right kind (sentinel identity and transience survive the wire).
@@ -92,7 +111,8 @@ func appendAux(dst []byte, a physical.Aux) []byte {
 }
 
 func (r *request) encode(dst []byte) []byte {
-	dst = appendU8(dst, wireVersion)
+	ver := wireVer(r.ver)
+	dst = appendU8(dst, ver)
 	dst = appendU8(dst, byte(r.Op))
 	dst = appendVol(dst, r.Vol)
 	dst = appendU32(dst, uint32(r.Replica))
@@ -106,11 +126,18 @@ func (r *request) encode(dst []byte) []byte {
 		dst = appendBool(dst, p.HasLocal)
 		dst = p.LocalVV.AppendBinary(dst)
 	}
+	if ver >= wireV3 {
+		dst = appendCount(dst, len(r.Have))
+		for i := range r.Have {
+			dst = append(dst, r.Have[i][:]...)
+		}
+	}
 	return dst
 }
 
 func (r *response) encode(dst []byte) []byte {
-	dst = appendU8(dst, wireVersion)
+	ver := wireVer(r.ver)
+	dst = appendU8(dst, ver)
 	dst = appendU8(dst, r.Class)
 	dst = appendString(dst, r.Err)
 	dst = appendCount(dst, len(r.Entries))
@@ -149,6 +176,21 @@ func (r *response) encode(dst []byte) []byte {
 				dst = appendU32(dst, s)
 			}
 		}
+		if ver >= wireV3 {
+			dst = appendBool(dst, p.Manifest != nil)
+			if p.Manifest != nil {
+				dst = appendU64(dst, p.Manifest.Length)
+				dst = appendCount(dst, len(p.Manifest.Blocks))
+				for j := range p.Manifest.Blocks {
+					dst = append(dst, p.Manifest.Blocks[j][:]...)
+				}
+			}
+			dst = appendCount(dst, len(p.Missing))
+			for j := range p.Missing {
+				dst = append(dst, p.Missing[j].Addr[:]...)
+				dst = appendBytes(dst, p.Missing[j].Data)
+			}
+		}
 	}
 	return dst
 }
@@ -160,6 +202,7 @@ func (r *response) encode(dst []byte) []byte {
 // full field sequence and check err once at the end.
 type decoder struct {
 	b   []byte
+	ver byte // wire version of the message being decoded
 	err error
 }
 
@@ -297,15 +340,19 @@ func (d *decoder) aux() physical.Aux {
 }
 
 func (d *decoder) version() {
-	if v := d.u8(); d.err == nil && v != wireVersion {
-		d.fail("wire version %d, want %d", v, wireVersion)
+	v := d.u8()
+	if d.err == nil && (v < wireMinVersion || v > wireVersion) {
+		d.fail("wire version %d, want %d..%d", v, wireMinVersion, wireVersion)
+		return
 	}
+	d.ver = v
 }
 
 func decodeRequest(b []byte) (*request, error) {
 	d := &decoder{b: b}
 	d.version()
 	var req request
+	req.ver = d.ver
 	req.Op = opCode(d.u8())
 	req.Vol = d.vol()
 	req.Replica = ids.ReplicaID(d.u32())
@@ -323,6 +370,15 @@ func decodeRequest(b []byte) (*request, error) {
 			p.LocalVV = d.vvec()
 		}
 	}
+	if d.ver >= wireV3 {
+		n = d.count(physical.BlockAddrSize)
+		if n > 0 {
+			req.Have = make([]physical.BlockAddr, n)
+			for i := range req.Have {
+				copy(req.Have[i][:], d.take(physical.BlockAddrSize))
+			}
+		}
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -336,6 +392,7 @@ func decodeResponse(b []byte) (*response, error) {
 	d := &decoder{b: b}
 	d.version()
 	var resp response
+	resp.ver = d.ver
 	resp.Class = d.u8()
 	resp.Err = d.str()
 	// A directory entry is at least two fids(24) + kind(1) + deleted(1)
@@ -387,6 +444,25 @@ func decodeResponse(b []byte) (*response, error) {
 					}
 				}
 				p.Sum = cs
+			}
+			if d.ver >= wireV3 {
+				if d.bool() {
+					man := &physical.BlockManifest{Length: d.u64()}
+					if m := d.count(physical.BlockAddrSize); m > 0 {
+						man.Blocks = make([]physical.BlockAddr, m)
+						for j := range man.Blocks {
+							copy(man.Blocks[j][:], d.take(physical.BlockAddrSize))
+						}
+					}
+					p.Manifest = man
+				}
+				if m := d.count(physical.BlockAddrSize + 1); m > 0 {
+					p.Missing = make([]physical.Block, m)
+					for j := range p.Missing {
+						copy(p.Missing[j].Addr[:], d.take(physical.BlockAddrSize))
+						p.Missing[j].Data = d.bytes()
+					}
+				}
 			}
 		}
 	}

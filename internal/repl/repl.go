@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ids"
 	"repro/internal/physical"
@@ -118,18 +119,22 @@ const (
 	opFileData
 	opListReplicas
 	opPullBatch
+	opPullBatchDelta // v3: pull with held-block advertisement, delta answers
 )
 
 type request struct {
+	ver     byte // wire version to encode at; 0 means wireV2 (see wireVer)
 	Op      opCode
 	Vol     ids.VolumeHandle
 	Replica ids.ReplicaID
 	Dir     []ids.FileID
 	File    ids.FileID
-	Pulls   []physical.PullRequest // opPullBatch only
+	Pulls   []physical.PullRequest // opPullBatch / opPullBatchDelta
+	Have    []physical.BlockAddr   // opPullBatchDelta only (v3): blocks the puller holds
 }
 
 type response struct {
+	ver      byte   // wire version to encode at; a server echoes the request's
 	Class    byte   // classOK = success; otherwise the error class
 	Err      string // message for classTransient/classPermanent
 	Entries  []physical.Entry
@@ -152,12 +157,19 @@ type wirePull struct {
 	Size     uint64
 	RemoteVV vv.Vector
 	Sum      *physical.Checksums // serving replica's sealed checksums, if any
+
+	// Delta answers (v3, opPullBatchDelta): the version's block manifest
+	// plus only the blocks the puller's advertisement lacked.  Data is nil
+	// when Manifest is set.
+	Manifest *physical.BlockManifest
+	Missing  []physical.Block
 }
 
 // Server exports the volume replicas registered on one host.
 type Server struct {
 	mu     sync.Mutex
 	layers map[ids.VolumeReplicaHandle]*physical.Layer
+	maxVer byte // 0 = wireVersion; lowered in tests to emulate an old peer
 }
 
 // NewServer installs a repl server on the host.
@@ -187,13 +199,32 @@ func (s *Server) layerFor(vol ids.VolumeHandle, r ids.ReplicaID) *physical.Layer
 	return s.layers[ids.VolumeReplicaHandle{Vol: vol, Replica: r}]
 }
 
+// SetMaxWireVersion caps the wire version this server accepts (testing the
+// mixed-version cluster path: a capped server behaves like an old build,
+// failing v3 requests at decode just as a genuine v2 peer would).
+func (s *Server) SetMaxWireVersion(v byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxVer = v
+}
+
 func (s *Server) handle(reqBytes []byte) ([]byte, error) {
 	req, err := decodeRequest(reqBytes)
 	if err != nil {
 		bad := response{Class: classPermanent, Err: "bad request"}
 		return bad.encode(nil), nil
 	}
+	s.mu.Lock()
+	maxVer := s.maxVer
+	s.mu.Unlock()
+	if maxVer != 0 && wireVer(req.ver) > maxVer {
+		// An old build's decoder rejects the version byte outright; its
+		// answer is the same permanent "bad request" the decode path gives.
+		bad := response{Class: classPermanent, Err: "bad request"}
+		return bad.encode(nil), nil
+	}
 	resp := s.dispatch(req)
+	resp.ver = req.ver // answer at the version the request arrived with
 	return resp.encode(nil), nil
 }
 
@@ -238,19 +269,57 @@ func (s *Server) dispatch(req *request) response {
 	case opPullBatch:
 		// The layer answers per entry and never fails the whole batch.
 		results, _ := l.PullBatch(req.Pulls)
-		wps := make([]wirePull, len(results))
-		for i := range results {
-			r := &results[i]
-			wps[i] = wirePull{Status: byte(r.Status), Data: r.Data, Aux: r.Aux, Size: r.Size, RemoteVV: r.RemoteVV, Sum: r.Sum}
-			if r.Err != nil {
-				wps[i].Class = classOf(r.Err)
-				wps[i].Err = r.Err.Error()
-			}
-		}
-		return response{Pulls: wps}
+		return response{Pulls: pullsToWire(results)}
+	case opPullBatchDelta:
+		results, _ := l.PullBatchDelta(req.Pulls, req.Have)
+		return response{Pulls: pullsToWire(results)}
 	default:
 		return response{Class: classPermanent, Err: "unknown op"}
 	}
+}
+
+// pullsToWire flattens a batch of pull results for the wire (shared by the
+// whole-file and delta pull ops; Manifest/Missing only travel on v3).
+func pullsToWire(results []physical.PullResult) []wirePull {
+	wps := make([]wirePull, len(results))
+	for i := range results {
+		r := &results[i]
+		wps[i] = wirePull{Status: byte(r.Status), Data: r.Data, Aux: r.Aux, Size: r.Size, RemoteVV: r.RemoteVV, Sum: r.Sum, Manifest: r.Manifest, Missing: r.Missing}
+		if r.Err != nil {
+			wps[i].Class = classOf(r.Err)
+			wps[i].Err = r.Err.Error()
+		}
+	}
+	return wps
+}
+
+// pullsFromWire rebuilds the per-entry results of a batched pull, with each
+// entry's error reconstructed from its wire class.
+func pullsFromWire(nreq int, resp *response) ([]physical.PullResult, error) {
+	if len(resp.Pulls) != nreq {
+		return nil, fmt.Errorf("repl: pull batch: sent %d entries, got %d answers", nreq, len(resp.Pulls))
+	}
+	out := make([]physical.PullResult, len(resp.Pulls))
+	for i := range resp.Pulls {
+		w := &resp.Pulls[i]
+		out[i] = physical.PullResult{
+			Status:   physical.PullStatus(w.Status),
+			Data:     w.Data,
+			Aux:      w.Aux,
+			Size:     w.Size,
+			RemoteVV: w.RemoteVV,
+			Sum:      w.Sum,
+			Manifest: w.Manifest,
+			Missing:  w.Missing,
+		}
+		if out[i].Status == physical.PullError {
+			out[i].Err = errFromClass(w.Class, w.Err)
+			if out[i].Err == nil {
+				out[i].Err = &peerError{msg: "unspecified pull error"}
+			}
+		}
+	}
+	return out, nil
 }
 
 func errResponse(err error) response {
@@ -275,6 +344,12 @@ type Client struct {
 	addr   simnet.Addr
 	vr     ids.VolumeReplicaHandle
 	policy retry.Policy
+
+	// noDelta caches a peer's refusal of the v3 delta op, so a mixed-version
+	// cluster pays the downgrade probe once per peer, not once per batch.  A
+	// pointer: WithRetry copies the struct, and every copy must share the
+	// verdict.
+	noDelta *atomic.Bool
 }
 
 var (
@@ -285,7 +360,7 @@ var (
 // NewClient builds a peer for the volume replica vr served at addr,
 // issuing calls from host, retrying under retry.Default().
 func NewClient(host *simnet.Host, addr simnet.Addr, vr ids.VolumeReplicaHandle) *Client {
-	return &Client{host: host, addr: addr, vr: vr, policy: retry.Default()}
+	return &Client{host: host, addr: addr, vr: vr, policy: retry.Default(), noDelta: new(atomic.Bool)}
 }
 
 // WithRetry returns a copy of the client configured with a different retry
@@ -372,28 +447,30 @@ func (c *Client) PullBatch(reqs []physical.PullRequest) ([]physical.PullResult, 
 	if err != nil {
 		return nil, err
 	}
-	if len(resp.Pulls) != len(reqs) {
-		return nil, fmt.Errorf("repl: pull batch: sent %d entries, got %d answers", len(reqs), len(resp.Pulls))
+	return pullsFromWire(len(reqs), resp)
+}
+
+// PullBatchDelta implements recon.DeltaPuller: like PullBatch, but the
+// request advertises the block addresses this replica already holds, and
+// answers for checksummed files come back as (manifest, missing blocks)
+// instead of full data.  A peer that predates the delta op answers it with
+// a permanent error; the client notes that once and degrades this and every
+// later batch to plain PullBatch, so mixed-version clusters converge at v2.
+func (c *Client) PullBatchDelta(reqs []physical.PullRequest, have []physical.BlockAddr) ([]physical.PullResult, error) {
+	if c.noDelta.Load() {
+		return c.PullBatch(reqs)
 	}
-	out := make([]physical.PullResult, len(resp.Pulls))
-	for i := range resp.Pulls {
-		w := &resp.Pulls[i]
-		out[i] = physical.PullResult{
-			Status:   physical.PullStatus(w.Status),
-			Data:     w.Data,
-			Aux:      w.Aux,
-			Size:     w.Size,
-			RemoteVV: w.RemoteVV,
-			Sum:      w.Sum,
+	resp, err := c.call(&request{ver: wireV3, Op: opPullBatchDelta, Pulls: reqs, Have: have})
+	if err != nil {
+		var pe *peerError
+		if errors.As(err, &pe) && !pe.transient {
+			// "bad request" / "unknown op": the peer speaks no v3.
+			c.noDelta.Store(true)
+			return c.PullBatch(reqs)
 		}
-		if out[i].Status == physical.PullError {
-			out[i].Err = errFromClass(w.Class, w.Err)
-			if out[i].Err == nil {
-				out[i].Err = &peerError{msg: "unspecified pull error"}
-			}
-		}
+		return nil, err
 	}
-	return out, nil
+	return pullsFromWire(len(reqs), resp)
 }
 
 // ListReplicas asks which replicas of vol the host at addr serves (an

@@ -10,6 +10,7 @@
 package workload
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 )
@@ -112,3 +113,53 @@ func Bursts(cfg BurstConfig) ([]Update, error) {
 // NameFor renders a stable file name for index i (shared by experiments so
 // streams address the same namespace).
 func NameFor(i int) string { return fmt.Sprintf("wf-%05d", i) }
+
+// ---- delta-propagation workloads ---------------------------------------
+//
+// The block-delta experiments (E13) need update streams whose EDIT shape is
+// controlled: an append-one-block pass changes exactly one block of each
+// file, and a touch-metadata pass changes none — the two ends of the
+// "update a big file" spectrum the content-addressed transfer path exists
+// for.  Block contents are deterministic functions of (seed, file, block),
+// so every host generates identical bytes and two blocks share an address
+// only when they genuinely are the same block.
+
+// DeltaBlock returns the deterministic contents of block bi of file fi:
+// size pseudo-random bytes unique to (seed, fi, bi).  Uniqueness is
+// structural — the identifying triple is stamped into the leading bytes —
+// because math/rand reduces seeds mod 2^31-1, which collapses distinct
+// (fi, bi) pairs onto one stream and would silently make different blocks
+// byte-identical (the dedup layer then "saves" traffic that a real
+// workload would have to ship).
+func DeltaBlock(seed int64, fi, bi, size int) []byte {
+	rng := rand.New(rand.NewSource(seed ^ int64(fi)<<32 ^ int64(bi)))
+	out := make([]byte, size)
+	rng.Read(out)
+	if size >= 24 {
+		binary.LittleEndian.PutUint64(out[0:], uint64(seed))
+		binary.LittleEndian.PutUint64(out[8:], uint64(fi))
+		binary.LittleEndian.PutUint64(out[16:], uint64(bi))
+	}
+	return out
+}
+
+// AppendOneBlock returns file fi's full contents after `appends` passes of
+// an append-one-block workload over a base of baseBlocks blocks: the first
+// baseBlocks+appends deterministic blocks, concatenated.  Successive passes
+// therefore differ in exactly one trailing block.
+func AppendOneBlock(seed int64, fi, baseBlocks, appends, blockSize int) []byte {
+	n := baseBlocks + appends
+	out := make([]byte, 0, n*blockSize)
+	for bi := 0; bi < n; bi++ {
+		out = append(out, DeltaBlock(seed, fi, bi, blockSize)...)
+	}
+	return out
+}
+
+// TouchMetadata returns the contents of a metadata-only touch: byte-for-byte
+// identical to AppendOneBlock with the same arguments.  Writing it issues a
+// new version (the vector bumps, propagation runs) whose every block dedups
+// against the previous one — the delta path should ship no data at all.
+func TouchMetadata(seed int64, fi, baseBlocks, appends, blockSize int) []byte {
+	return AppendOneBlock(seed, fi, baseBlocks, appends, blockSize)
+}

@@ -36,6 +36,12 @@ go test -race -count=1 -run 'TestRepair|TestPropagat' ./internal/recon ./interna
 echo "==> go test -race (scrubber path)"
 go test -race -count=1 -run 'TestScrub|TestJournalCompactionCrashSweep|TestRepair' ./internal/physical ./internal/recon ./internal/disk
 
+echo "==> go test -race (block store / delta propagation)"
+go test -race -count=1 -run 'TestBlock|TestDelta|TestPool|TestCodecV3|TestPullBatchDelta|TestCheckReportsDangling' ./internal/physical ./internal/repl ./internal/recon ./internal/core
+
+echo "==> bench smoke: E13 delta propagation"
+go test -count=1 -run 'xxx' -bench 'BenchmarkE13DeltaPropagation' -benchtime 1x .
+
 echo "==> go test -race ./..."
 go test -race ./...
 
