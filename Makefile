@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet lint invariants chaos chaos-crash chaos-scrub bench ci
+.PHONY: all build test check race vet lint invariants chaos chaos-crash chaos-scrub chaos-slow bench ci
 
 all: build test
 
@@ -46,8 +46,16 @@ chaos-crash:
 chaos-scrub:
 	FICUS_INVARIANTS=1 $(GO) test -race -count=1 -run 'TestChaosScrubConvergence' -v .
 
-# bench regenerates BENCH_PR3.json: the batched-propagation experiment
-# (E10) and the repl wire-codec microbenchmarks.
+# chaos-slow runs the slow-peer convergence test with invariants armed:
+# heavy-tailed latency on every link, one persistently slow link forcing
+# hedged pulls, and one peer that hangs mid-run — accepts RPCs, runs the
+# handlers, never replies.  Propagation must stay within its per-pass tick
+# budget throughout and converge once the peer answers (DESIGN.md §14).
+chaos-slow:
+	FICUS_INVARIANTS=1 $(GO) test -race -count=1 -run 'TestChaosSlowPeerConvergence' -v .
+
+# bench regenerates BENCH_PR3.json (batched propagation E10, wire-codec
+# micros) and BENCH_PR9.json (hedged-pull tail latency E14).
 bench:
 	sh scripts/bench.sh
 

@@ -8,6 +8,7 @@ package ficus
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"repro/internal/avail"
@@ -593,4 +594,79 @@ func BenchmarkE13DeltaPropagation(b *testing.B) {
 	b.Run("whole/append-one-block", func(b *testing.B) { run(b, wholeCfg, appendContents, false) })
 	b.Run("delta/touch-metadata", func(b *testing.B) { run(b, deltaCfg, touchContents, false) })
 	b.Run("delta/all-dominated", func(b *testing.B) { run(b, deltaCfg, appendContents, true) })
+}
+
+// BenchmarkE14HedgedPulls measures the virtual-tick tail latency of
+// propagation pulls over a persistently slow, heavy-tailed link, with and
+// without hedging (E14).  Host 0 originates every version; host 2 pulls
+// first over fast links and so always holds a fresh copy; host 1's link to
+// host 0 is slow with occasional large spikes.  With hedging enabled a
+// backup pull to host 2 is issued once the primary passes the threshold,
+// and the first virtual response wins — cutting the p99 pull ticks from
+// spike-sized to roughly HedgeAfter plus a fast round trip.  All latency is
+// virtual, so the percentiles are exact and deterministic per seed; ns/op
+// is incidental.
+func BenchmarkE14HedgedPulls(b *testing.B) {
+	const rounds = 128
+	const hedgeAfter = 30
+	run := func(b *testing.B, hedge uint64) {
+		c, err := NewCluster(3, WithSeed(11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.InjectLatency(LatencyConfig{BaseTicks: 4, JitterTicks: 2})
+		c.InjectLinkLatency(1, 0, LatencyConfig{BaseTicks: 40, JitterTicks: 10, SpikeRate: 0.25, SpikeTicks: 400})
+		m0, err := c.Mount(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var samples []uint64
+		cfg := recon.PropagateConfig{
+			Policy:      retry.Default(),
+			HedgeAfter:  hedge,
+			OnPullTicks: func(t uint64) { samples = append(samples, t) },
+		}
+		var total recon.Stats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rounds; r++ {
+				path := fmt.Sprintf("/e14-%d-%d", i, r)
+				if err := m0.WriteFile(path, []byte(fmt.Sprintf("tail %d.%d", i, r))); err != nil {
+					b.Fatal(err)
+				}
+				// Host 2 pulls first over fast links: it is the up-to-date
+				// alternate source the hedge can win from.
+				if _, err := c.Host(2).PropagateOnce(); err != nil {
+					b.Fatal(err)
+				}
+				stats, err := c.Host(1).PropagateOnceCfg(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total.Add(stats)
+			}
+		}
+		b.StopTimer()
+		if n := len(c.PendingVersionsFor(1)); n != 0 {
+			b.Fatalf("%d entries still pending on host 1", n)
+		}
+		if probs, err := c.Fsck(); err != nil || len(probs) != 0 {
+			b.Fatalf("fsck after bench: %v %v", probs, err)
+		}
+		sorted := append([]uint64(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		pct := func(p float64) float64 {
+			if len(sorted) == 0 {
+				return 0
+			}
+			return float64(sorted[int(p*float64(len(sorted)-1))])
+		}
+		n := float64(b.N) * rounds
+		b.ReportMetric(pct(0.50), "p50PullTicks")
+		b.ReportMetric(pct(0.99), "p99PullTicks")
+		b.ReportMetric(float64(total.Hedges)/n, "hedges/pull")
+		b.ReportMetric(float64(total.HedgeWins)/n, "hedgeWins/pull")
+	}
+	b.Run("hedged", func(b *testing.B) { run(b, hedgeAfter) })
+	b.Run("unhedged", func(b *testing.B) { run(b, 0) })
 }

@@ -27,6 +27,18 @@
 //	faults <rpc> <reply> [dgloss] [dgdup] [reorder]
 //	                                     program the fault plane (rates 0..1)
 //	clearfaults                          remove all injected faults
+//	latency <base> <jitter> [spikerate] [spiketicks] [hangrate]
+//	                                     program the latency plane on every
+//	                                     link (virtual ticks; rates 0..1)
+//	linklatency <from> <to> <base> <jitter> [spikerate] [spiketicks] [hangrate]
+//	                                     latency profile for one directed link
+//	hang <host>                          RPCs to the host run but never answer
+//	unhang <host>                        undo hang
+//	slowcfg <deadline> <slowafter> <hedgeafter> [tickbudget] [inflight]
+//	                                     per-RPC deadlines, Slow threshold,
+//	                                     hedged pulls, pass backpressure
+//	health                               per-peer health state, latency EWMA,
+//	                                     deadline misses and hedge counters
 //	crash <host>                         power-fail a host (disks survive)
 //	restart <host>                       remount a crashed host from its disks
 //	pending                              dump each replica's new-version cache
@@ -416,6 +428,8 @@ func (c *controller) exec(line string) error {
 			s.RPCs, s.RPCFailures, s.RPCBytes, s.Datagrams, s.DatagramsDelivered, s.DatagramsDropped)
 		fmt.Printf("faults: rpc-injected=%d replies-lost=%d datagrams-duplicated=%d multicasts-reordered=%d\n",
 			s.RPCFaultsInjected, s.RPCRepliesLost, s.DatagramsDuplicated, s.MulticastsReordered)
+		fmt.Printf("latency: hangs=%d deadline-misses=%d spikes=%d rpc-virtual-ticks=%d\n",
+			s.RPCHangs, s.RPCDeadlineMisses, s.RPCLatencySpikes, s.RPCVirtualTicks)
 		return nil
 	case "faults":
 		if err := need(2); err != nil {
@@ -442,6 +456,110 @@ func (c *controller) exec(line string) error {
 		return nil
 	case "clearfaults":
 		c.cluster.ClearFaults()
+		return nil
+	case "latency", "linklatency":
+		nHosts := 0
+		if cmd == "linklatency" {
+			nHosts = 2
+		}
+		if err := need(nHosts + 2); err != nil {
+			return err
+		}
+		var from, to int
+		var err error
+		if cmd == "linklatency" {
+			if from, err = c.host(args[0]); err != nil {
+				return err
+			}
+			if to, err = c.host(args[1]); err != nil {
+				return err
+			}
+		}
+		nums := args[nHosts:]
+		if len(nums) > 5 {
+			return fmt.Errorf("%s takes at most 5 values", cmd)
+		}
+		var l ficus.LatencyConfig
+		ticks := []*uint64{&l.BaseTicks, &l.JitterTicks, nil, &l.SpikeTicks, nil}
+		rates := []*float64{nil, nil, &l.SpikeRate, nil, &l.HangRate}
+		for i, a := range nums {
+			if ticks[i] != nil {
+				v, err := strconv.ParseUint(a, 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad tick count %q", a)
+				}
+				*ticks[i] = v
+			} else {
+				r, err := strconv.ParseFloat(a, 64)
+				if err != nil || r < 0 || r > 1 {
+					return fmt.Errorf("bad rate %q (want 0..1)", a)
+				}
+				*rates[i] = r
+			}
+		}
+		if cmd == "linklatency" {
+			c.cluster.InjectLinkLatency(from, to, l)
+		} else {
+			c.cluster.InjectLatency(l)
+		}
+		return nil
+	case "hang", "unhang":
+		if err := need(1); err != nil {
+			return err
+		}
+		h, err := c.host(args[0])
+		if err != nil {
+			return err
+		}
+		if cmd == "hang" {
+			c.cluster.HangHost(h)
+			fmt.Printf("host %d hung (accepts RPCs, never replies)\n", h)
+		} else {
+			c.cluster.UnhangHost(h)
+			fmt.Printf("host %d answering again\n", h)
+		}
+		return nil
+	case "slowcfg":
+		if err := need(3); err != nil {
+			return err
+		}
+		if len(args) > 5 {
+			return fmt.Errorf("slowcfg takes at most 5 values")
+		}
+		vals := make([]uint64, 5)
+		for i, a := range args {
+			v, err := strconv.ParseUint(a, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad value %q", a)
+			}
+			vals[i] = v
+		}
+		c.cluster.ConfigureSlowPeers(ficus.SlowPeerConfig{
+			RPCDeadline:  vals[0],
+			SlowAfter:    vals[1],
+			HedgeAfter:   vals[2],
+			TickBudget:   vals[3],
+			PeerInflight: int(vals[4]),
+		})
+		return nil
+	case "health":
+		for h := 0; h < c.cluster.NumHosts(); h++ {
+			if c.cluster.HostDown(h) {
+				fmt.Printf("host %d: down\n", h)
+				continue
+			}
+			for _, ph := range c.cluster.PeerHealthFor(h) {
+				line := fmt.Sprintf("host %d sees host %d: %s fails=%d deadline-misses=%d",
+					h, ph.Peer, ph.State, ph.Fails, ph.DeadlineMisses)
+				if ph.HasLatency {
+					line += fmt.Sprintf(" ewma=%dt", ph.EWMATicks)
+				}
+				fmt.Println(line)
+			}
+			ss := c.cluster.SlowStatsFor(h)
+			fmt.Printf("host %d propagation: hedges=%d hedge-wins=%d sheds=%d budget-deferred=%d pass-ticks=%d\n",
+				h, ss.Hedges, ss.HedgeWins, ss.SlowSheds, ss.BudgetDeferred, ss.PassTicks)
+		}
 		return nil
 	case "crash":
 		if err := need(1); err != nil {

@@ -340,8 +340,105 @@ func (c *Cluster) InjectFaults(f FaultConfig) {
 	n.SetDatagramReorderRate(f.ReorderRate)
 }
 
-// ClearFaults removes every injected fault, global and per-link.
+// ClearFaults removes every injected fault, global and per-link — including
+// latency profiles and hang rates.
 func (c *Cluster) ClearFaults() { c.sim.Net.ClearFaults() }
+
+// LatencyConfig programs the network's virtual-latency plane.  Every RPC
+// leg (request and reply) draws base + jitter ticks from the cluster's
+// seeded per-link RNG; a spike adds SpikeTicks more with probability
+// SpikeRate per leg — the heavy tail.  HangRate is the chance an RPC is
+// accepted, executed remotely, and never answered: without an RPC deadline
+// the caller waits effectively forever in virtual time.  All of it is
+// deterministic under the seed; none of it blocks real time.
+type LatencyConfig struct {
+	BaseTicks   uint64  // per-leg base latency in virtual ticks
+	JitterTicks uint64  // uniform extra in [0, JitterTicks]
+	SpikeRate   float64 // probability of a latency spike per leg
+	SpikeTicks  uint64  // extra ticks when a spike fires
+	HangRate    float64 // probability an RPC hangs after the handler ran
+}
+
+// InjectLatency applies the latency profile to every link.
+func (c *Cluster) InjectLatency(l LatencyConfig) {
+	n := c.sim.Net
+	n.SetLatency(l.BaseTicks, l.JitterTicks)
+	n.SetLatencySpikes(l.SpikeRate, l.SpikeTicks)
+	n.SetHangRate(l.HangRate)
+}
+
+// InjectLinkLatency applies a latency profile to the directed link from
+// host `from` to host `to`, overriding the global profile there.
+func (c *Cluster) InjectLinkLatency(from, to int, l LatencyConfig) {
+	n := c.sim.Net
+	a, b := sim.HostName(from), sim.HostName(to)
+	n.SetLinkLatency(a, b, l.BaseTicks, l.JitterTicks)
+	n.SetLinkLatencySpikes(a, b, l.SpikeRate, l.SpikeTicks)
+	n.SetLinkHangRate(a, b, l.HangRate)
+}
+
+// HangHost makes host i a hung peer: every RPC sent TO it is accepted and
+// executed, but the reply never arrives — the failure mode a crashed host
+// cannot produce and deadlines exist for.  Datagrams and the host's own
+// outbound traffic still flow.  Undo with UnhangHost.
+func (c *Cluster) HangHost(i int) {
+	for j := range c.sim.Hosts {
+		if j != i {
+			c.sim.Net.SetLinkHangRate(sim.HostName(j), sim.HostName(i), 1)
+		}
+	}
+}
+
+// UnhangHost removes the hang injected by HangHost.
+func (c *Cluster) UnhangHost(i int) {
+	for j := range c.sim.Hosts {
+		if j != i {
+			c.sim.Net.SetLinkHangRate(sim.HostName(j), sim.HostName(i), 0)
+		}
+	}
+}
+
+// SlowPeerConfig tunes the hosts' slow-peer tolerance: RPC deadlines, the
+// Slow health threshold, hedged pulls, and propagation backpressure.
+type SlowPeerConfig = core.SlowPeerConfig
+
+// ConfigureSlowPeers installs the slow-peer tolerance settings on every
+// host; they govern all subsequent daemon passes.
+func (c *Cluster) ConfigureSlowPeers(cfg SlowPeerConfig) {
+	for _, h := range c.sim.Hosts {
+		h.ConfigureSlowPeers(cfg)
+	}
+}
+
+// SlowStats summarizes one host's slow-peer tolerance work across all of
+// its propagation passes so far.
+type SlowStats struct {
+	Hedges         int    // backup pulls issued after the hedging threshold
+	HedgeWins      int    // hedged pulls whose backup answered first
+	SlowSheds      int    // pulls redirected away from a Slow primary
+	BudgetDeferred int    // due entries pushed to a later pass by the tick budget
+	PassTicks      uint64 // summed virtual makespan of the host's passes
+	DeadlineMisses uint64 // peer exchanges abandoned at their RPC deadline
+}
+
+// SlowStatsFor returns host i's accumulated slow-peer counters.
+func (c *Cluster) SlowStatsFor(host int) SlowStats {
+	h := c.sim.Hosts[host]
+	ps := h.PropagationStats()
+	out := SlowStats{
+		Hedges:         ps.Hedges,
+		HedgeWins:      ps.HedgeWins,
+		SlowSheds:      ps.SlowSheds,
+		BudgetDeferred: ps.BudgetDeferred,
+		PassTicks:      ps.PassTicks,
+	}
+	for j := range c.sim.Hosts {
+		if j != host {
+			out.DeadlineMisses += h.PeerHealthInfo(sim.HostName(j)).DeadlineMisses
+		}
+	}
+	return out
+}
 
 // DiskFaultConfig programs steady-state disk fault injection on one host:
 // seeded probabilities of a transient I/O error per read and per write,
@@ -548,10 +645,15 @@ func (c *Cluster) PendingVersionsFor(host int) []PendingVersion {
 	return out
 }
 
-// PeerHealth is host i's view of one peer: healthy, suspect, or dead.
+// PeerHealth is host i's view of one peer: healthy, slow, suspect, or
+// dead, plus the latency profile behind the verdict.
 type PeerHealth struct {
-	Peer  int // peer host index
-	State string
+	Peer           int // peer host index
+	State          string
+	Fails          int    // consecutive failed exchanges
+	EWMATicks      uint64 // latency EWMA in virtual ticks (valid iff HasLatency)
+	HasLatency     bool
+	DeadlineMisses uint64 // exchanges abandoned at their RPC deadline
 }
 
 // PeerHealthFor reports host i's health verdict for every other host.
@@ -561,8 +663,15 @@ func (c *Cluster) PeerHealthFor(host int) []PeerHealth {
 		if j == host {
 			continue
 		}
-		st := c.sim.Hosts[host].PeerHealth(sim.HostName(j))
-		out = append(out, PeerHealth{Peer: j, State: st.String()})
+		info := c.sim.Hosts[host].PeerHealthInfo(sim.HostName(j))
+		out = append(out, PeerHealth{
+			Peer:           j,
+			State:          info.State.String(),
+			Fails:          info.Fails,
+			EWMATicks:      info.EWMATicks,
+			HasLatency:     info.HasLatency,
+			DeadlineMisses: info.DeadlineMisses,
+		})
 	}
 	return out
 }
@@ -587,6 +696,12 @@ type NetStats struct {
 	// receiving hosts because they failed to decode (truncated or corrupt
 	// payloads), summed across the cluster.
 	NotifyCodecErrors uint64
+
+	// Latency-plane counters.
+	RPCHangs          uint64 // RPCs whose reply was injected away forever
+	RPCDeadlineMisses uint64 // RPCs abandoned at the caller's deadline
+	RPCLatencySpikes  uint64 // latency spikes drawn on RPC legs
+	RPCVirtualTicks   uint64 // total virtual ticks RPCs spent on the wire
 }
 
 // NetworkStats returns the simulated network's counters.
@@ -608,6 +723,10 @@ func (c *Cluster) NetworkStats() NetStats {
 		RPCRepliesLost:      s.RPCRepliesLost,
 		DatagramsDuplicated: s.DatagramsDuplicated,
 		MulticastsReordered: s.MulticastsReordered,
+		RPCHangs:            s.RPCHangs,
+		RPCDeadlineMisses:   s.RPCDeadlineMisses,
+		RPCLatencySpikes:    s.RPCLatencySpikes,
+		RPCVirtualTicks:     s.RPCVirtualTicks,
 	}
 }
 

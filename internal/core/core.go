@@ -120,12 +120,16 @@ type Host struct {
 	crashed map[ids.VolumeReplicaHandle]*crashedReplica
 	rescan  map[ids.VolumeHandle]bool
 
-	// Peer health (healthy -> suspect -> dead with cool-down reprobe),
-	// fed by every daemon contact with a remote host.  The propagation
-	// daemon skips dead peers; the reconciliation protocol — the safety
-	// net — always probes, which is also what revives a recovered peer.
+	// Peer health (healthy -> slow -> suspect -> dead with cool-down
+	// reprobe), fed by every daemon contact with a remote host: failures,
+	// deadline misses, and the virtual latency of each answered exchange.
+	// The propagation daemon skips dead peers and sheds load from slow
+	// ones; the reconciliation protocol — the safety net — always probes,
+	// which is also what revives a recovered peer.
 	health     *retry.Tracker
-	daemonTick uint64 // one tick per daemon pass (propagate or reconcile)
+	slowCfg    SlowPeerConfig
+	propStats  recon.Stats // accumulated propagation stats (hedges, sheds, budget)
+	daemonTick uint64      // one tick per daemon pass (propagate or reconcile)
 
 	// NotificationsSeen counts datagrams accepted into new-version caches;
 	// notifyCodecErrs counts datagrams dropped because they failed to decode.
@@ -489,6 +493,54 @@ func (h *Host) advanceTick() uint64 {
 	return h.daemonTick
 }
 
+// SlowPeerConfig tunes the host's slow-peer tolerance: RPC deadlines, the
+// latency threshold behind the Slow health state, hedged pulls, and the
+// propagation pass's backpressure knobs.  The zero value disables all of
+// it, reproducing the pre-deadline behavior exactly.
+type SlowPeerConfig struct {
+	// RPCDeadline bounds every repl exchange the daemons issue, in virtual
+	// ticks; an exchange still unanswered at the deadline fails with a
+	// transient deadline error.  0 = wait forever (a hung peer then costs
+	// simnet.HangTicks).
+	RPCDeadline uint64
+	// SlowAfter marks a peer Slow once its latency EWMA exceeds this many
+	// ticks, even while every exchange succeeds.  0 = off.
+	SlowAfter uint64
+	// HedgeAfter enables hedged batched pulls past this many ticks (see
+	// recon.PropagateConfig.HedgeAfter).  0 = off.
+	HedgeAfter uint64
+	// TickBudget bounds one propagation pass's virtual makespan.  0 = off.
+	TickBudget uint64
+	// PeerInflight caps concurrent pulls per peer host within a pass.
+	// 0 = uncapped.
+	PeerInflight int
+}
+
+// ConfigureSlowPeers installs the host's slow-peer tolerance settings; they
+// apply to every subsequent daemon pass.  Configuration survives a crash
+// (it is kernel configuration, not in-memory health knowledge).
+func (h *Host) ConfigureSlowPeers(cfg SlowPeerConfig) {
+	h.mu.Lock()
+	h.slowCfg = cfg
+	h.mu.Unlock()
+	h.health.SetSlowThreshold(cfg.SlowAfter)
+}
+
+// SlowPeerSettings returns the host's current slow-peer configuration.
+func (h *Host) SlowPeerSettings() SlowPeerConfig {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.slowCfg
+}
+
+// PropagationStats returns the host's accumulated propagation-pass stats —
+// the hedging/shedding/backpressure counters live here.
+func (h *Host) PropagationStats() recon.Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.propStats
+}
+
 // peerFinder builds the propagation daemon's pull-source lookup for one
 // local replica.  Every remote contact feeds the health tracker.  With
 // gated set, peers the tracker considers dead are skipped without any
@@ -506,6 +558,7 @@ func (h *Host) peerFinder(local *physical.Layer, gated bool) recon.PeerFinder {
 		h.mu.Lock()
 		addr, ok := h.locations[local.Volume()][origin]
 		now := h.daemonTick
+		deadline := h.slowCfg.RPCDeadline
 		var lr *localReplica
 		if ok && addr == h.addr {
 			lr = h.replicas[ids.VolumeReplicaHandle{Vol: local.Volume(), Replica: origin}]
@@ -518,6 +571,9 @@ func (h *Host) peerFinder(local *physical.Layer, gated bool) recon.PeerFinder {
 			return lr.layer
 		}
 		c := repl.NewClient(h.snHost, addr, ids.VolumeReplicaHandle{Vol: local.Volume(), Replica: origin})
+		if deadline > 0 {
+			c = c.WithDeadline(deadline)
+		}
 		if gated {
 			if !h.health.ShouldProbe(string(addr), now) {
 				return nil
@@ -537,8 +593,10 @@ func (h *Host) peerFinder(local *physical.Layer, gated bool) recon.PeerFinder {
 
 // healthPeer funnels the outcome of every propagation pull into the host's
 // health tracker.  A transport-class failure (peer unreachable after
-// retries) marks the peer down; any answered call — even one reporting a
-// peer-side error — proves the host alive.
+// retries) marks the peer down; a deadline miss counts both as a failure
+// and as a latency sample at the deadline — the slowness being measured;
+// any answered call — even one reporting a peer-side error — proves the
+// host alive and feeds its virtual latency into the peer's EWMA.
 type healthPeer struct {
 	c   *repl.Client
 	h   *Host
@@ -546,18 +604,44 @@ type healthPeer struct {
 }
 
 var (
-	_ recon.Peer        = (*healthPeer)(nil)
-	_ recon.BatchPuller = (*healthPeer)(nil)
-	_ recon.DeltaPuller = (*healthPeer)(nil)
+	_ recon.Peer            = (*healthPeer)(nil)
+	_ recon.BatchPuller     = (*healthPeer)(nil)
+	_ recon.DeltaPuller     = (*healthPeer)(nil)
+	_ recon.LatencyReporter = (*healthPeer)(nil)
+	_ recon.SlowReporter    = (*healthPeer)(nil)
+	_ recon.AddrKeyer       = (*healthPeer)(nil)
 )
 
 func (p *healthPeer) note(err error) {
-	if err != nil && errors.Is(err, repl.ErrUnreachable) {
-		p.h.health.Fail(string(p.c.Addr()), p.now)
+	key := string(p.c.Addr())
+	// Deadline first: repl's deadline error also matches ErrUnreachable (so
+	// transport-failure paths treat it as a failed exchange), but it is the
+	// more specific verdict and carries a latency meaning.
+	if err != nil && errors.Is(err, repl.ErrDeadline) {
+		p.h.health.DeadlineMiss(key)
+		p.h.health.ObserveLatency(key, p.c.LastElapsed())
+		p.h.health.Fail(key, p.now)
 		return
 	}
-	p.h.health.OK(string(p.c.Addr()))
+	if err != nil && errors.Is(err, repl.ErrUnreachable) {
+		p.h.health.Fail(key, p.now)
+		return
+	}
+	p.h.health.ObserveLatency(key, p.c.LastElapsed())
+	p.h.health.OK(key)
 }
+
+// LastElapsed reports the virtual ticks of the most recent exchange.
+func (p *healthPeer) LastElapsed() uint64 { return p.c.LastElapsed() }
+
+// SlowPeer reports whether the health tracker currently rates this peer
+// Slow (latency EWMA above the configured threshold).
+func (p *healthPeer) SlowPeer() bool {
+	return p.h.health.State(string(p.c.Addr())) == retry.Slow
+}
+
+// PeerKey identifies the peer's host for the per-peer in-flight cap.
+func (p *healthPeer) PeerKey() string { return string(p.c.Addr()) }
 
 func (p *healthPeer) Replica() ids.ReplicaID { return p.c.Replica() }
 
@@ -596,6 +680,90 @@ func (h *Host) PeerHealth(addr simnet.Addr) retry.State {
 	return h.health.State(string(addr))
 }
 
+// PeerHealthInfo reports the full tracked health profile of the host at
+// addr: state, failure streak, latency EWMA, deadline misses.
+func (h *Host) PeerHealthInfo(addr simnet.Addr) retry.HealthInfo {
+	return h.health.Snapshot(string(addr))
+}
+
+// hedgeFinder builds the propagation daemon's backup-source lookup for one
+// local replica: given an origin it returns the next-healthiest OTHER
+// replica of the volume that could serve the same versions — co-resident
+// replicas first (free in virtual time), then remote peers ranked by
+// health state (healthy before slow before suspect; dead excluded), then
+// by latency EWMA, then by replica id.  The ranking reads only tracked
+// state — no probe traffic — so a hedge decision costs nothing when it is
+// not taken.
+func (h *Host) hedgeFinder(local *physical.Layer) func(ids.ReplicaID) recon.Peer {
+	return func(origin ids.ReplicaID) recon.Peer {
+		h.mu.Lock()
+		now := h.daemonTick
+		deadline := h.slowCfg.RPCDeadline
+		type cand struct {
+			rid  ids.ReplicaID
+			addr simnet.Addr
+			lr   *localReplica
+		}
+		var cands []cand
+		for rid, addr := range h.locations[local.Volume()] {
+			if rid == origin || rid == local.Replica() {
+				continue
+			}
+			c := cand{rid: rid, addr: addr}
+			if addr == h.addr {
+				c.lr = h.replicas[ids.VolumeReplicaHandle{Vol: local.Volume(), Replica: rid}]
+				if c.lr == nil {
+					continue // stale location entry for a removed local replica
+				}
+			}
+			cands = append(cands, c)
+		}
+		h.mu.Unlock()
+		if len(cands) == 0 {
+			return nil
+		}
+		rank := func(c cand) (int, uint64) {
+			if c.lr != nil {
+				return -1, 0 // co-resident: free, always first
+			}
+			info := h.health.Snapshot(string(c.addr))
+			switch info.State {
+			case retry.Healthy:
+				return 0, info.EWMATicks
+			case retry.Slow:
+				return 1, info.EWMATicks
+			case retry.Suspect:
+				return 2, info.EWMATicks
+			default:
+				return 3, info.EWMATicks // dead: excluded below
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			ri, ei := rank(cands[i])
+			rj, ej := rank(cands[j])
+			if ri != rj {
+				return ri < rj
+			}
+			if ei != ej {
+				return ei < ej
+			}
+			return cands[i].rid < cands[j].rid
+		})
+		best := cands[0]
+		if best.lr != nil {
+			return best.lr.layer
+		}
+		if r, _ := rank(best); r >= 3 {
+			return nil // every alternate is dead; no useful hedge
+		}
+		c := repl.NewClient(h.snHost, best.addr, ids.VolumeReplicaHandle{Vol: local.Volume(), Replica: best.rid})
+		if deadline > 0 {
+			c = c.WithDeadline(deadline)
+		}
+		return &healthPeer{c: c, h: h, now: now}
+	}
+}
+
 // PropagateOnce runs one pass of the update propagation daemon over every
 // local replica, pulling announced versions from their origins (§3.2).
 // Per-entry transient failures are absorbed into the returned Stats
@@ -614,15 +782,36 @@ func (h *Host) PropagateOnceCfg(cfg recon.PropagateConfig) (recon.Stats, error) 
 		return recon.Stats{}, nil
 	}
 	h.advanceTick()
+	h.mu.Lock()
+	sc := h.slowCfg
+	h.mu.Unlock()
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = sc.HedgeAfter
+	}
+	if cfg.TickBudget == 0 {
+		cfg.TickBudget = sc.TickBudget
+	}
+	if cfg.PeerInflight == 0 {
+		cfg.PeerInflight = sc.PeerInflight
+	}
 	total := h.recoveryRescan()
+	var err error
 	for _, layer := range h.LocalReplicas() {
-		stats, err := recon.Propagate(layer, h.peerFinder(layer, true), cfg)
+		lcfg := cfg
+		if lcfg.HedgeAfter > 0 && lcfg.FindHedge == nil {
+			lcfg.FindHedge = h.hedgeFinder(layer)
+		}
+		var stats recon.Stats
+		stats, err = recon.Propagate(layer, h.peerFinder(layer, true), lcfg)
 		total.Add(stats)
 		if err != nil {
-			return total, err
+			break
 		}
 	}
-	return total, nil
+	h.mu.Lock()
+	h.propStats.Add(total)
+	h.mu.Unlock()
+	return total, err
 }
 
 // Fsck runs both consistency checkers — the UFS fsck and the Ficus

@@ -55,6 +55,14 @@ type Stats struct {
 	Skipped        int // subtrees skipped (not stored on one side)
 	Deferred       int // propagation entries postponed (backoff or origin unavailable)
 	Failures       int // per-entry propagation attempts that failed this pass
+
+	// Slow-peer tolerance (propagation only).  All fields are scalars on
+	// purpose: Stats must stay comparable for the determinism tests.
+	Hedges         int    // backup pulls issued after the hedging threshold
+	HedgeWins      int    // hedged pulls whose backup answered first
+	SlowSheds      int    // pulls redirected away from a Slow primary up front
+	BudgetDeferred int    // due entries left for the next pass by the tick budget
+	PassTicks      uint64 // virtual makespan of the pass's pull waves
 }
 
 // Add accumulates.
@@ -69,6 +77,11 @@ func (s *Stats) Add(t Stats) {
 	s.Skipped += t.Skipped
 	s.Deferred += t.Deferred
 	s.Failures += t.Failures
+	s.Hedges += t.Hedges
+	s.HedgeWins += t.HedgeWins
+	s.SlowSheds += t.SlowSheds
+	s.BudgetDeferred += t.BudgetDeferred
+	s.PassTicks += t.PassTicks
 }
 
 // Changed reports whether the pass modified the local replica.
@@ -78,8 +91,13 @@ func (s Stats) Changed() bool {
 
 // String renders the stats compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("dirs=%d created=%d adopted=%d deleted=%d pulled=%d conflicts=%d repairs=%d skipped=%d deferred=%d failures=%d",
+	out := fmt.Sprintf("dirs=%d created=%d adopted=%d deleted=%d pulled=%d conflicts=%d repairs=%d skipped=%d deferred=%d failures=%d",
 		s.DirsVisited, s.DirsCreated, s.EntriesAdopted, s.EntriesDeleted, s.FilesPulled, s.Conflicts, s.NameRepairs, s.Skipped, s.Deferred, s.Failures)
+	if s.Hedges > 0 || s.SlowSheds > 0 || s.BudgetDeferred > 0 || s.PassTicks > 0 {
+		out += fmt.Sprintf(" hedges=%d hedgewins=%d sheds=%d budgetdeferred=%d passticks=%d",
+			s.Hedges, s.HedgeWins, s.SlowSheds, s.BudgetDeferred, s.PassTicks)
+	}
+	return out
 }
 
 // ReconcileVolume reconciles the local replica's entire tree against the

@@ -39,6 +39,11 @@ var (
 	ErrUnreachable = errors.New("repl: peer unreachable")
 	// ErrNoReplica reports that the peer host stores no such volume replica.
 	ErrNoReplica = errors.New("repl: no such volume replica at peer")
+	// ErrDeadline reports a call abandoned at the client's per-RPC deadline:
+	// the peer was reachable but too slow (or its reply hung).  Deadline
+	// errors are transient — and they also match ErrUnreachable, because to
+	// health tracking a peer that cannot answer in time is failing.
+	ErrDeadline = errors.New("repl: rpc deadline exceeded")
 )
 
 // unreachableError marks a transport failure: it matches ErrUnreachable
@@ -53,6 +58,21 @@ func (e *unreachableError) Error() string { return ErrUnreachable.Error() + ": "
 func (e *unreachableError) Is(target error) bool { return target == ErrUnreachable } //ficusvet:ignore errclass
 
 func (e *unreachableError) Unwrap() error { return e.cause }
+
+// deadlineError marks a call that ran out its deadline.  It matches both
+// ErrDeadline (so callers can tell slowness from absence) and
+// ErrUnreachable (so every existing failure path treats it as a failed
+// exchange); the transport cause stays on the Unwrap chain, where
+// retry.Transient finds simnet.ErrDeadline.
+type deadlineError struct{ cause error }
+
+func (e *deadlineError) Error() string { return ErrDeadline.Error() + ": " + e.cause.Error() }
+
+func (e *deadlineError) Is(target error) bool { //ficusvet:ignore errclass
+	return target == ErrDeadline || target == ErrUnreachable
+}
+
+func (e *deadlineError) Unwrap() error { return e.cause }
 
 // peerError is a failure that happened at the peer, rebuilt from the wire:
 // the class tag decides transience, so retry.Policy.IsTransient classifies
@@ -345,11 +365,21 @@ type Client struct {
 	vr     ids.VolumeReplicaHandle
 	policy retry.Policy
 
+	// deadline bounds each RPC attempt in virtual ticks (0 = none): a slow
+	// or hung peer costs at most deadline ticks per attempt instead of an
+	// unbounded wait, surfacing as a transient ErrDeadline.
+	deadline uint64
+
 	// noDelta caches a peer's refusal of the v3 delta op, so a mixed-version
 	// cluster pays the downgrade probe once per peer, not once per batch.  A
 	// pointer: WithRetry copies the struct, and every copy must share the
 	// verdict.
 	noDelta *atomic.Bool
+
+	// lastElapsed records the summed virtual ticks of the most recent
+	// operation's attempts — the latency sample the caller's health EWMA
+	// feeds on.  Shared across copies, like noDelta.
+	lastElapsed *atomic.Uint64
 }
 
 var (
@@ -360,7 +390,7 @@ var (
 // NewClient builds a peer for the volume replica vr served at addr,
 // issuing calls from host, retrying under retry.Default().
 func NewClient(host *simnet.Host, addr simnet.Addr, vr ids.VolumeReplicaHandle) *Client {
-	return &Client{host: host, addr: addr, vr: vr, policy: retry.Default(), noDelta: new(atomic.Bool)}
+	return &Client{host: host, addr: addr, vr: vr, policy: retry.Default(), noDelta: new(atomic.Bool), lastElapsed: new(atomic.Uint64)}
 }
 
 // WithRetry returns a copy of the client configured with a different retry
@@ -371,6 +401,19 @@ func (c *Client) WithRetry(p retry.Policy) *Client {
 	cp.policy = p
 	return &cp
 }
+
+// WithDeadline returns a copy of the client whose every RPC attempt is
+// bounded by d virtual ticks (0 disables the bound).  The receiver is left
+// untouched.
+func (c *Client) WithDeadline(d uint64) *Client {
+	cp := *c
+	cp.deadline = d
+	return &cp
+}
+
+// LastElapsed returns the virtual ticks the most recent operation spent on
+// the wire, summed over its in-call retries.
+func (c *Client) LastElapsed() uint64 { return c.lastElapsed.Load() }
 
 // Addr returns the peer host address.
 func (c *Client) Addr() simnet.Addr { return c.addr }
@@ -384,15 +427,22 @@ func (c *Client) call(req *request) (*response, error) {
 	buf := getBuf()
 	*buf = req.encode((*buf)[:0])
 	var respBytes []byte
+	var elapsed uint64
 	err := c.policy.Do(func() error {
 		var err error
-		respBytes, err = c.host.Call(c.addr, Service, *buf)
+		var ticks uint64
+		respBytes, ticks, err = c.host.CallT(c.addr, Service, *buf, c.deadline)
+		elapsed += ticks
 		if err != nil {
+			if errors.Is(err, simnet.ErrDeadline) {
+				return &deadlineError{cause: err}
+			}
 			return &unreachableError{cause: err}
 		}
 		return nil
 	})
 	putBuf(buf)
+	c.lastElapsed.Store(elapsed)
 	if err != nil {
 		return nil, err
 	}

@@ -14,17 +14,30 @@ import (
 	"sync"
 
 	"repro/internal/simnet"
+	"repro/internal/ufs"
+	"repro/internal/vnode"
 )
 
 // Transient reports whether err is worth retrying: communication failures
-// (partition, crash, injected fault, lost reply) are transient; everything
-// else — protocol errors, local storage errors — is permanent.  Errors may
-// also opt in by implementing interface{ Transient() bool }.
+// (partition, crash, injected fault, lost reply), deadline misses (a peer
+// too slow to answer in time may answer later), and exhausted disks (space
+// frees up: users delete files, GC collects tombstones) are transient;
+// everything else — protocol errors, corruption-class storage errors — is
+// permanent.  Errors may also opt in by implementing
+// interface{ Transient() bool }.
+//
+// ENOSPC is matched by sentinel before the interface check on purpose: the
+// ufsvn error map wraps unknown disk errors in vnode.EIO, and an errors.As
+// walk would surface the outer error's verdict instead of the disk-full
+// condition underneath.
 func Transient(err error) bool {
 	if err == nil {
 		return false
 	}
-	if errors.Is(err, simnet.ErrUnreachable) {
+	if errors.Is(err, simnet.ErrUnreachable) || errors.Is(err, simnet.ErrDeadline) {
+		return true
+	}
+	if errors.Is(err, vnode.ENOSPC) || errors.Is(err, ufs.ErrNoSpace) {
 		return true
 	}
 	var t interface{ Transient() bool }
@@ -127,11 +140,14 @@ func mix(x uint64) uint64 {
 // State is a peer's health as seen by the tracker.
 type State int
 
-// Peer health states: Healthy peers are probed freely; Suspect peers have
-// failed recently but are still probed; Dead peers failed repeatedly and
-// are skipped until a cool-down expires, then reprobed.
+// Peer health states: Healthy peers are probed freely; Slow peers answer —
+// but with a latency EWMA above the slow threshold, so load should be shed
+// toward faster replicas before the peer degrades further; Suspect peers
+// have failed recently but are still probed; Dead peers failed repeatedly
+// and are skipped until a cool-down expires, then reprobed.
 const (
 	Healthy State = iota
+	Slow
 	Suspect
 	Dead
 )
@@ -141,6 +157,8 @@ func (s State) String() string {
 	switch s {
 	case Healthy:
 		return "healthy"
+	case Slow:
+		return "slow"
 	case Suspect:
 		return "suspect"
 	default:
@@ -156,14 +174,27 @@ type Tracker struct {
 	deadAfter int
 	cooldown  uint64
 
-	mu    sync.Mutex
-	peers map[string]*peerHealth
+	mu        sync.Mutex
+	slowAfter uint64 // EWMA ticks above which a failure-free peer is Slow; 0 = off
+	peers     map[string]*peerHealth
 }
 
 type peerHealth struct {
 	fails     int
 	nextProbe uint64 // while dead: earliest tick to reprobe
+
+	// Latency profile, fed by ObserveLatency.  float64 EWMA arithmetic on
+	// integer tick samples is deterministic across platforms (IEEE 754).
+	ewma    float64
+	hasEwma bool
+
+	deadlineMisses uint64 // exchanges abandoned at their RPC deadline
 }
+
+// ewmaAlpha weights new latency samples: 1/4 new, 3/4 history — reactive
+// enough to flag a peer within a few slow pulls, calm enough that one
+// spike doesn't flap the state.
+const ewmaAlpha = 0.25
 
 // NewTracker builds a tracker: a peer is dead after deadAfter consecutive
 // failures and is then reprobed every cooldown ticks.
@@ -194,11 +225,63 @@ func (t *Tracker) Reset() {
 	t.peers = make(map[string]*peerHealth)
 }
 
+// SetSlowThreshold enables latency-aware health: a peer whose latency EWMA
+// exceeds ticks counts Slow even while every exchange succeeds.  0 disables.
+func (t *Tracker) SetSlowThreshold(ticks uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.slowAfter = ticks
+}
+
+// ObserveLatency feeds one latency sample (virtual ticks) into the peer's
+// EWMA.  Call it for completed exchanges — including deadline misses, whose
+// elapsed time (the deadline) is exactly the slowness being measured.
+func (t *Tracker) ObserveLatency(key string, ticks uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ph := t.peer(key)
+	if !ph.hasEwma {
+		ph.ewma, ph.hasEwma = float64(ticks), true
+		return
+	}
+	ph.ewma = (1-ewmaAlpha)*ph.ewma + ewmaAlpha*float64(ticks)
+}
+
+// DeadlineMiss counts an exchange abandoned at its RPC deadline.  It is a
+// counter only; callers record the failure itself via Fail.
+func (t *Tracker) DeadlineMiss(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peer(key).deadlineMisses++
+}
+
+// Latency returns the peer's current latency EWMA in ticks, if any samples
+// have been observed.
+func (t *Tracker) Latency(key string) (uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ph, ok := t.peers[key]
+	if !ok || !ph.hasEwma {
+		return 0, false
+	}
+	return uint64(ph.ewma), true
+}
+
 // OK records a successful exchange with the peer: fully healthy again.
+// The latency profile survives — a slow peer does not become fast by
+// answering — only the failure streak resets.
 func (t *Tracker) OK(key string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	delete(t.peers, key)
+	ph, ok := t.peers[key]
+	if !ok {
+		return
+	}
+	if !ph.hasEwma && ph.deadlineMisses == 0 {
+		delete(t.peers, key)
+		return
+	}
+	ph.fails, ph.nextProbe = 0, 0
 }
 
 // Fail records a failed exchange at tick now; while dead the next reprobe
@@ -217,15 +300,47 @@ func (t *Tracker) Fail(key string, now uint64) {
 func (t *Tracker) State(key string) State {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.stateLocked(key)
+}
+
+func (t *Tracker) stateLocked(key string) State {
 	ph, ok := t.peers[key]
 	switch {
-	case !ok || ph.fails == 0:
+	case !ok:
+		return Healthy
+	case ph.fails == 0:
+		if t.slowAfter > 0 && ph.hasEwma && ph.ewma > float64(t.slowAfter) {
+			return Slow
+		}
 		return Healthy
 	case ph.fails < t.deadAfter:
 		return Suspect
 	default:
 		return Dead
 	}
+}
+
+// HealthInfo is one peer's full tracked profile.
+type HealthInfo struct {
+	State          State
+	Fails          int    // consecutive failures
+	EWMATicks      uint64 // latency EWMA (valid iff HasLatency)
+	HasLatency     bool
+	DeadlineMisses uint64
+}
+
+// Snapshot returns the peer's full health profile in one consistent read.
+func (t *Tracker) Snapshot(key string) HealthInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	info := HealthInfo{State: t.stateLocked(key)}
+	if ph, ok := t.peers[key]; ok {
+		info.Fails = ph.fails
+		info.HasLatency = ph.hasEwma
+		info.EWMATicks = uint64(ph.ewma)
+		info.DeadlineMisses = ph.deadlineMisses
+	}
+	return info
 }
 
 // ShouldProbe reports whether the caller should spend effort contacting

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/simnet"
+	"repro/internal/ufs"
+	"repro/internal/vnode"
 )
 
 func TestTransientClassification(t *testing.T) {
@@ -149,5 +151,126 @@ func TestTrackerStatesAreIndependent(t *testing.T) {
 func TestStateString(t *testing.T) {
 	if Healthy.String() != "healthy" || Suspect.String() != "suspect" || Dead.String() != "dead" {
 		t.Fatal("state strings")
+	}
+}
+
+func TestBackoffCapSaturation(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseBackoff: 1, MaxBackoff: 8}
+	// Far past the doubling range the schedule must sit at the cap (plus
+	// jitter in [0, cap/2]) — and must not overflow for absurd attempts.
+	for _, attempt := range []int{4, 10, 63, 64, 1 << 20} {
+		d := p.Backoff(attempt, 42)
+		if d < p.MaxBackoff || d > p.MaxBackoff+p.MaxBackoff/2 {
+			t.Fatalf("attempt %d: backoff %d outside [%d, %d]", attempt, d, p.MaxBackoff, p.MaxBackoff+p.MaxBackoff/2)
+		}
+	}
+	// A base already above the cap clamps down to it.
+	pOver := Policy{BaseBackoff: 100, MaxBackoff: 8}
+	if d := pOver.Backoff(1, 7); d < 8 || d > 12 {
+		t.Fatalf("base>cap: backoff %d outside [8, 12]", d)
+	}
+	// No cap: pure doubling.
+	pNoCap := Policy{BaseBackoff: 1}
+	if d := pNoCap.Backoff(5, 0); d < 16 {
+		t.Fatalf("uncapped attempt 5: %d < 16", d)
+	}
+}
+
+func TestShouldProbeCooldownBoundary(t *testing.T) {
+	tr := NewTracker(1, 5)
+	tr.Fail("p", 10) // dead; nextProbe = 15
+	if tr.ShouldProbe("p", 14) {
+		t.Fatal("probed one tick before the cool-down expired")
+	}
+	// The boundary tick itself is probe-eligible (now >= nextProbe)...
+	if !tr.ShouldProbe("p", 15) {
+		t.Fatal("not probed exactly at the cool-down boundary")
+	}
+	// ...and reschedules to 20: 19 is denied, 20 allowed.
+	if tr.ShouldProbe("p", 19) {
+		t.Fatal("probed inside the rescheduled window")
+	}
+	if !tr.ShouldProbe("p", 20) {
+		t.Fatal("not probed at the rescheduled boundary")
+	}
+}
+
+func TestSlowStateFromEWMA(t *testing.T) {
+	tr := NewTracker(3, 4)
+	tr.SetSlowThreshold(20)
+	const peer = "h2"
+	tr.ObserveLatency(peer, 5)
+	if tr.State(peer) != Healthy {
+		t.Fatalf("fast peer: %v", tr.State(peer))
+	}
+	// Sustained slowness drives the EWMA over the threshold.
+	for i := 0; i < 10; i++ {
+		tr.ObserveLatency(peer, 100)
+	}
+	if tr.State(peer) != Slow {
+		t.Fatalf("slow peer: %v", tr.State(peer))
+	}
+	if ticks, ok := tr.Latency(peer); !ok || ticks <= 20 {
+		t.Fatalf("EWMA %d ok=%v", ticks, ok)
+	}
+	// Slow peers still probe freely — slowness sheds load, it doesn't gate.
+	if !tr.ShouldProbe(peer, 0) {
+		t.Fatal("slow peer must remain probe-eligible")
+	}
+	// Failures trump slowness...
+	tr.Fail(peer, 0)
+	if tr.State(peer) != Suspect {
+		t.Fatalf("slow+failed peer: %v", tr.State(peer))
+	}
+	// ...and OK clears the failure but keeps the latency profile: still Slow.
+	tr.OK(peer)
+	if tr.State(peer) != Slow {
+		t.Fatalf("after OK: %v, want Slow (EWMA must survive success)", tr.State(peer))
+	}
+	// Recovery: sustained fast samples decay the EWMA back under threshold.
+	for i := 0; i < 30; i++ {
+		tr.ObserveLatency(peer, 1)
+	}
+	if tr.State(peer) != Healthy {
+		t.Fatalf("recovered peer: %v", tr.State(peer))
+	}
+}
+
+func TestSnapshotAndDeadlineMisses(t *testing.T) {
+	tr := NewTracker(3, 4)
+	tr.SetSlowThreshold(10)
+	tr.ObserveLatency("p", 50)
+	tr.DeadlineMiss("p")
+	tr.Fail("p", 0)
+	info := tr.Snapshot("p")
+	if info.State != Suspect || info.Fails != 1 || info.DeadlineMisses != 1 || !info.HasLatency || info.EWMATicks != 50 {
+		t.Fatalf("snapshot %+v", info)
+	}
+	if got := tr.Snapshot("unknown"); got.State != Healthy || got.HasLatency {
+		t.Fatalf("unknown peer snapshot %+v", got)
+	}
+	// OK keeps counters and latency, clears the failure streak.
+	tr.OK("p")
+	info = tr.Snapshot("p")
+	if info.State != Slow || info.Fails != 0 || info.DeadlineMisses != 1 {
+		t.Fatalf("post-OK snapshot %+v", info)
+	}
+}
+
+func TestDeadlineAndNoSpaceAreTransient(t *testing.T) {
+	if !Transient(fmt.Errorf("wrap: %w", simnet.ErrDeadline)) {
+		t.Fatal("simnet.ErrDeadline must be transient")
+	}
+	if !Transient(fmt.Errorf("wrap: %w", vnode.ENOSPC)) {
+		t.Fatal("vnode.ENOSPC must be transient")
+	}
+	if !Transient(fmt.Errorf("wrap: %w", ufs.ErrNoSpace)) {
+		t.Fatal("ufs.ErrNoSpace must be transient")
+	}
+	// The ufsvn idiom: ENOSPC buried under an EIO wrapper must still
+	// classify transient (sentinel check precedes the interface walk).
+	buried := fmt.Errorf("%w: %w", vnode.EIO, vnode.ENOSPC)
+	if !Transient(buried) {
+		t.Fatal("ENOSPC under EIO must stay transient")
 	}
 }

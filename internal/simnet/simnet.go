@@ -24,6 +24,16 @@
 // from the single network RNG.  A run with faults enabled is therefore
 // exactly as reproducible as one without — per link even under concurrent
 // callers on other links.
+//
+// The fault plane also has a time dimension, measured in *virtual ticks*
+// (the same clock the daemons' backoff schedules use — no wall time):
+// per-link latency distributions (base + seeded jitter), probabilistic
+// latency spikes, scripted one-shot delays, and hung RPCs whose handler
+// runs but whose reply never arrives.  CallT attaches a deadline to one
+// call: a call whose virtual latency would exceed the deadline fails with
+// ErrDeadline after exactly deadline ticks, so a slow or hung peer costs a
+// bounded, accountable amount of virtual time instead of a stalled pass.
+// Because latency is virtual, nothing ever blocks the simulation itself.
 package simnet
 
 import (
@@ -46,7 +56,17 @@ var (
 	ErrNoHost = errors.New("simnet: no such host")
 	// ErrNoService reports an RPC to a service the host does not export.
 	ErrNoService = errors.New("simnet: no such service")
+	// ErrDeadline reports a call abandoned because its virtual latency
+	// reached the caller's deadline.  The handler may or may not have run —
+	// the same at-most-once ambiguity as a lost reply — so retrying is only
+	// safe for idempotent operations.
+	ErrDeadline = errors.New("simnet: rpc deadline exceeded")
 )
+
+// HangTicks is the virtual cost charged to a deadline-less caller whose
+// reply was hung by the fault plane: effectively "waited forever".  Callers
+// that attach deadlines never pay it.
+const HangTicks uint64 = 1 << 32
 
 // RPCHandler serves one synchronous request.
 type RPCHandler func(req []byte) ([]byte, error)
@@ -68,6 +88,12 @@ type Stats struct {
 	RPCRepliesLost      uint64 // calls whose handler ran but whose reply was dropped
 	DatagramsDuplicated uint64 // extra deliveries created by duplication
 	MulticastsReordered uint64 // multicast calls delivered in permuted order
+
+	// Time-dimension activity (all in virtual ticks).
+	RPCHangs          uint64 // calls whose reply was hung (handler ran, reply never arrived)
+	RPCDeadlineMisses uint64 // calls abandoned at their deadline
+	RPCLatencySpikes  uint64 // latency spikes injected into call legs
+	RPCVirtualTicks   uint64 // summed virtual latency of all completed calls
 }
 
 // FaultKind selects what one scripted fault does to an RPC.
@@ -82,16 +108,42 @@ const (
 	// the at-most-once ambiguity a client must tolerate (retry is only
 	// safe for idempotent operations).
 	FaultReplyLost
+	// FaultHang runs the handler to completion but hangs the reply: with a
+	// deadline the caller waits exactly deadline ticks and sees ErrDeadline;
+	// without one it is charged HangTicks and sees ErrUnreachable.  This is
+	// the stuck-peer case the paper's portable-machine scenario (§7) makes
+	// routine — the peer is alive and did the work, but the caller must not
+	// wait forever for the answer.
+	FaultHang
 )
 
 // link identifies one directed sender->receiver pair.
 type link struct{ from, to Addr }
 
+// latencyProfile is one latency distribution: every call leg on the link
+// costs base + seeded-uniform jitter ticks, plus spikeTicks with probability
+// spikeRate (the heavy tail).  The zero value means instantaneous.
+type latencyProfile struct {
+	base       uint64
+	jitter     uint64
+	spikeRate  float64
+	spikeTicks uint64
+}
+
+func (p latencyProfile) active() bool {
+	return p.base > 0 || p.jitter > 0 || p.spikeRate > 0
+}
+
 // linkFaults is the per-link fault script and rates; zero value = no faults.
 type linkFaults struct {
 	failRate      float64     // probabilistic request loss
 	replyLossRate float64     // probabilistic reply loss
+	hangRate      float64     // probabilistic hung reply
 	script        []FaultKind // one-shot faults, consumed FIFO by matching calls
+
+	lat       latencyProfile // overrides the network profile when latSet
+	latSet    bool
+	latScript []uint64 // one-shot extra request-leg delays, consumed FIFO
 
 	// rng drives every probabilistic RPC fault decision on this link.  It
 	// is seeded deterministically from (network seed, from, to), so the
@@ -114,8 +166,10 @@ type Network struct {
 	// Fault plane (see SetRPCFaultRate etc.).
 	rpcFailRate   float64
 	replyLossRate float64
+	hangRate      float64
 	dupRate       float64
 	reorderRate   float64
+	lat           latencyProfile // network-wide latency; links may override
 	links         map[link]*linkFaults
 }
 
@@ -171,6 +225,70 @@ func (n *Network) SetDatagramReorderRate(p float64) {
 	n.reorderRate = p
 }
 
+// SetHangRate makes every RPC whose handler ran hang its reply with
+// probability p: with a deadline the caller sees ErrDeadline at the
+// deadline, without one it is charged HangTicks.
+func (n *Network) SetHangRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hangRate = p
+}
+
+// SetLatency gives every call leg on every link a latency of base plus a
+// seeded-uniform jitter in [0, jitter] virtual ticks (per-link RNG, so
+// concurrent traffic on other links never shifts a link's draws).
+func (n *Network) SetLatency(base, jitter uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lat.base, n.lat.jitter = base, jitter
+}
+
+// SetLatencySpikes adds ticks of extra delay to each call leg independently
+// with probability rate — the heavy tail of a degraded link.
+func (n *Network) SetLatencySpikes(rate float64, ticks uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lat.spikeRate, n.lat.spikeTicks = rate, ticks
+}
+
+// SetLinkLatency overrides the network latency profile on the directed link
+// from -> to (the override replaces the whole profile for that link).
+func (n *Network) SetLinkLatency(from, to Addr, base, jitter uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lf := n.linkFor(from, to)
+	lf.lat.base, lf.lat.jitter = base, jitter
+	lf.latSet = true
+}
+
+// SetLinkLatencySpikes sets the spike half of a per-link latency override.
+func (n *Network) SetLinkLatencySpikes(from, to Addr, rate float64, ticks uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lf := n.linkFor(from, to)
+	lf.lat.spikeRate, lf.lat.spikeTicks = rate, ticks
+	lf.latSet = true
+}
+
+// SetLinkHangRate sets a hung-reply probability for the directed link
+// from -> to, in addition to the global rate.  Rate 1 models a stuck peer:
+// every request is accepted and executed, no reply ever returns.
+func (n *Network) SetLinkHangRate(from, to Addr, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkFor(from, to).hangRate = p
+}
+
+// ScriptLatency appends one-shot extra delays to the directed link
+// from -> to: each subsequent matching RPC consumes the next delay, added
+// to its request leg.  Deterministic by construction.
+func (n *Network) ScriptLatency(from, to Addr, ticks ...uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lf := n.linkFor(from, to)
+	lf.latScript = append(lf.latScript, ticks...)
+}
+
 // SetLinkRPCFaultRate sets a request-loss probability for the directed
 // link from -> to, in addition to the global rate.
 func (n *Network) SetLinkRPCFaultRate(from, to Addr, p float64) {
@@ -204,7 +322,8 @@ func (n *Network) ClearFaults() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.rpcFailRate, n.replyLossRate, n.dupRate, n.reorderRate = 0, 0, 0, 0
-	n.lossRate = 0
+	n.lossRate, n.hangRate = 0, 0
+	n.lat = latencyProfile{}
 	n.links = make(map[link]*linkFaults)
 }
 
@@ -253,9 +372,9 @@ func (n *Network) rpcFaultLocked(from, to Addr) (bool, FaultKind) {
 		lf.script = lf.script[1:]
 		return true, k
 	}
-	anyRate := n.rpcFailRate > 0 || n.replyLossRate > 0
+	anyRate := n.rpcFailRate > 0 || n.replyLossRate > 0 || n.hangRate > 0
 	if lf, ok := n.links[link{from, to}]; ok {
-		anyRate = anyRate || lf.failRate > 0 || lf.replyLossRate > 0
+		anyRate = anyRate || lf.failRate > 0 || lf.replyLossRate > 0 || lf.hangRate > 0
 	}
 	if !anyRate {
 		return false, 0
@@ -274,7 +393,48 @@ func (n *Network) rpcFaultLocked(from, to Addr) (bool, FaultKind) {
 	if n.replyLossRate > 0 && rng.Float64() < n.replyLossRate {
 		return true, FaultReplyLost
 	}
+	if lf.hangRate > 0 && rng.Float64() < lf.hangRate {
+		return true, FaultHang
+	}
+	if n.hangRate > 0 && rng.Float64() < n.hangRate {
+		return true, FaultHang
+	}
 	return false, 0
+}
+
+// latencyLocked draws the virtual latency of one call's request and reply
+// legs on from -> to.  The link's profile overrides the network's; scripted
+// one-shot delays land on the request leg.  Draws come from the link's own
+// seeded RNG — and only when a latency is actually configured, so latency-
+// free runs consume no draws and replay historical fault sequences exactly.
+func (n *Network) latencyLocked(from, to Addr) (reqLat, replyLat uint64) {
+	prof := n.lat
+	lf, haveLink := n.links[link{from, to}]
+	if haveLink && lf.latSet {
+		prof = lf.lat
+	}
+	if haveLink && len(lf.latScript) > 0 {
+		reqLat += lf.latScript[0]
+		lf.latScript = lf.latScript[1:]
+	}
+	if !prof.active() {
+		return reqLat, 0
+	}
+	rng := n.linkRNGLocked(from, to)
+	leg := func() uint64 {
+		d := prof.base
+		if prof.jitter > 0 {
+			d += uint64(rng.Int63n(int64(prof.jitter) + 1))
+		}
+		if prof.spikeRate > 0 && rng.Float64() < prof.spikeRate {
+			d += prof.spikeTicks
+			n.stats.RPCLatencySpikes++
+		}
+		return d
+	}
+	reqLat += leg()
+	replyLat = leg()
+	return reqLat, replyLat
 }
 
 // Host attaches (or returns) the host at addr.
@@ -429,35 +589,67 @@ func (h *Host) HandleDatagram(port string, fn DatagramHandler) {
 // always call itself, even while partitioned from everyone else; loopback
 // calls are exempt from the fault plane.
 func (h *Host) Call(dst Addr, service string, req []byte) ([]byte, error) {
+	resp, _, err := h.CallT(dst, service, req, 0)
+	return resp, err
+}
+
+// CallT is Call with a deadline, both measured in virtual ticks: it returns
+// the call's virtual elapsed time alongside the result.  deadline 0 means
+// wait forever (a hung reply then costs HangTicks).  With deadline > 0, any
+// call whose virtual latency reaches the deadline — slow legs, a lost
+// request or reply, a hung reply — fails with ErrDeadline after exactly
+// deadline ticks: from the caller's clock a timeout is a timeout, whatever
+// the cause.  The handler may still have run (at-most-once ambiguity).
+// Latency is virtual, so CallT never blocks real time.
+func (h *Host) CallT(dst Addr, service string, req []byte, deadline uint64) ([]byte, uint64, error) {
 	h.net.mu.Lock()
 	h.net.stats.RPCs++
 	target, ok := h.net.hosts[dst]
 	if !ok {
 		h.net.stats.RPCFailures++
 		h.net.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrNoHost, dst)
+		return nil, 0, fmt.Errorf("%w: %s", ErrNoHost, dst)
 	}
 	if h.down || (dst != h.addr && !h.net.connectedLocked(h.addr, dst)) {
 		h.net.stats.RPCFailures++
 		h.net.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, h.addr, dst)
+		return nil, 0, fmt.Errorf("%w: %s -> %s", ErrUnreachable, h.addr, dst)
 	}
 	fn, ok := target.rpc[service]
 	if !ok {
 		h.net.stats.RPCFailures++
 		h.net.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s on %s", ErrNoService, service, dst)
+		return nil, 0, fmt.Errorf("%w: %s on %s", ErrNoService, service, dst)
 	}
 	var faulted bool
 	var kind FaultKind
+	var reqLat, replyLat uint64
 	if dst != h.addr {
 		faulted, kind = h.net.rpcFaultLocked(h.addr, dst)
+		reqLat, replyLat = h.net.latencyLocked(h.addr, dst)
 	}
 	if faulted && kind == FaultRequestLost {
 		h.net.stats.RPCFailures++
 		h.net.stats.RPCFaultsInjected++
+		if deadline > 0 {
+			// The caller cannot see the loss; it waits out the deadline.
+			h.net.stats.RPCDeadlineMisses++
+			h.net.stats.RPCVirtualTicks += deadline
+			h.net.mu.Unlock()
+			return nil, deadline, fmt.Errorf("%w: %s -> %s (request lost)", ErrDeadline, h.addr, dst)
+		}
+		h.net.stats.RPCVirtualTicks += reqLat
 		h.net.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s -> %s (injected request loss)", ErrUnreachable, h.addr, dst)
+		return nil, reqLat, fmt.Errorf("%w: %s -> %s (injected request loss)", ErrUnreachable, h.addr, dst)
+	}
+	if deadline > 0 && reqLat >= deadline {
+		// The request is still in flight when the caller gives up; the
+		// handler never runs from this call's perspective.
+		h.net.stats.RPCFailures++
+		h.net.stats.RPCDeadlineMisses++
+		h.net.stats.RPCVirtualTicks += deadline
+		h.net.mu.Unlock()
+		return nil, deadline, fmt.Errorf("%w: %s -> %s (request leg %d >= deadline %d)", ErrDeadline, h.addr, dst, reqLat, deadline)
 	}
 	h.net.mu.Unlock()
 
@@ -465,15 +657,39 @@ func (h *Host) Call(dst Addr, service string, req []byte) ([]byte, error) {
 
 	h.net.mu.Lock()
 	defer h.net.mu.Unlock()
-	if faulted { // FaultReplyLost: the handler ran, the caller learns nothing
+	switch {
+	case faulted && kind == FaultHang: // handler ran, reply never arrives
+		h.net.stats.RPCFailures++
+		h.net.stats.RPCHangs++
+		if deadline > 0 {
+			h.net.stats.RPCDeadlineMisses++
+			h.net.stats.RPCVirtualTicks += deadline
+			return nil, deadline, fmt.Errorf("%w: %s -> %s (reply hung)", ErrDeadline, h.addr, dst)
+		}
+		h.net.stats.RPCVirtualTicks += HangTicks
+		return nil, HangTicks, fmt.Errorf("%w: %s -> %s (reply hung)", ErrUnreachable, h.addr, dst)
+	case faulted: // FaultReplyLost: the handler ran, the caller learns nothing
 		h.net.stats.RPCFailures++
 		h.net.stats.RPCRepliesLost++
-		return nil, fmt.Errorf("%w: %s -> %s (injected reply loss)", ErrUnreachable, h.addr, dst)
+		if deadline > 0 {
+			h.net.stats.RPCDeadlineMisses++
+			h.net.stats.RPCVirtualTicks += deadline
+			return nil, deadline, fmt.Errorf("%w: %s -> %s (reply lost)", ErrDeadline, h.addr, dst)
+		}
+		h.net.stats.RPCVirtualTicks += reqLat + replyLat
+		return nil, reqLat + replyLat, fmt.Errorf("%w: %s -> %s (injected reply loss)", ErrUnreachable, h.addr, dst)
+	case deadline > 0 && reqLat+replyLat >= deadline:
+		// The reply is still in flight at the deadline; it is discarded.
+		h.net.stats.RPCFailures++
+		h.net.stats.RPCDeadlineMisses++
+		h.net.stats.RPCVirtualTicks += deadline
+		return nil, deadline, fmt.Errorf("%w: %s -> %s (latency %d >= deadline %d)", ErrDeadline, h.addr, dst, reqLat+replyLat, deadline)
 	}
 	if err == nil {
 		h.net.stats.RPCBytes += uint64(len(req) + len(resp))
 	}
-	return resp, err
+	h.net.stats.RPCVirtualTicks += reqLat + replyLat
+	return resp, reqLat + replyLat, err
 }
 
 // Multicast delivers a best-effort datagram to port on each destination.

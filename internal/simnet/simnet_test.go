@@ -365,3 +365,179 @@ func TestDatagramReordering(t *testing.T) {
 		t.Fatalf("stats %+v", s)
 	}
 }
+
+func TestLatencyBaseAndJitter(t *testing.T) {
+	n, a, _, _ := echoNet(t)
+	n.SetLatency(10, 5)
+	var min, max uint64 = 1 << 62, 0
+	for i := 0; i < 200; i++ {
+		_, el, err := a.CallT("b", "echo", []byte("x"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two legs: each in [10, 15], so the round trip is in [20, 30].
+		if el < 20 || el > 30 {
+			t.Fatalf("elapsed %d outside [20,30]", el)
+		}
+		if el < min {
+			min = el
+		}
+		if el > max {
+			max = el
+		}
+	}
+	if min == max {
+		t.Fatalf("jitter produced no spread (always %d)", min)
+	}
+	if got := n.Stats().RPCVirtualTicks; got < 200*20 {
+		t.Fatalf("RPCVirtualTicks %d, want >= %d", got, 200*20)
+	}
+}
+
+func TestLatencyDeterministicPerLink(t *testing.T) {
+	sample := func() []uint64 {
+		n := New(7)
+		a := n.Host("a")
+		b := n.Host("b")
+		b.HandleRPC("echo", func(req []byte) ([]byte, error) { return req, nil })
+		n.SetLatency(3, 9)
+		var out []uint64
+		for i := 0; i < 50; i++ {
+			_, el, err := a.CallT("b", "echo", nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, el)
+		}
+		return out
+	}
+	x, y := sample(), sample()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("call %d: %d vs %d — latency draws not reproducible", i, x[i], y[i])
+		}
+	}
+}
+
+func TestLatencySpikes(t *testing.T) {
+	n, a, _, _ := echoNet(t)
+	n.SetLatency(1, 0)
+	n.SetLatencySpikes(0.2, 100)
+	spiked := 0
+	for i := 0; i < 300; i++ {
+		_, el, err := a.CallT("b", "echo", nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if el >= 100 {
+			spiked++
+		}
+	}
+	if spiked == 0 || spiked == 300 {
+		t.Fatalf("spiked %d/300, want some but not all", spiked)
+	}
+	if n.Stats().RPCLatencySpikes == 0 {
+		t.Fatal("RPCLatencySpikes not counted")
+	}
+}
+
+func TestScriptLatencyOneShot(t *testing.T) {
+	n, a, _, _ := echoNet(t)
+	n.ScriptLatency("a", "b", 40)
+	_, el, err := a.CallT("b", "echo", nil, 0)
+	if err != nil || el != 40 {
+		t.Fatalf("scripted call: elapsed %d err %v, want 40 nil", el, err)
+	}
+	_, el, err = a.CallT("b", "echo", nil, 0)
+	if err != nil || el != 0 {
+		t.Fatalf("post-script call: elapsed %d err %v, want 0 nil", el, err)
+	}
+}
+
+func TestDeadlineExceededBySlowLink(t *testing.T) {
+	n, a, _, _ := echoNet(t)
+	n.SetLinkLatency("a", "b", 30, 0)
+	_, el, err := a.CallT("b", "echo", nil, 25)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if el != 25 {
+		t.Fatalf("elapsed %d, want exactly the deadline 25", el)
+	}
+	s := n.Stats()
+	if s.RPCDeadlineMisses != 1 {
+		t.Fatalf("RPCDeadlineMisses %d", s.RPCDeadlineMisses)
+	}
+	// A generous deadline succeeds.
+	if _, el, err := a.CallT("b", "echo", nil, 100); err != nil || el != 60 {
+		t.Fatalf("generous deadline: elapsed %d err %v", el, err)
+	}
+}
+
+func TestHangRunsHandlerButNeverReplies(t *testing.T) {
+	n := New(1)
+	a := n.Host("a")
+	b := n.Host("b")
+	ran := 0
+	b.HandleRPC("echo", func(req []byte) ([]byte, error) { ran++; return req, nil })
+	n.ScriptFaults("a", "b", FaultHang)
+	_, el, err := a.CallT("b", "echo", nil, 50)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("hang under deadline: want ErrDeadline, got %v", err)
+	}
+	if el != 50 {
+		t.Fatalf("elapsed %d, want deadline 50", el)
+	}
+	if ran != 1 {
+		t.Fatalf("handler ran %d times, want 1 (request accepted, reply hung)", ran)
+	}
+	// Without a deadline a hang costs HangTicks and looks unreachable.
+	n.ScriptFaults("a", "b", FaultHang)
+	_, el, err = a.CallT("b", "echo", nil, 0)
+	if !errors.Is(err, ErrUnreachable) || el != HangTicks {
+		t.Fatalf("deadline-less hang: elapsed %d err %v", el, err)
+	}
+	s := n.Stats()
+	if s.RPCHangs != 2 || s.RPCDeadlineMisses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestHangRateStuckPeer(t *testing.T) {
+	n, a, _, _ := echoNet(t)
+	n.SetLinkHangRate("a", "b", 1.0)
+	for i := 0; i < 5; i++ {
+		if _, _, err := a.CallT("b", "echo", nil, 10); !errors.Is(err, ErrDeadline) {
+			t.Fatalf("call %d: want ErrDeadline, got %v", i, err)
+		}
+	}
+	// Other links are unaffected.
+	if _, _, err := a.CallT("c", "echo", nil, 10); err != nil {
+		t.Fatalf("a->c: %v", err)
+	}
+	if got := n.Stats().RPCHangs; got != 5 {
+		t.Fatalf("RPCHangs %d", got)
+	}
+}
+
+func TestLostRequestUnderDeadlineIsDeadline(t *testing.T) {
+	n, a, _, _ := echoNet(t)
+	n.ScriptFaults("a", "b", FaultRequestLost, FaultReplyLost)
+	for i := 0; i < 2; i++ {
+		_, el, err := a.CallT("b", "echo", nil, 7)
+		if !errors.Is(err, ErrDeadline) || el != 7 {
+			t.Fatalf("loss %d under deadline: elapsed %d err %v", i, el, err)
+		}
+	}
+}
+
+func TestClearFaultsClearsLatency(t *testing.T) {
+	n, a, _, _ := echoNet(t)
+	n.SetLatency(10, 0)
+	n.SetHangRate(1.0)
+	n.ClearFaults()
+	_, el, err := a.CallT("b", "echo", nil, 5)
+	if err != nil || el != 0 {
+		t.Fatalf("after ClearFaults: elapsed %d err %v", el, err)
+	}
+}

@@ -1,6 +1,8 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_PR3.json: the batched-propagation experiment
-# (E10) and the repl wire-codec microbenchmarks.
+# bench.sh — regenerate the committed benchmark records:
+#   BENCH_PR3.json — batched propagation (E10) and repl wire-codec micros.
+#   BENCH_PR9.json — hedged-pull tail latency (E14): p50/p99 pull ticks
+#                    with hedging on vs off over a slow, spiky link.
 #
 # E10 runs a fixed small iteration count (each pass is a full 256-file
 # propagation round on a 4-host cluster — the counting metrics are exact and
@@ -32,3 +34,26 @@ END { print ""; print "  ]"; print "}" }
 ' "$tmp" > "$out"
 
 echo "==> wrote $out"
+
+out9="BENCH_PR9.json"
+tmp9="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp9"' EXIT
+
+echo "==> go test -bench BenchmarkE14 -benchtime 1x ."
+# One iteration is 128 full write→propagate rounds per variant; every
+# latency draw is virtual ticks from the seeded simnet RNG, so the reported
+# percentiles are exact and reproducible — only ns/op varies run to run.
+go test -run '^$' -bench 'BenchmarkE14' -benchtime 1x . | tee -a "$tmp9"
+
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": ["; sep = "" }
+/^Benchmark/ {
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) printf ", \"%s\": %s", $(i+1), $i
+    printf "}"
+    sep = ",\n"
+}
+END { print ""; print "  ]"; print "}" }
+' "$tmp9" > "$out9"
+
+echo "==> wrote $out9"

@@ -39,8 +39,14 @@ go test -race -count=1 -run 'TestScrub|TestJournalCompactionCrashSweep|TestRepai
 echo "==> go test -race (block store / delta propagation)"
 go test -race -count=1 -run 'TestBlock|TestDelta|TestPool|TestCodecV3|TestPullBatchDelta|TestCheckReportsDangling' ./internal/physical ./internal/repl ./internal/recon ./internal/core
 
+echo "==> go test -race (slow-peer plane: deadlines, hedging, backpressure)"
+go test -race -count=1 -run 'TestHedge|TestSlowShed|TestTickBudget|TestPackWaves|TestPropagateHedgedDeterministic|TestDeadline|TestLatency|TestHang|TestSlow' ./internal/recon ./internal/retry ./internal/simnet
+
 echo "==> bench smoke: E13 delta propagation"
 go test -count=1 -run 'xxx' -bench 'BenchmarkE13DeltaPropagation' -benchtime 1x .
+
+echo "==> bench smoke: E14 hedged pulls"
+go test -count=1 -run 'xxx' -bench 'BenchmarkE14HedgedPulls' -benchtime 1x .
 
 echo "==> go test -race ./..."
 go test -race ./...
@@ -53,5 +59,8 @@ FICUS_INVARIANTS=1 go test -race -count=1 -run 'TestChaosCrashRestartConvergence
 
 echo "==> make chaos-scrub"
 FICUS_INVARIANTS=1 go test -race -count=1 -run 'TestChaosScrubConvergence' .
+
+echo "==> make chaos-slow"
+FICUS_INVARIANTS=1 go test -race -count=1 -run 'TestChaosSlowPeerConvergence' .
 
 echo "==> ci gate passed"
