@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet lint invariants chaos chaos-crash chaos-scrub chaos-slow bench ci
+.PHONY: all build test check race vet lint invariants chaos chaos-crash chaos-scrub chaos-slow chaos-gossip bench ci
 
 all: build test
 
@@ -54,8 +54,17 @@ chaos-scrub:
 chaos-slow:
 	FICUS_INVARIANTS=1 $(GO) test -race -count=1 -run 'TestChaosSlowPeerConvergence' -v .
 
+# chaos-gossip runs the large-cluster churn test with invariants armed:
+# 256 hosts on the epidemic notification plane (fanout 3, TTL 6) under
+# crashes, shifting partitions, lossy links, and replica-set churn, three
+# seeds; budgeted anti-entropy must converge every replica to the identical
+# tree with origin notification cost held at O(fanout) (DESIGN.md §15).
+chaos-gossip:
+	FICUS_INVARIANTS=1 $(GO) test -race -count=1 -timeout 2400s -run 'TestChaosGossipChurnConvergence' -v .
+
 # bench regenerates BENCH_PR3.json (batched propagation E10, wire-codec
-# micros) and BENCH_PR9.json (hedged-pull tail latency E14).
+# micros), BENCH_PR9.json (hedged-pull tail latency E14), and
+# BENCH_PR10.json (gossip vs flat notification scaling E15).
 bench:
 	sh scripts/bench.sh
 

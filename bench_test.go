@@ -670,3 +670,92 @@ func BenchmarkE14HedgedPulls(b *testing.B) {
 	b.Run("hedged", func(b *testing.B) { run(b, hedgeAfter) })
 	b.Run("unhedged", func(b *testing.B) { run(b, 0) })
 }
+
+// BenchmarkE15GossipScale measures what the epidemic notification plane
+// costs the origin as the cluster grows (E15).  For each cluster size the
+// same 4-update workload runs once with flat multicast (the paper's §2.5
+// one-datagram-per-replica) and once with gossip (fanout 3, TTL 6): the
+// flat origin pays n-1 notices per update, the gossip origin a constant
+// fanout, with the remaining coverage financed by relayers — O(k) at the
+// origin, O(n·k) spread across the cluster.  Convergence is then driven by
+// propagation plus budget-4 anti-entropy passes, and the passes-to-identical
+// count is reported; it must grow no worse than linearly in n.  All counting
+// metrics are deterministic per seed; ns/op is incidental.
+func BenchmarkE15GossipScale(b *testing.B) {
+	const updates = 4
+	run := func(b *testing.B, n int, cfg GossipConfig) {
+		for i := 0; i < b.N; i++ {
+			c, err := NewCluster(n, WithSeed(15), WithPolicy(FirstAvailable),
+				WithStorage(4096, 512))
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.ConfigureGossip(cfg)
+			// The writer mounts mid-cluster; FirstAvailable routes its writes
+			// to the first replica, whose host originates every rumor.
+			m, err := c.Mount(n / 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for u := 0; u < updates; u++ {
+				if err := m.WriteFile(fmt.Sprintf("/e15-%d", u), []byte(fmt.Sprintf("u%d", u))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rootVol := c.RootVolume()
+			treesEqual := func() bool {
+				ref := replicaTreeOf(b, c, 0, rootVol, false)
+				for h := 1; h < n; h++ {
+					if replicaTreeOf(b, c, h, rootVol, false) != ref {
+						return false
+					}
+				}
+				return true
+			}
+			passes := 0
+			for ; passes < 64; passes++ {
+				if treesEqual() {
+					break
+				}
+				if _, err := c.Propagate(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Reconcile(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if passes >= 64 {
+				b.Fatalf("n=%d not converged after 64 passes", n)
+			}
+			var origin GossipStats
+			var originated uint64
+			for h := 0; h < n; h++ {
+				gs := c.GossipStatsFor(h)
+				originated += gs.RumorsOriginated
+				if gs.RumorsOriginated > origin.RumorsOriginated {
+					origin = gs
+				}
+			}
+			ns := c.NetworkStats()
+			if cfg.Fanout > 0 {
+				if originated == 0 {
+					b.Fatal("gossip run originated no rumors")
+				}
+				b.ReportMetric(float64(origin.NoticesSent)/float64(updates), "originDatagrams/update")
+				b.ReportMetric(float64(origin.NoticesSent)/float64(origin.RumorsOriginated), "notices/rumor")
+			} else {
+				// Flat multicast: every notify datagram in the run was sent
+				// by the origin — one per peer replica host per rumor.
+				b.ReportMetric(float64(ns.Datagrams)/float64(updates), "originDatagrams/update")
+				b.ReportMetric(float64(n-1), "notices/rumor")
+			}
+			b.ReportMetric(float64(ns.Datagrams)/float64(updates), "totalDatagrams/update")
+			b.ReportMetric(float64(passes), "passesToConverge")
+		}
+	}
+	for _, n := range []int{8, 32, 128, 256} {
+		cfgGossip := GossipConfig{Fanout: 3, TTL: 6, ReconPeers: 4}
+		b.Run(fmt.Sprintf("gossip/n=%d", n), func(b *testing.B) { run(b, n, cfgGossip) })
+		b.Run(fmt.Sprintf("flat/n=%d", n), func(b *testing.B) { run(b, n, GossipConfig{}) })
+	}
+}

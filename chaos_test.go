@@ -27,7 +27,7 @@ import (
 // treeOf renders host i's full namespace (names + file contents; conflict
 // files render their FileID only, since their contents legitimately differ
 // until resolved).
-func treeOf(t *testing.T, c *Cluster, host int, contents bool) string {
+func treeOf(t testing.TB, c *Cluster, host int, contents bool) string {
 	t.Helper()
 	m, err := c.Mount(host)
 	if err != nil {

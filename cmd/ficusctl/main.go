@@ -37,6 +37,17 @@
 //	slowcfg <deadline> <slowafter> <hedgeafter> [tickbudget] [inflight]
 //	                                     per-RPC deadlines, Slow threshold,
 //	                                     hedged pulls, pass backpressure
+//	gossipcfg <fanout> <ttl> [reconpeers]
+//	                                     epidemic update notification: rumor
+//	                                     fanout and relay hop budget, plus the
+//	                                     anti-entropy per-pass peer budget
+//	                                     (fanout 0 = flat multicast)
+//	gossip [host]                        gossip-plane counters: rumors
+//	                                     originated/relayed/suppressed and the
+//	                                     configured fanout and TTL
+//	peers [--stale] [host]               per-host peer view; with --stale, the
+//	                                     anti-entropy scheduler's current
+//	                                     priority order (stalest first)
 //	health                               per-peer health state, latency EWMA,
 //	                                     deadline misses and hedge counters
 //	crash <host>                         power-fail a host (disks survive)
@@ -541,6 +552,86 @@ func (c *controller) exec(line string) error {
 			TickBudget:   vals[3],
 			PeerInflight: int(vals[4]),
 		})
+		return nil
+	case "gossipcfg":
+		if err := need(2); err != nil {
+			return err
+		}
+		if len(args) > 3 {
+			return fmt.Errorf("gossipcfg takes at most 3 values")
+		}
+		vals := make([]int, 3)
+		for i, a := range args {
+			v, err := strconv.Atoi(a)
+			if err != nil || v < 0 {
+				return fmt.Errorf("bad value %q", a)
+			}
+			vals[i] = v
+		}
+		c.cluster.ConfigureGossip(ficus.GossipConfig{
+			Fanout:     vals[0],
+			TTL:        vals[1],
+			ReconPeers: vals[2],
+		})
+		if vals[0] == 0 {
+			fmt.Println("gossip off: flat multicast notification")
+		} else {
+			fmt.Printf("gossip on: fanout=%d ttl=%d recon-peers=%d\n", vals[0], vals[1], vals[2])
+		}
+		return nil
+	case "gossip":
+		lo, hi := 0, c.cluster.NumHosts()
+		if len(args) > 0 {
+			h, err := c.host(args[0])
+			if err != nil {
+				return err
+			}
+			lo, hi = h, h+1
+		}
+		cfg := c.cluster.Host(lo).GossipSettings()
+		fmt.Printf("gossip config: fanout=%d ttl=%d recon-peers=%d\n",
+			cfg.Fanout, cfg.TTL, cfg.ReconPeers)
+		for h := lo; h < hi; h++ {
+			g := c.cluster.GossipStatsFor(h)
+			fmt.Printf("host %d gossip: originated=%d sent=%d relayed=%d accepted=%d suppressed=%d foreign=%d expired=%d\n",
+				h, g.RumorsOriginated, g.NoticesSent, g.RumorsRelayed,
+				g.RumorsAccepted, g.RumorsSuppressed, g.RumorsForeign, g.RumorsExpired)
+		}
+		ns := c.cluster.NetworkStats()
+		fmt.Printf("cluster gossip: sent=%d relayed=%d accepted=%d suppressed=%d datagram-bytes=%d\n",
+			ns.GossipNoticesSent, ns.GossipRelayed, ns.GossipAccepted, ns.GossipSuppressed, ns.DatagramBytes)
+		return nil
+	case "peers":
+		stale := false
+		rest := args
+		if len(rest) > 0 && rest[0] == "--stale" {
+			stale = true
+			rest = rest[1:]
+		}
+		lo, hi := 0, c.cluster.NumHosts()
+		if len(rest) > 0 {
+			h, err := c.host(rest[0])
+			if err != nil {
+				return err
+			}
+			lo, hi = h, h+1
+		}
+		for h := lo; h < hi; h++ {
+			if c.cluster.HostDown(h) {
+				fmt.Printf("host %d: down\n", h)
+				continue
+			}
+			if !stale {
+				for _, ph := range c.cluster.PeerHealthFor(h) {
+					fmt.Printf("host %d sees host %d: %s\n", h, ph.Peer, ph.State)
+				}
+				continue
+			}
+			for rank, p := range c.cluster.StalePeersFor(h) {
+				fmt.Printf("host %d #%d: host %d replica=%d %s score=%d last-sync=%d last-attempt=%d\n",
+					h, rank, p.Peer, p.Replica, p.State, p.Score, p.LastSync, p.LastAttempt)
+			}
+		}
 		return nil
 	case "health":
 		for h := 0; h < c.cluster.NumHosts(); h++ {

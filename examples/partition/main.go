@@ -36,8 +36,9 @@ func main() {
 	}
 	fmt.Println("base state replicated: /paper.tex on both hosts")
 
-	// The network partitions.  Both hosts keep working.
-	cluster.Partition([]int{0}, []int{1})
+	// The network partitions — hosts [0, 1) on one side, the rest on the
+	// other.  Both hosts keep working.
+	cluster.PartitionSplit(1)
 	fmt.Println("\n-- network partitioned --")
 
 	// Conflicting file update: both sides edit paper.tex.
@@ -55,7 +56,7 @@ func main() {
 	must(m1.WriteFile("/only-on-road", []byte("b")))
 
 	// Heal; the periodic reconciliation protocol converges the replicas.
-	cluster.Heal()
+	cluster.HealAll()
 	fmt.Println("\n-- partition healed; reconciling --")
 	if err := cluster.Settle(10); err != nil {
 		log.Fatal(err)

@@ -122,8 +122,36 @@ func (c *Cluster) RootVolume() Volume { return Volume{h: c.sim.Vol} }
 // end up isolated.
 func (c *Cluster) Partition(groups ...[]int) { c.sim.Partition(groups...) }
 
+// PartitionSplit cuts the cluster in two at index k: hosts [0, k) in one
+// group, hosts [k, n) in the other.  The hand-enumerated Partition call gets
+// unwieldy at hundreds of hosts; ranges and predicates are the large-cluster
+// ergonomics.
+func (c *Cluster) PartitionSplit(k int) {
+	c.PartitionFunc(func(i int) bool { return i < k })
+}
+
+// PartitionFunc splits the cluster in two by predicate: hosts where pred is
+// true form one group, the rest the other.
+func (c *Cluster) PartitionFunc(pred func(host int) bool) {
+	var a, b []int
+	for i := 0; i < c.NumHosts(); i++ {
+		if pred(i) {
+			a = append(a, i)
+		} else {
+			b = append(b, i)
+		}
+	}
+	c.Partition(a, b)
+}
+
 // Heal reconnects every host.
 func (c *Cluster) Heal() { c.sim.Heal() }
+
+// HealAll reconnects every host — the companion to PartitionSplit and
+// PartitionFunc.  Identical to Heal; the name exists so churn scripts that
+// partition repeatedly read as cut/heal pairs.  Injected faults (loss,
+// latency) are separate: clear those with ClearFaults.
+func (c *Cluster) HealAll() { c.Heal() }
 
 // SetHostDown crashes or revives host i's *network* presence only: services
 // and in-memory state survive.  For the full power-failure model — state
@@ -396,6 +424,92 @@ func (c *Cluster) UnhangHost(i int) {
 			c.sim.Net.SetLinkHangRate(sim.HostName(j), sim.HostName(i), 0)
 		}
 	}
+}
+
+// GossipConfig tunes the epidemic update-notification plane and the
+// anti-entropy scheduler's per-pass peer budget.  The zero value keeps the
+// paper's flat multicast and the full per-pass peer sweep.
+type GossipConfig = core.GossipConfig
+
+// ConfigureGossip installs the gossip/scheduler settings on every host.
+func (c *Cluster) ConfigureGossip(cfg GossipConfig) {
+	for _, h := range c.sim.Hosts {
+		h.ConfigureGossip(cfg)
+	}
+}
+
+// GossipStats counts one host's gossip-plane activity.
+type GossipStats struct {
+	RumorsOriginated uint64 // updates this host's notifier announced
+	NoticesSent      uint64 // datagrams sent originating those rumors
+	RumorsRelayed    uint64 // datagrams sent relaying others' rumors
+	RumorsAccepted   uint64 // first-seen rumors fed into local caches
+	RumorsSuppressed uint64 // duplicates dropped by the seen-cache
+	RumorsForeign    uint64 // rumors for volumes this host doesn't store
+	RumorsExpired    uint64 // rumors that arrived with no hops left
+}
+
+func fromGossip(s core.GossipStats) GossipStats {
+	return GossipStats{
+		RumorsOriginated: s.RumorsOriginated,
+		NoticesSent:      s.NoticesSent,
+		RumorsRelayed:    s.RumorsRelayed,
+		RumorsAccepted:   s.RumorsAccepted,
+		RumorsSuppressed: s.RumorsSuppressed,
+		RumorsForeign:    s.RumorsForeign,
+		RumorsExpired:    s.RumorsExpired,
+	}
+}
+
+// GossipStatsFor returns host i's accumulated gossip counters.
+func (c *Cluster) GossipStatsFor(host int) GossipStats {
+	return fromGossip(c.sim.Hosts[host].GossipStats())
+}
+
+// PeerPriority is one entry of a host's anti-entropy plan: the order the
+// scheduler would visit the root volume's peers in right now, stalest and
+// least-healthy first.
+type PeerPriority struct {
+	Peer        int    // peer host index (-1 if the address maps to no host)
+	Replica     ids.ReplicaID
+	State       string // tracked health behind the priority
+	LastSync    uint64 // daemon tick of the last clean pass (0 = never)
+	LastAttempt uint64 // daemon tick of the last attempt (0 = never)
+	Score       uint64 // effective staleness driving the order
+}
+
+// StalePeersFor reports host i's current anti-entropy priority order over
+// the root volume — what its next reconcile pass would visit first.
+func (c *Cluster) StalePeersFor(host int) []PeerPriority {
+	byAddr := make(map[string]int, len(c.sim.Hosts))
+	for j := range c.sim.Hosts {
+		byAddr[string(sim.HostName(j))] = j
+	}
+	plan := c.sim.Hosts[host].AntiEntropyPlan(c.sim.Vol)
+	out := make([]PeerPriority, 0, len(plan))
+	for _, p := range plan {
+		peer, ok := byAddr[string(p.Addr)]
+		if !ok {
+			peer = -1
+		}
+		out = append(out, PeerPriority{
+			Peer:        peer,
+			Replica:     p.Replica,
+			State:       p.Health,
+			LastSync:    p.LastSync,
+			LastAttempt: p.LastAttempt,
+			Score:       p.Score,
+		})
+	}
+	return out
+}
+
+// SetLinkDatagramLoss makes update-notification datagrams on the directed
+// link from -> to drop independently with probability rate, drawn from that
+// link's own seeded RNG — rumor loss for the gossip chaos runs, without
+// perturbing any other link's fault sequence.
+func (c *Cluster) SetLinkDatagramLoss(from, to int, rate float64) {
+	c.sim.Net.SetLinkDatagramLossRate(sim.HostName(from), sim.HostName(to), rate)
 }
 
 // SlowPeerConfig tunes the hosts' slow-peer tolerance: RPC deadlines, the
@@ -697,6 +811,16 @@ type NetStats struct {
 	// payloads), summed across the cluster.
 	NotifyCodecErrors uint64
 
+	// Gossip-plane counters, summed across the cluster: rumor datagrams
+	// sent by origins and relayers, first-seen acceptances, and duplicates
+	// killed by suppression.  DatagramBytes is the wire cost of everything
+	// delivered on the datagram plane.
+	GossipNoticesSent uint64
+	GossipRelayed     uint64
+	GossipAccepted    uint64
+	GossipSuppressed  uint64
+	DatagramBytes     uint64
+
 	// Latency-plane counters.
 	RPCHangs          uint64 // RPCs whose reply was injected away forever
 	RPCDeadlineMisses uint64 // RPCs abandoned at the caller's deadline
@@ -708,11 +832,22 @@ type NetStats struct {
 func (c *Cluster) NetworkStats() NetStats {
 	s := c.sim.Net.Stats()
 	var codecErrs uint64
+	var gs core.GossipStats
 	for _, h := range c.sim.Hosts {
 		codecErrs += h.NotifyCodecErrors()
+		hg := h.GossipStats()
+		gs.NoticesSent += hg.NoticesSent
+		gs.RumorsRelayed += hg.RumorsRelayed
+		gs.RumorsAccepted += hg.RumorsAccepted
+		gs.RumorsSuppressed += hg.RumorsSuppressed
 	}
 	return NetStats{
 		NotifyCodecErrors:   codecErrs,
+		GossipNoticesSent:   gs.NoticesSent,
+		GossipRelayed:       gs.RumorsRelayed,
+		GossipAccepted:      gs.RumorsAccepted,
+		GossipSuppressed:    gs.RumorsSuppressed,
+		DatagramBytes:       s.DatagramBytes,
 		RPCs:                s.RPCs,
 		RPCFailures:         s.RPCFailures,
 		RPCBytes:            s.RPCBytes,

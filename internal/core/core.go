@@ -135,14 +135,35 @@ type Host struct {
 	// notifyCodecErrs counts datagrams dropped because they failed to decode.
 	notificationsSeen uint64
 	notifyCodecErrs   uint64
+
+	// Gossip plane (see gossip.go): configuration survives crashes like
+	// slowCfg; the seen-rumor cache and counters are in-memory state.
+	gossip     GossipConfig
+	gossipSeq  uint64 // per-host rumor sequence, stamps originated rumors
+	gossipSeen map[rumorKey]struct{}
+	gossipFIFO []rumorKey
+	gstats     GossipStats
+
+	// Anti-entropy scheduler: per-(volume, peer) reconciliation recency
+	// driving ReconcileOnce's visit order and budget (in-memory; a crash
+	// resets it and the post-restart rescan covers the gap).
+	sched *recon.Scheduler
 }
 
-// notifyMsg is the update-notification datagram payload (§2.5).
+// notifyMsg is the update-notification datagram payload (§2.5).  Src/Seq/
+// Hops are the gossip-plane envelope: Src+Seq identify the rumor for
+// duplicate suppression (standing in for the (origin, version-vector)
+// identity of the announced update) and Hops is the remaining relay budget.
+// An untagged message (Src == "") is a legacy flat-multicast notification:
+// never suppressed, never relayed.
 type notifyMsg struct {
 	Vol    ids.VolumeHandle
 	Dir    []ids.FileID
 	File   ids.FileID
 	Origin ids.ReplicaID
+	Src    simnet.Addr // originating notifier host; "" = flat multicast
+	Seq    uint64      // per-Src rumor sequence number
+	Hops   uint8       // remaining relay budget
 }
 
 // NewHost attaches a Ficus host to the network.  alloc is the host's
@@ -161,6 +182,8 @@ func NewHost(net *simnet.Network, addr simnet.Addr, alloc ids.AllocatorID) *Host
 		rescan:    make(map[ids.VolumeHandle]bool),
 		nextVol:   1,
 		health:    retry.NewTracker(3, 4),
+		gossipSeen: make(map[rumorKey]struct{}),
+		sched:      recon.NewScheduler(),
 	}
 	h.replSrv = repl.NewServer(h.snHost)
 	h.snHost.HandleDatagram(NotifyPort, h.onNotify)
@@ -427,24 +450,51 @@ func (h *Host) Mount(vol ids.VolumeHandle, policy logical.Policy) (*logical.Laye
 	return lay, nil
 }
 
-// notifier multicasts update notifications to every other host storing a
-// replica of vol (§2.5).
+// notifier announces an update to the other hosts storing a replica of vol
+// (§2.5).  With gossip disabled this is the paper's flat multicast to every
+// replica holder; with a fanout configured the update becomes a rumor sent
+// to a rendezvous-chosen k-sample of the volume's replica set, which
+// receivers relay onward (see gossip.go and onNotify).
 func (h *Host) notifier(vol ids.VolumeHandle) logical.Notifier {
 	return func(dir []ids.FileID, file ids.FileID, origin ids.ReplicaID) {
-		msg := notifyMsg{Vol: vol, Dir: dir, File: file, Origin: origin}
-		payload := encodeNotify(&msg)
 		h.mu.Lock()
-		seen := map[simnet.Addr]bool{}
-		var dsts []simnet.Addr
-		for _, addr := range h.locations[vol] {
-			if !seen[addr] {
-				seen[addr] = true
-				dsts = append(dsts, addr)
+		if h.gossip.Fanout <= 0 {
+			msg := notifyMsg{Vol: vol, Dir: dir, File: file, Origin: origin}
+			payload := encodeNotify(&msg)
+			seen := map[simnet.Addr]bool{}
+			var dsts []simnet.Addr
+			for _, addr := range h.locations[vol] {
+				if !seen[addr] {
+					seen[addr] = true
+					dsts = append(dsts, addr)
+				}
+			}
+			h.mu.Unlock()
+			sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+			h.snHost.Multicast(NotifyPort, payload, dsts)
+			return
+		}
+		h.gossipSeq++
+		msg := notifyMsg{
+			Vol: vol, Dir: dir, File: file, Origin: origin,
+			Src: h.addr, Seq: h.gossipSeq, Hops: uint8(h.gossip.TTL),
+		}
+		// Mark our own rumor seen so a relayed copy looping back is
+		// suppressed, and feed any other co-resident replicas directly —
+		// the self-delivery leg of the old multicast.
+		h.markRumorLocked(rumorKey{h.addr, msg.Seq})
+		for vr, lr := range h.replicas {
+			if vr.Vol == vol && vr.Replica != origin {
+				lr.layer.NoteNewVersion(dir, file, origin)
+				h.notificationsSeen++
 			}
 		}
+		dsts := h.gossipPickLocked(vol, rumorHash(msg.Src, msg.Seq),
+			map[simnet.Addr]bool{h.addr: true}, h.gossip.Fanout)
+		h.gstats.RumorsOriginated++
+		h.gstats.NoticesSent += uint64(len(dsts))
 		h.mu.Unlock()
-		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
-		h.snHost.Multicast(NotifyPort, payload, dsts)
+		h.snHost.Multicast(NotifyPort, encodeNotify(&msg), dsts)
 	}
 }
 
@@ -453,13 +503,44 @@ func (h *Host) notifier(vol ids.VolumeHandle) logical.Notifier {
 // itself (it already has the new version).  A datagram that fails to decode
 // is dropped — notifications are best-effort and reconciliation is the
 // backstop — but counted, never silently swallowed.
+//
+// A gossip-tagged notification (Src != "") additionally passes duplicate
+// suppression first — at-least-once links and overlapping relay paths must
+// not re-arm the caches — and, if its hop budget allows, is relayed to a
+// fresh fanout sample of the volume's replica set.  The relay happens after
+// h.mu is released: rumor paths can cycle back to this host synchronously
+// (simnet delivery runs in the sender's goroutine), and the seen-cache, not
+// the lock, is what terminates the cycle.  Hosts storing no replica of the
+// volume drop the rumor — replica sets are partial, and only holders carry
+// a volume's traffic.
 func (h *Host) onNotify(from simnet.Addr, payload []byte) {
 	msg, err := decodeNotify(payload)
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if err != nil {
 		h.notifyCodecErrs++
+		h.mu.Unlock()
 		return
+	}
+	gossip := msg.Src != ""
+	if gossip {
+		holder := false
+		for vr := range h.replicas {
+			if vr.Vol == msg.Vol {
+				holder = true
+				break
+			}
+		}
+		if !holder {
+			h.gstats.RumorsForeign++
+			h.mu.Unlock()
+			return
+		}
+		if !h.markRumorLocked(rumorKey{msg.Src, msg.Seq}) {
+			h.gstats.RumorsSuppressed++
+			h.mu.Unlock()
+			return
+		}
+		h.gstats.RumorsAccepted++
 	}
 	for vr, lr := range h.replicas {
 		if vr.Vol == msg.Vol && vr.Replica != msg.Origin {
@@ -467,6 +548,23 @@ func (h *Host) onNotify(from simnet.Addr, payload []byte) {
 			h.notificationsSeen++
 		}
 	}
+	if !gossip || msg.Hops == 0 || h.gossip.Fanout <= 0 {
+		if gossip && msg.Hops == 0 {
+			h.gstats.RumorsExpired++
+		}
+		h.mu.Unlock()
+		return
+	}
+	dsts := h.gossipPickLocked(msg.Vol, rumorHash(msg.Src, msg.Seq),
+		map[simnet.Addr]bool{h.addr: true, from: true, msg.Src: true}, h.gossip.Fanout)
+	h.gstats.RumorsRelayed += uint64(len(dsts))
+	h.mu.Unlock()
+	if len(dsts) == 0 {
+		return
+	}
+	fwd := msg
+	fwd.Hops--
+	h.snHost.Multicast(NotifyPort, encodeNotify(&fwd), dsts)
 }
 
 // NotificationsSeen counts accepted update notifications.
@@ -897,13 +995,18 @@ func (h *Host) CollectGarbage() (int, error) {
 }
 
 // ReconcileOnce runs the periodic reconciliation protocol: every local
-// replica pulls from every known remote replica of its volume that is
-// currently reachable (§3.3).  Reconciliation is the safety net, so it is
-// never health-gated: every known peer is probed every pass, which is also
-// how a recovered peer's health state resets.  Per-peer failures (e.g. a
-// partition cutting in mid-pass) are normal life and absorbed.  A full pass
-// also discharges any post-restart rescan obligation, since it is a
-// superset of the rescan.  A down host's daemons do not run.
+// replica pulls from known remote replicas of its volume (§3.3), visited in
+// the anti-entropy scheduler's priority order — longest-unattempted first,
+// Suspect/Slow peers boosted — and capped at the GossipConfig.ReconPeers
+// budget when one is set (0 keeps the legacy every-peer sweep).
+// Reconciliation is the safety net, so visits are never health-gated: a
+// scheduled peer is probed even if the tracker thinks it dead, which is also
+// how a recovered peer's health state resets; the budget only rotates who is
+// probed this pass, and staleness growth guarantees every peer keeps being
+// reached.  Per-peer failures (e.g. a partition cutting in mid-pass) are
+// normal life and absorbed.  A pass also discharges any post-restart rescan
+// obligation once it completes cleanly against at least one remote peer.  A
+// down host's daemons do not run.
 func (h *Host) ReconcileOnce() (recon.Stats, error) {
 	if h.Down() {
 		return recon.Stats{}, nil

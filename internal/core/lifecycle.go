@@ -20,6 +20,8 @@ import (
 	"repro/internal/nfs"
 	"repro/internal/physical"
 	"repro/internal/recon"
+	"repro/internal/retry"
+	"repro/internal/simnet"
 	"repro/internal/ufs"
 	"repro/internal/ufsvn"
 )
@@ -51,8 +53,15 @@ func (h *Host) Crash() {
 		reps[vr].dev.Fault()
 	}
 	h.snHost.SetDown(true)
-	// In-flight peer-health knowledge dies with the kernel.
+	// In-flight peer-health knowledge dies with the kernel, as do the
+	// gossip seen-rumor cache and the anti-entropy scheduler's recency
+	// tables (the post-restart rescan covers what was forgotten).
 	h.health.Reset()
+	h.sched.Reset()
+	h.mu.Lock()
+	h.gossipSeen = make(map[rumorKey]struct{})
+	h.gossipFIFO = nil
+	h.mu.Unlock()
 }
 
 // Restart reboots a crashed host: every volume replica is remounted from
@@ -153,24 +162,65 @@ func (h *Host) Devices() []*disk.Device {
 	return out
 }
 
-// reconcileReplica reconciles one local replica against every known remote
-// replica of its volume, reporting whether the volume's rescan obligation
-// (if any) is met: at least one remote peer completed a clean pass, or no
-// remote peer is known at all.
-func (h *Host) reconcileReplica(layer *physical.Layer) (recon.Stats, bool) {
+// schedPeers snapshots vol's remote peers as anti-entropy scheduler input:
+// replica ids with the health tracker's current verdict (co-resident
+// replicas count as healthy), plus the host's current daemon tick.  Health
+// is read after h.mu is released — the tracker keeps its own lock.
+func (h *Host) schedPeers(vol ids.VolumeHandle, local *physical.Layer) ([]recon.SchedPeer, uint64) {
 	h.mu.Lock()
-	locs := h.locations[layer.Volume()]
-	rids := make([]ids.ReplicaID, 0, len(locs))
-	remotes := 0
-	for rid := range locs {
-		rids = append(rids, rid)
-		if rid != layer.Replica() {
-			remotes++
+	now := h.daemonTick
+	self := h.addr
+	type peerAddr struct {
+		rid  ids.ReplicaID
+		addr simnet.Addr
+	}
+	pas := make([]peerAddr, 0, len(h.locations[vol]))
+	for rid, addr := range h.locations[vol] {
+		if local != nil && rid == local.Replica() {
+			continue
 		}
+		pas = append(pas, peerAddr{rid, addr})
 	}
 	h.mu.Unlock()
-	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
-	stats, clean := recon.Rescan(layer, h.peerFinder(layer, false), rids)
+	sort.Slice(pas, func(i, j int) bool { return pas[i].rid < pas[j].rid })
+	peers := make([]recon.SchedPeer, 0, len(pas))
+	for _, p := range pas {
+		st := retry.Healthy
+		if p.addr != self {
+			st = h.health.State(string(p.addr))
+		}
+		peers = append(peers, recon.SchedPeer{Replica: p.rid, Health: st})
+	}
+	return peers, now
+}
+
+// reconcileReplica reconciles one local replica against remote replicas of
+// its volume in the anti-entropy scheduler's priority order — stalest and
+// least-healthy peers first, capped at the configured ReconPeers budget
+// (0 = every peer, the legacy full sweep) — reporting whether the volume's
+// rescan obligation (if any) is met: at least one remote peer completed a
+// clean pass, or no remote peer is known at all.  Every visit is recorded as
+// an attempt (so budgeted passes rotate through all peers — no starvation)
+// and every clean pass as a sync.
+func (h *Host) reconcileReplica(layer *physical.Layer) (recon.Stats, bool) {
+	vol := layer.Volume()
+	peers, now := h.schedPeers(vol, layer)
+	remotes := len(peers)
+	order := h.sched.Order(vol, peers, now)
+	if b := h.GossipSettings().ReconPeers; b > 0 && b < len(order) {
+		order = order[:b]
+	}
+	rids := make([]ids.ReplicaID, len(order))
+	for i, p := range order {
+		rids[i] = p.Replica
+		h.sched.NoteAttempt(vol, p.Replica, now)
+	}
+	stats, clean := recon.RescanEach(layer, h.peerFinder(layer, false), rids,
+		func(rid ids.ReplicaID, reached bool, err error) {
+			if reached && err == nil {
+				h.sched.NoteSync(vol, rid, now)
+			}
+		})
 	return stats, clean > 0 || remotes == 0
 }
 

@@ -14,11 +14,13 @@ import (
 	"fmt"
 
 	"repro/internal/ids"
+	"repro/internal/simnet"
 )
 
 // notifyWireVersion leads every notification; bumping it invalidates old
-// peers loudly instead of misparsing them.
-const notifyWireVersion = 1
+// peers loudly instead of misparsing them.  v2 added the gossip envelope
+// (hop budget, rumor sequence, source address).
+const notifyWireVersion = 2
 
 func appendNotifyFID(dst []byte, f ids.FileID) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Issuer))
@@ -26,14 +28,19 @@ func appendNotifyFID(dst []byte, f ids.FileID) []byte {
 }
 
 // encodeNotify renders msg: version u8, vol (u32+u32), origin u32,
-// file fid(12), dir-path count uvarint + fids (12 each).
+// file fid(12), hops u8, seq u64, src (uvarint length + bytes),
+// dir-path count uvarint + fids (12 each).
 func encodeNotify(msg *notifyMsg) []byte {
-	dst := make([]byte, 0, 30+12*len(msg.Dir))
+	dst := make([]byte, 0, 40+len(msg.Src)+12*len(msg.Dir))
 	dst = append(dst, notifyWireVersion)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(msg.Vol.Allocator))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(msg.Vol.Volume))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(msg.Origin))
 	dst = appendNotifyFID(dst, msg.File)
+	dst = append(dst, msg.Hops)
+	dst = binary.BigEndian.AppendUint64(dst, msg.Seq)
+	dst = binary.AppendUvarint(dst, uint64(len(msg.Src)))
+	dst = append(dst, msg.Src...)
 	dst = binary.AppendUvarint(dst, uint64(len(msg.Dir)))
 	for _, f := range msg.Dir {
 		dst = appendNotifyFID(dst, f)
@@ -96,6 +103,19 @@ func (d *notifyDecoder) fid() ids.FileID {
 	return ids.FileID{Issuer: ids.ReplicaID(d.u32()), Seq: d.u64()}
 }
 
+func (d *notifyDecoder) count(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	n, used := binary.Uvarint(d.b)
+	if used <= 0 {
+		d.fail("bad %s", what)
+		return 0
+	}
+	d.b = d.b[used:]
+	return n
+}
+
 func decodeNotify(b []byte) (notifyMsg, error) {
 	d := &notifyDecoder{b: b}
 	if v := d.u8(); d.err == nil && v != notifyWireVersion {
@@ -108,21 +128,25 @@ func decodeNotify(b []byte) (notifyMsg, error) {
 	}
 	msg.Origin = ids.ReplicaID(d.u32())
 	msg.File = d.fid()
-	if d.err == nil {
-		n, used := binary.Uvarint(d.b)
-		if used <= 0 {
-			d.fail("bad dir-path count")
-		} else {
-			d.b = d.b[used:]
-			// Cap against the bytes actually remaining (12 per fid) before
-			// allocating, so a corrupt count cannot drive a huge allocation.
-			if n > uint64(len(d.b)/12) {
-				d.fail("dir-path count %d exceeds %d remaining bytes", n, len(d.b))
-			} else if n > 0 {
-				msg.Dir = make([]ids.FileID, n)
-				for i := range msg.Dir {
-					msg.Dir[i] = d.fid()
-				}
+	msg.Hops = d.u8()
+	msg.Seq = d.u64()
+	if n := d.count("src length"); d.err == nil {
+		// Cap against the bytes remaining before allocating, so a corrupt
+		// length cannot drive a huge allocation.
+		if n > uint64(len(d.b)) {
+			d.fail("src length %d exceeds %d remaining bytes", n, len(d.b))
+		} else if n > 0 {
+			msg.Src = simnet.Addr(d.take(int(n)))
+		}
+	}
+	if n := d.count("dir-path count"); d.err == nil {
+		// Same allocation cap: 12 bytes per fid must actually remain.
+		if n > uint64(len(d.b)/12) {
+			d.fail("dir-path count %d exceeds %d remaining bytes", n, len(d.b))
+		} else if n > 0 {
+			msg.Dir = make([]ids.FileID, n)
+			for i := range msg.Dir {
+				msg.Dir[i] = d.fid()
 			}
 		}
 	}

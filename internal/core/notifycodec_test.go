@@ -26,6 +26,15 @@ func TestNotifyCodecRoundTrip(t *testing.T) {
 			},
 			Origin: 0xffffffff,
 		},
+		{ // gossip-tagged rumor: source, sequence, and hop budget survive
+			Vol:    ids.VolumeHandle{Allocator: 3, Volume: 9},
+			File:   ids.FileID{Issuer: 5, Seq: 7},
+			Dir:    []ids.FileID{{Issuer: 5, Seq: 2}},
+			Origin: 5,
+			Src:    simnet.Addr("h17"),
+			Seq:    ^uint64(0),
+			Hops:   255,
+		},
 	}
 	for i, want := range cases {
 		b := encodeNotify(&want)
@@ -45,6 +54,9 @@ func TestNotifyCodecRejectsCorruption(t *testing.T) {
 		File:   ids.FileID{Issuer: 2, Seq: 99},
 		Dir:    []ids.FileID{{Issuer: 2, Seq: 1}},
 		Origin: 2,
+		Src:    simnet.Addr("h0"),
+		Seq:    4,
+		Hops:   3,
 	}
 	good := encodeNotify(&msg)
 
@@ -65,11 +77,19 @@ func TestNotifyCodecRejectsCorruption(t *testing.T) {
 		t.Fatal("wrong wire version accepted")
 	}
 	// A dir-path count far beyond the remaining bytes must fail cleanly
-	// (no huge allocation): version + vol + origin + file, then count 2^40.
-	hdr := good[:1+4+4+4+12]
+	// (no huge allocation): version + vol + origin + file + hops + seq +
+	// src ("h0"), then count 2^40.
+	hdr := good[:1+4+4+4+12+1+8+1+2]
 	huge := append(append([]byte(nil), hdr...), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80)
 	if _, err := decodeNotify(huge); err == nil {
 		t.Fatal("overlong dir-path count accepted")
+	}
+	// Same for a corrupt src length: header up to the seq field, then a
+	// length claiming 2^40 bytes of address.
+	srcHdr := good[:1+4+4+4+12+1+8]
+	hugeSrc := append(append([]byte(nil), srcHdr...), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80)
+	if _, err := decodeNotify(hugeSrc); err == nil {
+		t.Fatal("overlong src length accepted")
 	}
 }
 

@@ -16,6 +16,15 @@ import (
 // notifications that arrived while it was down (§3.3: reconciliation
 // covers lost notifications) — has been met.
 func Rescan(local *physical.Layer, find PeerFinder, peers []ids.ReplicaID) (Stats, int) {
+	return RescanEach(local, find, peers, nil)
+}
+
+// RescanEach is Rescan with a per-peer completion callback: each is invoked
+// once per non-self peer with whether the peer was reachable at all (the
+// finder returned it) and, if so, how its pass ended.  The anti-entropy
+// scheduler uses this to record which peers actually completed a clean pass,
+// without changing Rescan's contract for existing callers (each may be nil).
+func RescanEach(local *physical.Layer, find PeerFinder, peers []ids.ReplicaID, each func(rid ids.ReplicaID, reached bool, err error)) (Stats, int) {
 	var total Stats
 	clean := 0
 	for _, rid := range peers {
@@ -24,12 +33,18 @@ func Rescan(local *physical.Layer, find PeerFinder, peers []ids.ReplicaID) (Stat
 		}
 		peer := find(rid)
 		if peer == nil {
+			if each != nil {
+				each(rid, false, nil)
+			}
 			continue
 		}
 		stats, err := ReconcileVolume(local, peer)
 		total.Add(stats)
 		if err == nil {
 			clean++
+		}
+		if each != nil {
+			each(rid, true, err)
 		}
 	}
 	return total, clean

@@ -1,0 +1,153 @@
+package recon
+
+// Anti-entropy scheduler.  The paper makes reconciliation the convergence
+// guarantee (§3.3) while notification is only a hint (§2.5); once clusters
+// grow past a handful of hosts, sweeping every peer every pass stops being a
+// guarantee and starts being the bottleneck.  The scheduler turns the sweep
+// into a priority queue: each (volume, peer) pair carries the virtual tick of
+// its last reconciliation attempt and its last clean pass, and a pass visits
+// the highest-priority peers first — longest since last attempt, with peers
+// the health tracker rates Suspect or Slow boosted ahead of healthy ones and
+// never-synced peers boosted ahead of everything at equal staleness.
+//
+// Two properties matter:
+//
+//   - No starvation: priority grows with ticks-since-last-attempt and every
+//     visit resets it, so under any per-pass budget B every peer is reached
+//     within ceil(N/B) passes — pull-based convergence stays guaranteed even
+//     if gossip loses every rumor.  (Boosts are bounded constants, so they
+//     bound the unfairness instead of breaking it.)
+//   - Determinism: priority is computed from tracked state only and ties
+//     break on replica id, so identical runs schedule identically.
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/retry"
+)
+
+// Priority boosts, in virtual ticks of staleness: a Suspect peer (recent
+// failures — likely missed rumors while unreachable) jumps the queue by
+// BoostSuspect passes, a Slow one by BoostSlow, and a peer that has never
+// completed a clean pass by BoostNeverSynced.  Dead peers get no boost: the
+// ungated reconcile probe is what revives them, but they should not crowd out
+// live stale peers under a tight budget.
+const (
+	BoostSuspect     = 8
+	BoostSlow        = 4
+	BoostNeverSynced = 2
+)
+
+// SchedPeer is one remote replica as the scheduler sees it.  Callers fill
+// Replica and Health; Order annotates the bookkeeping fields.
+type SchedPeer struct {
+	Replica ids.ReplicaID
+	Health  retry.State
+
+	LastAttempt uint64 // tick of the last reconciliation attempt; 0 = never
+	LastSync    uint64 // tick of the last clean pass; 0 = never
+	Score       uint64 // effective staleness the ordering used
+}
+
+type schedKey struct {
+	vol ids.VolumeHandle
+	rid ids.ReplicaID
+}
+
+// Scheduler tracks per-(volume, peer) reconciliation recency.  The zero
+// value is not usable; call NewScheduler.  All methods are safe for
+// concurrent use.  State is in-memory only: a host crash loses it (the
+// post-restart rescan obligation covers the gap), mirroring the peer-health
+// tracker.
+type Scheduler struct {
+	mu       sync.Mutex
+	attempts map[schedKey]uint64
+	syncs    map[schedKey]uint64
+}
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler() *Scheduler {
+	return &Scheduler{
+		attempts: make(map[schedKey]uint64),
+		syncs:    make(map[schedKey]uint64),
+	}
+}
+
+// NoteAttempt records that a reconciliation of vol against rid was attempted
+// at tick now (regardless of outcome) — this is what rotates the peer to the
+// back of the queue and prevents starvation.
+func (s *Scheduler) NoteAttempt(vol ids.VolumeHandle, rid ids.ReplicaID, now uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attempts[schedKey{vol, rid}] = now
+}
+
+// NoteSync records a clean reconciliation pass of vol against rid at tick now.
+func (s *Scheduler) NoteSync(vol ids.VolumeHandle, rid ids.ReplicaID, now uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncs[schedKey{vol, rid}] = now
+}
+
+// LastSync reports the tick of the last clean pass against rid (0 = never).
+func (s *Scheduler) LastSync(vol ids.VolumeHandle, rid ids.ReplicaID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs[schedKey{vol, rid}]
+}
+
+// Reset drops all recency state (host crash: in-memory knowledge dies with
+// the kernel).
+func (s *Scheduler) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attempts = make(map[schedKey]uint64)
+	s.syncs = make(map[schedKey]uint64)
+}
+
+// score computes a peer's effective staleness at tick now.
+func score(p SchedPeer, now uint64) uint64 {
+	var st uint64
+	if now > p.LastAttempt {
+		st = now - p.LastAttempt
+	}
+	switch p.Health {
+	case retry.Suspect:
+		st += BoostSuspect
+	case retry.Slow:
+		st += BoostSlow
+	}
+	if p.LastSync == 0 {
+		st += BoostNeverSynced
+	}
+	return st
+}
+
+// Order returns peers sorted into anti-entropy priority order for one pass at
+// tick now: effective staleness (ticks since last attempt, plus health and
+// never-synced boosts) descending, ties broken by replica id ascending.  The
+// returned slice is a fresh copy with LastAttempt/LastSync/Score filled in;
+// the input is not modified.
+func (s *Scheduler) Order(vol ids.VolumeHandle, peers []SchedPeer, now uint64) []SchedPeer {
+	out := make([]SchedPeer, len(peers))
+	copy(out, peers)
+	s.mu.Lock()
+	for i := range out {
+		k := schedKey{vol, out[i].Replica}
+		out[i].LastAttempt = s.attempts[k]
+		out[i].LastSync = s.syncs[k]
+	}
+	s.mu.Unlock()
+	for i := range out {
+		out[i].Score = score(out[i], now)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Replica < out[j].Replica
+	})
+	return out
+}

@@ -1,0 +1,148 @@
+package recon
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/retry"
+)
+
+var schedVol = ids.VolumeHandle{Allocator: 1, Volume: 1}
+
+func peerSet(rids ...ids.ReplicaID) []SchedPeer {
+	out := make([]SchedPeer, len(rids))
+	for i, r := range rids {
+		out[i] = SchedPeer{Replica: r, Health: retry.Healthy}
+	}
+	return out
+}
+
+func orderedIDs(peers []SchedPeer) []ids.ReplicaID {
+	out := make([]ids.ReplicaID, len(peers))
+	for i, p := range peers {
+		out[i] = p.Replica
+	}
+	return out
+}
+
+func TestSchedulerStalestFirst(t *testing.T) {
+	s := NewScheduler()
+	// Peer 2 was just visited, peer 3 a while ago, peer 1 never.
+	s.NoteAttempt(schedVol, 2, 10)
+	s.NoteAttempt(schedVol, 3, 4)
+	s.NoteSync(schedVol, 2, 10)
+	s.NoteSync(schedVol, 3, 4)
+	got := orderedIDs(s.Order(schedVol, peerSet(1, 2, 3), 10))
+	want := []ids.ReplicaID{1, 3, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestSchedulerHealthBoosts(t *testing.T) {
+	s := NewScheduler()
+	peers := peerSet(1, 2, 3)
+	// All equally stale and synced, but peer 3 is Suspect and peer 2 Slow.
+	for _, rid := range []ids.ReplicaID{1, 2, 3} {
+		s.NoteAttempt(schedVol, rid, 5)
+		s.NoteSync(schedVol, rid, 5)
+	}
+	peers[1].Health = retry.Slow
+	peers[2].Health = retry.Suspect
+	got := orderedIDs(s.Order(schedVol, peers, 9))
+	want := []ids.ReplicaID{3, 2, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	// Boosts are bounded: enough raw staleness outweighs Suspect.  Visit 2
+	// and 3 again; peer 1 (healthy, last attempted at 5) is now >8 ticks
+	// staler than the Suspect peer and must come first.
+	s.NoteAttempt(schedVol, 2, 15)
+	s.NoteAttempt(schedVol, 3, 15)
+	got = orderedIDs(s.Order(schedVol, peers, 30))
+	if got[0] != 1 {
+		t.Fatalf("very stale healthy peer not first: %v", got)
+	}
+}
+
+func TestSchedulerNeverSyncedBoostAndTieBreak(t *testing.T) {
+	s := NewScheduler()
+	// 2 and 3 equally stale; 3 has never completed a clean pass.
+	s.NoteAttempt(schedVol, 2, 3)
+	s.NoteAttempt(schedVol, 3, 3)
+	s.NoteSync(schedVol, 2, 3)
+	got := orderedIDs(s.Order(schedVol, peerSet(2, 3), 8))
+	want := []ids.ReplicaID{3, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	// Full ties break on replica id ascending.
+	got = orderedIDs(s.Order(schedVol, peerSet(9, 4, 7), 8))
+	want = []ids.ReplicaID{4, 7, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie order = %v, want %v", got, want)
+	}
+}
+
+// TestSchedulerRotationNoStarvation drives a budget-B pass loop over N peers
+// and checks every peer is attempted within ceil(N/B) passes, repeatedly.
+func TestSchedulerRotationNoStarvation(t *testing.T) {
+	const n, budget = 10, 3
+	s := NewScheduler()
+	peers := make([]SchedPeer, n)
+	for i := range peers {
+		peers[i] = SchedPeer{Replica: ids.ReplicaID(i + 1), Health: retry.Healthy}
+	}
+	lastVisited := make(map[ids.ReplicaID]int)
+	rounds := (n + budget - 1) / budget
+	for pass := 1; pass <= 8*rounds; pass++ {
+		order := s.Order(schedVol, peers, uint64(pass))
+		for _, p := range order[:budget] {
+			s.NoteAttempt(schedVol, p.Replica, uint64(pass))
+			lastVisited[p.Replica] = pass
+		}
+		if pass >= rounds {
+			for _, p := range peers {
+				if pass-lastVisited[p.Replica] >= 2*rounds {
+					t.Fatalf("pass %d: peer %d starved (last visit %d)",
+						pass, p.Replica, lastVisited[p.Replica])
+				}
+			}
+		}
+	}
+}
+
+func TestSchedulerDeterministic(t *testing.T) {
+	mk := func() []ids.ReplicaID {
+		s := NewScheduler()
+		peers := peerSet(5, 1, 9, 3, 7)
+		peers[2].Health = retry.Suspect
+		s.NoteAttempt(schedVol, 3, 2)
+		s.NoteSync(schedVol, 3, 2)
+		s.NoteAttempt(schedVol, 7, 6)
+		return orderedIDs(s.Order(schedVol, peers, 11))
+	}
+	first := mk()
+	for i := 0; i < 5; i++ {
+		if got := mk(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: order %v != %v", i, got, first)
+		}
+	}
+}
+
+func TestSchedulerPerVolumeIsolationAndReset(t *testing.T) {
+	s := NewScheduler()
+	other := ids.VolumeHandle{Allocator: 2, Volume: 2}
+	s.NoteSync(schedVol, 1, 7)
+	if got := s.LastSync(other, 1); got != 0 {
+		t.Fatalf("other volume LastSync = %d, want 0", got)
+	}
+	if got := s.LastSync(schedVol, 1); got != 7 {
+		t.Fatalf("LastSync = %d, want 7", got)
+	}
+	s.Reset()
+	if got := s.LastSync(schedVol, 1); got != 0 {
+		t.Fatalf("LastSync after Reset = %d, want 0", got)
+	}
+}

@@ -82,6 +82,7 @@ type Stats struct {
 	Datagrams          uint64 // datagram deliveries attempted (per destination)
 	DatagramsDropped   uint64 // dropped by partition, down host, or loss rate
 	DatagramsDelivered uint64
+	DatagramBytes      uint64 // payload bytes of delivered datagrams
 
 	// Fault-plane activity.
 	RPCFaultsInjected   uint64 // calls failed by the fault plane before the handler ran
@@ -139,6 +140,7 @@ type linkFaults struct {
 	failRate      float64     // probabilistic request loss
 	replyLossRate float64     // probabilistic reply loss
 	hangRate      float64     // probabilistic hung reply
+	dgramLossRate float64     // probabilistic datagram loss on this link
 	script        []FaultKind // one-shot faults, consumed FIFO by matching calls
 
 	lat       latencyProfile // overrides the network profile when latSet
@@ -359,6 +361,17 @@ func (n *Network) linkRNGLocked(from, to Addr) *rand.Rand {
 		lf.rng = rand.New(rand.NewSource(int64(h)))
 	}
 	return lf.rng
+}
+
+// SetLinkDatagramLossRate makes datagram deliveries on the directed link
+// from -> to fail independently with probability p, in addition to any
+// network-wide loss rate.  Loss draws come from the link's own seeded RNG,
+// so one lossy link's rumor fate never perturbs another link's stream —
+// the property the gossip chaos runs rely on for per-seed reproducibility.
+func (n *Network) SetLinkDatagramLossRate(from, to Addr, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkFor(from, to).dgramLossRate = p
 }
 
 // rpcFaultLocked decides the fate of one RPC about to be dispatched on
@@ -721,6 +734,15 @@ func (h *Host) Multicast(port string, payload []byte, dsts []Addr) {
 		if deliverable && h.net.lossRate > 0 && h.net.rng.Float64() < h.net.lossRate {
 			deliverable = false
 		}
+		// Per-link loss draws from the link's own RNG, and only when that
+		// link is configured lossy — links without it replay their historical
+		// sequences untouched.
+		if deliverable {
+			if lf, ok := h.net.links[link{h.addr, dst}]; ok && lf.dgramLossRate > 0 &&
+				h.net.linkRNGLocked(h.addr, dst).Float64() < lf.dgramLossRate {
+				deliverable = false
+			}
+		}
 		var fn DatagramHandler
 		if deliverable {
 			fn = target.datagram[port]
@@ -736,6 +758,7 @@ func (h *Host) Multicast(port string, payload []byte, dsts []Addr) {
 			h.net.stats.DatagramsDuplicated++
 		}
 		h.net.stats.DatagramsDelivered++
+		h.net.stats.DatagramBytes += uint64(len(payload))
 		h.net.mu.Unlock()
 		for i := 0; i < copies; i++ {
 			fn(h.addr, payload)

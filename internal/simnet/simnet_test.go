@@ -541,3 +541,57 @@ func TestClearFaultsClearsLatency(t *testing.T) {
 		t.Fatalf("after ClearFaults: elapsed %d err %v", el, err)
 	}
 }
+
+func TestLinkDatagramLossRate(t *testing.T) {
+	n := New(7)
+	a := n.Host("a")
+	deliveredB, deliveredC := 0, 0
+	n.Host("b").HandleDatagram("p", func(Addr, []byte) { deliveredB++ })
+	n.Host("c").HandleDatagram("p", func(Addr, []byte) { deliveredC++ })
+	n.SetLinkDatagramLossRate("a", "b", 0.5)
+	for i := 0; i < 1000; i++ {
+		a.Multicast("p", nil, []Addr{"b", "c"})
+	}
+	// The lossy link drops roughly half; the untouched link drops nothing.
+	if deliveredB < 350 || deliveredB > 650 {
+		t.Fatalf("delivered %d of 1000 over a 50%% lossy link", deliveredB)
+	}
+	if deliveredC != 1000 {
+		t.Fatalf("clean link delivered %d of 1000", deliveredC)
+	}
+	s := n.Stats()
+	if s.DatagramsDelivered != uint64(deliveredB+deliveredC) {
+		t.Fatalf("stats %+v vs delivered %d+%d", s, deliveredB, deliveredC)
+	}
+	if s.DatagramsDropped != uint64(2000-deliveredB-deliveredC) {
+		t.Fatalf("dropped %d, want %d", s.DatagramsDropped, 2000-deliveredB-deliveredC)
+	}
+	if s.DatagramBytes != 0 {
+		t.Fatalf("DatagramBytes = %d for empty payloads, want 0", s.DatagramBytes)
+	}
+
+	// Per-link loss is directional and seeded: same seed, same outcome.
+	n2 := New(7)
+	a2 := n2.Host("a")
+	delivered2 := 0
+	n2.Host("b").HandleDatagram("p", func(Addr, []byte) { delivered2++ })
+	n2.Host("c").HandleDatagram("p", func(Addr, []byte) {})
+	n2.SetLinkDatagramLossRate("a", "b", 0.5)
+	for i := 0; i < 1000; i++ {
+		a2.Multicast("p", nil, []Addr{"b", "c"})
+	}
+	if delivered2 != deliveredB {
+		t.Fatalf("non-deterministic link loss: %d vs %d", delivered2, deliveredB)
+	}
+}
+
+func TestDatagramBytesAccounted(t *testing.T) {
+	n := New(1)
+	a := n.Host("a")
+	n.Host("b").HandleDatagram("p", func(Addr, []byte) {})
+	a.Multicast("p", []byte("12345"), []Addr{"b"})
+	a.Multicast("p", []byte("123"), []Addr{"b"})
+	if s := n.Stats(); s.DatagramBytes != 8 {
+		t.Fatalf("DatagramBytes = %d, want 8", s.DatagramBytes)
+	}
+}

@@ -57,3 +57,26 @@ END { print ""; print "  ]"; print "}" }
 ' "$tmp9" > "$out9"
 
 echo "==> wrote $out9"
+
+out10="BENCH_PR10.json"
+tmp10="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp9" "$tmp10"' EXIT
+
+echo "==> go test -bench BenchmarkE15 -benchtime 1x ."
+# Gossip vs flat notification at n = 8..256: one iteration per variant writes
+# 4 files and converges the cluster.  The per-update datagram counts come off
+# the seeded simnet, so they are exact; only ns/op varies run to run.
+go test -run '^$' -bench 'BenchmarkE15' -benchtime 1x -timeout 1200s . | tee -a "$tmp10"
+
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": ["; sep = "" }
+/^Benchmark/ {
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) printf ", \"%s\": %s", $(i+1), $i
+    printf "}"
+    sep = ",\n"
+}
+END { print ""; print "  ]"; print "}" }
+' "$tmp10" > "$out10"
+
+echo "==> wrote $out10"

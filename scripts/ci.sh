@@ -42,11 +42,17 @@ go test -race -count=1 -run 'TestBlock|TestDelta|TestPool|TestCodecV3|TestPullBa
 echo "==> go test -race (slow-peer plane: deadlines, hedging, backpressure)"
 go test -race -count=1 -run 'TestHedge|TestSlowShed|TestTickBudget|TestPackWaves|TestPropagateHedgedDeterministic|TestDeadline|TestLatency|TestHang|TestSlow' ./internal/recon ./internal/retry ./internal/simnet
 
+echo "==> go test -race (gossip plane: relay, suppression, scheduler)"
+go test -race -count=1 -run 'TestGossip|TestRumor|TestScheduler|TestLinkDatagram|TestDatagramBytes' ./internal/core ./internal/recon ./internal/simnet
+
 echo "==> bench smoke: E13 delta propagation"
 go test -count=1 -run 'xxx' -bench 'BenchmarkE13DeltaPropagation' -benchtime 1x .
 
 echo "==> bench smoke: E14 hedged pulls"
 go test -count=1 -run 'xxx' -bench 'BenchmarkE14HedgedPulls' -benchtime 1x .
+
+echo "==> bench smoke: E15 gossip scaling (small n)"
+go test -count=1 -run 'xxx' -bench 'E15GossipScale/(gossip|flat)/n=(8|32)$' -benchtime 1x .
 
 echo "==> go test -race ./..."
 go test -race ./...
@@ -62,5 +68,8 @@ FICUS_INVARIANTS=1 go test -race -count=1 -run 'TestChaosScrubConvergence' .
 
 echo "==> make chaos-slow"
 FICUS_INVARIANTS=1 go test -race -count=1 -run 'TestChaosSlowPeerConvergence' .
+
+echo "==> make chaos-gossip"
+FICUS_INVARIANTS=1 go test -race -count=1 -timeout 2400s -run 'TestChaosGossipChurnConvergence' .
 
 echo "==> ci gate passed"
